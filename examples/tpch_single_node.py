@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Single-node TPC-H comparison (a compact Figure 4 + Figure 5 run).
+
+Runs a subset of TPC-H on the three single-node engines — MiniDuck (the
+DuckDB role), ClickLite (the ClickHouse role), and Sirius-accelerated
+MiniDuck — on cost-normalised devices, then prints the end-to-end table
+and the Sirius operator breakdown bars.
+
+Run:  python examples/tpch_single_node.py [sf] [q1,q2,...]
+e.g.  python examples/tpch_single_node.py 0.1 1,3,6,9,13,21
+"""
+
+import sys
+
+from repro.bench import SingleNodeHarness
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    if len(sys.argv) > 2:
+        queries = [int(q) for q in sys.argv[2].split(",")]
+    else:
+        queries = [1, 3, 5, 6, 9, 10, 13, 18, 21]
+
+    print(f"Preparing engines at TPC-H scale factor {sf} ...")
+    harness = SingleNodeHarness(sf=sf)
+    result = harness.run(queries=queries)
+
+    print(f"\nFigure 4 (subset) - simulated hot-run times, cost-normalised devices:")
+    print(result.figure4_table())
+
+    print(f"\n{result.figure5_table()}")
+
+    print(
+        f"\nSirius geomean speedup: {result.speedup_vs_duckdb:.2f}x vs MiniDuck, "
+        f"{result.speedup_vs_clickhouse:.2f}x vs ClickLite"
+    )
+    dnf = [t.query for t in result.timings if t.clickhouse_status == "dnf"]
+    unsupported = [t.query for t in result.timings if t.clickhouse_status == "unsupported"]
+    if dnf:
+        print(f"ClickLite did not finish: {['Q%d' % q for q in dnf]}")
+    if unsupported:
+        print(f"ClickLite unsupported:    {['Q%d' % q for q in unsupported]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses the legacy
+``setup.py develop`` path; all real metadata lives in pyproject.toml.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23"],
+    python_requires=">=3.10",
+)

@@ -1,0 +1,38 @@
+"""Reproduction of "Rethinking Analytical Processing in the GPU Era" (CIDR'26).
+
+A complete, laptop-runnable reimplementation of the Sirius GPU-native SQL
+engine and everything it stands on: a simulated GPU substrate with a
+calibrated cost model, a libcudf-style kernel library, a Substrait-style
+plan IR, a TPC-H-complete SQL frontend, host databases (single-node and
+distributed), an NCCL-style exchange layer, and a benchmark harness that
+regenerates every table and figure in the paper's evaluation.
+
+Quick tour::
+
+    from repro.hosts import MiniDuck, SiriusExtension, CpuEngine
+    from repro.core import SiriusEngine
+    from repro.tpch import generate_tpch
+
+    db = MiniDuck()
+    db.load_tables(generate_tpch(sf=0.05))
+    db.install_extension(SiriusExtension(SiriusEngine.for_spec()))
+    print(db.execute("select count(*) from lineitem").table.pretty())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "bench",
+    "columnar",
+    "core",
+    "distributed",
+    "gpu",
+    "hosts",
+    "kernels",
+    "plan",
+    "sql",
+    "tpch",
+]

@@ -1,0 +1,74 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure1
+    python -m repro figure4 [--sf 0.1] [--queries 1,3,6]
+    python -m repro figure5 [--sf 0.1]
+    python -m repro table2  [--sf 0.1] [--nodes 4]
+    python -m repro all     [--sf 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures on the simulated substrate.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["table1", "figure1", "figure4", "figure5", "table2", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument("--sf", type=float, default=0.1, help="TPC-H scale factor")
+    parser.add_argument("--nodes", type=int, default=4, help="cluster size for table2")
+    parser.add_argument(
+        "--queries", type=str, default=None, help="comma-separated TPC-H query numbers"
+    )
+    args = parser.parse_args(argv)
+
+    queries = (
+        [int(q) for q in args.queries.split(",")] if args.queries else list(range(1, 23))
+    )
+
+    if args.target in ("table1", "all"):
+        from .bench import table1
+
+        print("== Table 1: CPU vs GPU instances ==")
+        print(table1())
+        print()
+    if args.target in ("figure1", "all"):
+        from .bench import figure1_all
+
+        print("== Figure 1: hardware trends ==")
+        print(figure1_all())
+        print()
+    if args.target in ("figure4", "figure5", "all"):
+        from .bench import SingleNodeHarness
+
+        sf = min(args.sf, 0.05) if args.target == "all" else args.sf
+        print(f"== Figures 4 & 5: single-node TPC-H (SF {sf}) ==")
+        harness = SingleNodeHarness(sf=sf)
+        result = harness.run(queries=queries)
+        print(result.figure4_table())
+        print()
+        print(result.figure5_table())
+        print()
+    if args.target in ("table2", "all"):
+        from .bench import DistributedHarness
+
+        sf = min(args.sf, 0.05) if args.target == "all" else args.sf
+        print(f"== Table 2: distributed TPC-H (SF {sf}, {args.nodes} nodes) ==")
+        harness = DistributedHarness(sf=sf, num_nodes=args.nodes)
+        print(harness.run().table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Hardware-data harness: regenerates Table 1 and Figure 1.
+
+These come straight from the catalog in :mod:`repro.gpu.specs` — the same
+constants that parameterise the simulated devices, so the benchmark tables
+and the performance model cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from ..gpu.specs import TABLE1_INSTANCES, TRENDS, trend_cagr
+from .report import ascii_table
+
+__all__ = ["table1", "figure1_series", "figure1_all"]
+
+
+def table1() -> str:
+    """The paper's Table 1: CPU vs GPU instance comparison."""
+    rows = []
+    for inst in TABLE1_INSTANCES:
+        rows.append(
+            (
+                inst.name,
+                f"{inst.cores:,}",
+                f"{inst.memory_bw_gbps:,.0f} GB/s",
+                f"{inst.memory_gb:,.0f} GB",
+                f"${inst.cost_per_hour}/h ({inst.cloud})",
+                f"{inst.bandwidth_per_dollar:,.0f}",
+            )
+        )
+    return ascii_table(
+        ["instance", "cores", "memory BW", "memory size", "rental cost", "GB/s per $/h"],
+        rows,
+    )
+
+
+def figure1_series(name: str) -> str:
+    """One Figure 1 panel as an ASCII series with its growth rate."""
+    series = TRENDS[name]
+    peak = max(v for _, _, v in series)
+    rows = []
+    for year, label, value in series:
+        bar = "#" * max(int(round(value / peak * 40)), 1)
+        rows.append((year, label, f"{value:g}", bar))
+    table = ascii_table(["year", "hardware", "value", ""], rows)
+    cagr = trend_cagr(name) * 100
+    return f"{name} (CAGR {cagr:+.1f}%/yr)\n{table}"
+
+
+def figure1_all() -> str:
+    panels = ["gpu_memory_gb", "interconnect_gbps", "storage_gbps", "network_gbps"]
+    return "\n\n".join(figure1_series(p) for p in panels)

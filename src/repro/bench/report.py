@@ -1,0 +1,54 @@
+"""Rendering and aggregation helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_table", "geomean", "format_ms", "bar_series"]
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), "-+-".join("-" * w for w in widths)]
+    out += [line(r) for r in str_rows]
+    return "\n".join(out)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_ms(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.3f}"
+
+
+def bar_series(label: str, fractions: dict[str, float], width: int = 50) -> str:
+    """One stacked text bar (Figure-5 style) from category fractions."""
+    glyphs = {
+        "join": "J", "groupby": "G", "filter": "F",
+        "aggregation": "A", "orderby": "O", "other": ".", "transfer": "t",
+        "exchange": "x",
+    }
+    total = sum(fractions.values())
+    if total <= 0:
+        return f"{label:6s} |"
+    bar = []
+    for cat in ("join", "groupby", "filter", "aggregation", "orderby", "other", "transfer", "exchange"):
+        frac = fractions.get(cat, 0.0) / total
+        bar.append(glyphs.get(cat, "?") * int(round(frac * width)))
+    return f"{label:6s} |{''.join(bar)[:width]}|"

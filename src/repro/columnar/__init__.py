@@ -1,0 +1,42 @@
+"""Arrow-style columnar substrate shared by hosts, kernels, and Sirius."""
+
+from .column import Column, column_from_pylist
+from .dtypes import (
+    ALL_DTYPES,
+    BOOL,
+    DATE32,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    DType,
+    common_numeric_type,
+    date_to_days,
+    days_to_date,
+    dtype_from_name,
+)
+from .io import read_table, write_table
+from .table import Field, Schema, Table, concat_tables
+
+__all__ = [
+    "ALL_DTYPES",
+    "BOOL",
+    "Column",
+    "DATE32",
+    "DType",
+    "FLOAT64",
+    "Field",
+    "INT32",
+    "INT64",
+    "STRING",
+    "Schema",
+    "Table",
+    "column_from_pylist",
+    "common_numeric_type",
+    "concat_tables",
+    "date_to_days",
+    "days_to_date",
+    "dtype_from_name",
+    "read_table",
+    "write_table",
+]

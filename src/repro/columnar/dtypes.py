@@ -1,0 +1,153 @@
+"""Logical column types for the reproduction's Arrow-style columnar format.
+
+Both Sirius and libcudf derive their columnar layout from Apache Arrow; this
+module defines the (much smaller) set of logical types the reproduction
+needs.  Each :class:`DType` knows its physical NumPy representation so that
+columns can be stored as flat, zero-copy-shareable buffers:
+
+* ``BOOL``    -> ``np.bool_``
+* ``INT32``   -> ``np.int32``
+* ``INT64``   -> ``np.int64``
+* ``FLOAT64`` -> ``np.float64``
+* ``DATE32``  -> ``np.int32`` (days since the Unix epoch, Arrow ``date32``)
+* ``STRING``  -> dictionary-encoded: ``np.int32`` codes + a ``str`` dictionary
+
+``DECIMAL(p, s)`` values in TPC-H are represented as ``FLOAT64``; the paper's
+engine does the same style of widening when a type has no native kernel.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "BOOL",
+    "INT32",
+    "INT64",
+    "FLOAT64",
+    "DATE32",
+    "STRING",
+    "ALL_DTYPES",
+    "dtype_from_name",
+    "date_to_days",
+    "days_to_date",
+    "common_numeric_type",
+]
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+@dataclass(frozen=True)
+class DType:
+    """A logical column type.
+
+    Attributes:
+        name: Canonical lowercase name (``"int64"``, ``"string"``, ...).
+        numpy_dtype: Physical NumPy dtype of the value buffer.  For strings
+            this is the dtype of the *code* buffer, not the dictionary.
+        itemsize: Bytes per value in the physical buffer; used by the GPU
+            cost model to charge memory traffic.
+    """
+
+    name: str
+    numpy_dtype: np.dtype
+    itemsize: int
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("int32", "int64", "float64")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name in ("int32", "int64")
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.name == "date32"
+
+    @property
+    def is_string(self) -> bool:
+        return self.name == "string"
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.name == "bool"
+
+    def __repr__(self) -> str:
+        return f"DType({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BOOL = DType("bool", np.dtype(np.bool_), 1)
+INT32 = DType("int32", np.dtype(np.int32), 4)
+INT64 = DType("int64", np.dtype(np.int64), 8)
+FLOAT64 = DType("float64", np.dtype(np.float64), 8)
+DATE32 = DType("date32", np.dtype(np.int32), 4)
+STRING = DType("string", np.dtype(np.int32), 4)
+
+ALL_DTYPES = (BOOL, INT32, INT64, FLOAT64, DATE32, STRING)
+
+_BY_NAME = {t.name: t for t in ALL_DTYPES}
+
+# SQL type spellings accepted by ``dtype_from_name``.
+_ALIASES = {
+    "boolean": "bool",
+    "int": "int32",
+    "integer": "int32",
+    "bigint": "int64",
+    "double": "float64",
+    "float": "float64",
+    "decimal": "float64",
+    "numeric": "float64",
+    "date": "date32",
+    "varchar": "string",
+    "char": "string",
+    "text": "string",
+}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Resolve a type name or SQL spelling to a :class:`DType`.
+
+    Raises:
+        KeyError: If the name is not a known type or alias.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    return _BY_NAME[key]
+
+
+def date_to_days(value: datetime.date | str) -> int:
+    """Convert a date (or ISO ``YYYY-MM-DD`` string) to days since epoch."""
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Convert days since epoch back to a :class:`datetime.date`."""
+    return _EPOCH + datetime.timedelta(days=int(days))
+
+
+def common_numeric_type(left: DType, right: DType) -> DType:
+    """Return the widened result type for arithmetic between two types.
+
+    Follows the usual SQL promotion ladder: any float operand makes the
+    result ``float64``; otherwise the wider integer wins.  Dates participate
+    as int32 day counts (date - date, date + int).
+    """
+    if not (left.is_numeric or left.is_temporal):
+        raise TypeError(f"{left} is not numeric")
+    if not (right.is_numeric or right.is_temporal):
+        raise TypeError(f"{right} is not numeric")
+    if left is FLOAT64 or right is FLOAT64:
+        return FLOAT64
+    if left is INT64 or right is INT64:
+        return INT64
+    return INT32

@@ -1,0 +1,90 @@
+"""A minimal columnar file format ("RPQ" — repro parquet).
+
+The paper's hosts read Parquet/host-native files from disk; Sirius then
+caches the decoded columns on device.  This module provides the equivalent
+substrate: a self-describing binary columnar file with per-column buffers,
+so the host databases can persist and reload catalogs.
+
+Layout: a JSON header (schema, row count, per-column buffer byte lengths)
+preceded by an 8-byte little-endian header length, followed by the raw
+buffers in order: for each column — validity (optional), data, and for
+string columns a UTF-8 newline-joined dictionary blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .column import Column
+from .dtypes import dtype_from_name
+from .table import Schema, Table
+
+__all__ = ["write_table", "read_table"]
+
+_MAGIC = b"RPQ1"
+
+
+def write_table(table: Table, path: str | Path) -> int:
+    """Serialize ``table`` to ``path``.  Returns the file size in bytes."""
+    buffers: list[bytes] = []
+    col_meta = []
+    for field, col in zip(table.schema, table.columns):
+        meta: dict = {"name": field.name, "dtype": field.dtype.name}
+        if col.validity is not None:
+            blob = np.packbits(col.validity).tobytes()
+            meta["validity_len"] = len(blob)
+            buffers.append(blob)
+        data_blob = col.data.tobytes()
+        meta["data_len"] = len(data_blob)
+        buffers.append(data_blob)
+        if col.dictionary is not None:
+            entries = [str(s) for s in col.dictionary]
+            if any("\n" in s for s in entries):
+                raise ValueError(
+                    "RPQ dictionaries are newline-delimited; embedded newlines "
+                    "are not supported by this format"
+                )
+            dict_blob = "\n".join(entries).encode("utf-8")
+            meta["dict_len"] = len(dict_blob)
+            meta["dict_size"] = len(col.dictionary)
+            buffers.append(dict_blob)
+        col_meta.append(meta)
+    header = json.dumps({"num_rows": table.num_rows, "columns": col_meta}).encode("utf-8")
+    path = Path(path)
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(len(header).to_bytes(8, "little"))
+        f.write(header)
+        for blob in buffers:
+            f.write(blob)
+    return path.stat().st_size
+
+
+def read_table(path: str | Path) -> Table:
+    """Read a table previously written with :func:`write_table`."""
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: not an RPQ file (magic {magic!r})")
+        header_len = int.from_bytes(f.read(8), "little")
+        header = json.loads(f.read(header_len).decode("utf-8"))
+        num_rows = header["num_rows"]
+        fields = []
+        columns = []
+        for meta in header["columns"]:
+            dtype = dtype_from_name(meta["dtype"])
+            validity = None
+            if "validity_len" in meta:
+                packed = np.frombuffer(f.read(meta["validity_len"]), dtype=np.uint8)
+                validity = np.unpackbits(packed)[:num_rows].astype(np.bool_)
+            data = np.frombuffer(f.read(meta["data_len"]), dtype=dtype.numpy_dtype).copy()
+            dictionary = None
+            if "dict_len" in meta:
+                blob = f.read(meta["dict_len"]).decode("utf-8")
+                dictionary = np.asarray(blob.split("\n") if meta["dict_size"] else [], dtype=object)
+            fields.append((meta["name"], dtype))
+            columns.append(Column(dtype, data, validity, dictionary))
+    return Table(Schema(fields), columns)

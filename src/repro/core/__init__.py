@@ -1,0 +1,27 @@
+"""Sirius - the paper's primary contribution: a GPU-native SQL engine."""
+
+from .buffer_manager import BufferManager
+from .executor import OperatorTiming, PipelineExecutor, QueryProfile
+from .expr_eval import UnsupportedExpressionError
+from .fallback import FallbackEvent, FallbackHandler
+from .operators.base import Category, ExecutionContext, OperatorRegistry, UnsupportedFeatureError
+from .planner import PhysicalPlan, Pipeline, compile_plan
+from .sirius import SiriusEngine
+
+__all__ = [
+    "BufferManager",
+    "Category",
+    "ExecutionContext",
+    "FallbackEvent",
+    "FallbackHandler",
+    "OperatorRegistry",
+    "PhysicalPlan",
+    "Pipeline",
+    "OperatorTiming",
+    "PipelineExecutor",
+    "QueryProfile",
+    "SiriusEngine",
+    "UnsupportedExpressionError",
+    "UnsupportedFeatureError",
+    "compile_plan",
+]

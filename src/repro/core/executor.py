@@ -1,0 +1,193 @@
+"""The pipeline executor: global task queue + push-based execution.
+
+Reproduces §3.2.2's model:
+
+* the physical plan is a set of **pipelines**; each is a task enqueued in
+  a global queue and picked up when its dependencies are satisfied (the
+  paper's idle CPU threads pulling tasks — execution here is sequential
+  over the ready set, which is equivalent under a simulated clock);
+* within a pipeline, execution is **push-based**: the executor owns all
+  state (the ``state`` dict per pipeline plus the shared slot table) and
+  pushes chunks into stateless operators;
+* every operator's simulated time is attributed to its Figure-5 category,
+  producing the per-query breakdown the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..kernels import GTable, slice_table
+from .operators.base import ExecutionContext
+from .operators.scan import IntermediateSource
+from .planner import PhysicalPlan, Pipeline
+
+__all__ = ["PipelineExecutor", "QueryProfile"]
+
+
+@dataclass
+class OperatorTiming:
+    """Simulated time spent in one operator of one pipeline."""
+
+    pipeline: int
+    operator: str
+    category: str
+    seconds: float
+    rows_out: int
+
+
+@dataclass
+class QueryProfile:
+    """Timing and counters for one query execution."""
+
+    sim_seconds: float = 0.0
+    breakdown: dict = field(default_factory=dict)  # category -> seconds
+    kernel_count: int = 0
+    pipelines_run: int = 0
+    chunks_processed: int = 0
+    output_rows: int = 0
+    operator_timings: list = field(default_factory=list)
+
+    def breakdown_fractions(self) -> dict:
+        total = sum(self.breakdown.values())
+        if total == 0:
+            return {k: 0.0 for k in self.breakdown}
+        return {k: v / total for k, v in self.breakdown.items()}
+
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE-style report: per-operator simulated time."""
+        lines = [
+            f"total {self.sim_seconds * 1000:.3f} ms, "
+            f"{self.kernel_count} kernels, {self.pipelines_run} pipelines, "
+            f"{self.output_rows} rows out"
+        ]
+        current = None
+        for t in self.operator_timings:
+            if t.pipeline != current:
+                lines.append(f"Pipeline {t.pipeline}:")
+                current = t.pipeline
+            lines.append(
+                f"  {t.operator:<50s} {t.seconds * 1e6:10.1f} us"
+                f"  [{t.category}]  rows={t.rows_out}"
+            )
+        return "\n".join(lines)
+
+
+class PipelineExecutor:
+    """Runs a :class:`PhysicalPlan` on one device."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    def run(self, physical: PhysicalPlan) -> tuple[GTable, QueryProfile]:
+        """Execute all pipelines; returns the result table and a profile."""
+        clock = self.ctx.device.clock
+        start = clock.now
+        buckets_before = clock.buckets()
+        kernels_before = self.ctx.device.kernel_count
+
+        slots: dict[str, GTable] = {}
+        consumers = physical.slot_consumers()
+        profile = QueryProfile()
+
+        queue = deque(physical.pipelines)
+        done: set[int] = set()
+        while queue:
+            progressed = False
+            for _ in range(len(queue)):
+                pipeline = queue.popleft()
+                if pipeline.dependencies <= done:
+                    self._run_pipeline(pipeline, slots, profile)
+                    done.add(pipeline.pid)
+                    self._release_slots(pipeline, slots, consumers, physical.final_slot)
+                    progressed = True
+                else:
+                    queue.append(pipeline)
+            if not progressed:
+                raise RuntimeError("pipeline dependency cycle detected")
+
+        result = slots[physical.final_slot]
+        profile.sim_seconds = clock.now - start
+        buckets_after = clock.buckets()
+        profile.breakdown = {
+            k: buckets_after.get(k, 0.0) - buckets_before.get(k, 0.0)
+            for k in set(buckets_after) | set(buckets_before)
+        }
+        profile.breakdown = {k: v for k, v in profile.breakdown.items() if v > 0}
+        profile.kernel_count = self.ctx.device.kernel_count - kernels_before
+        profile.output_rows = result.num_rows
+        return result, profile
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_pipeline(self, pipeline: Pipeline, slots: dict, profile: QueryProfile) -> None:
+        state: dict = {"slots": slots}
+        clock = self.ctx.device.clock
+        op_seconds = {op: 0.0 for op in pipeline.operators}
+        op_rows = {op: 0 for op in pipeline.operators}
+        sink_seconds = 0.0
+        for chunk in self._source_chunks(pipeline, slots):
+            profile.chunks_processed += 1
+            for op in pipeline.operators:
+                mark = clock.now
+                with clock.attributed(op.category):
+                    chunk = op.process(self.ctx, chunk, state)
+                op_seconds[op] += clock.now - mark
+                if chunk is None:
+                    break
+                op_rows[op] += chunk.num_rows
+            if chunk is None:
+                continue
+            mark = clock.now
+            with clock.attributed(pipeline.sink.category):
+                pipeline.sink.consume(self.ctx, chunk, state)
+            sink_seconds += clock.now - mark
+        mark = clock.now
+        with clock.attributed(pipeline.sink.category):
+            output = pipeline.sink.finalize(self.ctx, state)
+        sink_seconds += clock.now - mark
+        if output is not None:
+            slots[pipeline.output_slot] = output
+        for op in pipeline.operators:
+            profile.operator_timings.append(
+                OperatorTiming(
+                    pipeline.pid, op.describe(), op.category, op_seconds[op], op_rows[op]
+                )
+            )
+        profile.operator_timings.append(
+            OperatorTiming(
+                pipeline.pid,
+                pipeline.sink.describe(),
+                pipeline.sink.category,
+                sink_seconds,
+                output.num_rows if output is not None else 0,
+            )
+        )
+        profile.pipelines_run += 1
+
+    def _source_chunks(self, pipeline: Pipeline, slots: dict):
+        source = pipeline.source
+        if isinstance(source, IntermediateSource):
+            table = slots[source.slot]
+            batch = self.ctx.batch_rows
+            if batch is None or table.num_rows <= batch:
+                yield table
+                return
+            for start in range(0, table.num_rows, batch):
+                yield slice_table(table, start, min(batch, table.num_rows - start))
+            return
+        yield from source.chunks(self.ctx)
+
+    def _release_slots(self, pipeline, slots, consumers, final_slot) -> None:
+        """Drop slot references once all consumers finished.
+
+        Buffer bytes themselves are reclaimed by the engine's per-query
+        RMM pool reset (intermediates freely share buffers, so per-slot
+        frees would be unsound); dropping the reference here just keeps the
+        slot table small for long plans.
+        """
+        for slot in pipeline.used_slots():
+            consumers[slot] -= 1
+            if consumers[slot] == 0 and slot != final_slot:
+                slots.pop(slot, None)

@@ -1,0 +1,178 @@
+"""Lowering of plan expressions onto device kernels.
+
+The executor evaluates a plan :class:`~repro.plan.Expression` against a
+:class:`~repro.kernels.GTable` by walking the tree and dispatching each
+node to the corresponding kernel.  Literals evaluate to Python scalars;
+the parent kernel broadcasts them, so constants never materialise columns
+unless an expression is a bare literal.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..columnar.dtypes import dtype_from_name
+from ..kernels import (
+    GColumn,
+    GTable,
+    binary_arith,
+    case_when,
+    cast_column,
+    coalesce,
+    compare,
+    extract_date_part,
+    fill_constant,
+    in_list,
+    is_null,
+    like,
+    logical_and,
+    logical_not,
+    logical_or,
+    substring,
+)
+from ..plan import Expression, FieldRef, Literal, ScalarCall
+
+__all__ = ["evaluate", "evaluate_predicate", "UnsupportedExpressionError"]
+
+
+class UnsupportedExpressionError(NotImplementedError):
+    """An expression Sirius cannot run on the GPU (triggers CPU fallback)."""
+
+
+def evaluate(expr: Expression, table: GTable) -> "GColumn | Any":
+    """Evaluate ``expr`` over ``table``; returns a GColumn or a scalar."""
+    if isinstance(expr, FieldRef):
+        return table.columns[expr.index]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ScalarCall):
+        return _call(expr, table)
+    raise UnsupportedExpressionError(f"cannot evaluate {expr!r} on device")
+
+
+def evaluate_to_column(expr: Expression, table: GTable) -> GColumn:
+    """Like :func:`evaluate` but materialises bare literals as columns."""
+    result = evaluate(expr, table)
+    if isinstance(result, GColumn):
+        return result
+    return fill_constant(table.device, table.num_rows, result)
+
+
+def evaluate_predicate(expr: Expression, table: GTable) -> np.ndarray:
+    """Evaluate a boolean expression to a keep-mask (NULL -> False)."""
+    result = evaluate(expr, table)
+    if not isinstance(result, GColumn):
+        return np.full(table.num_rows, bool(result), dtype=np.bool_)
+    return result.data.astype(np.bool_) & result.valid_mask()
+
+
+def _call(call: ScalarCall, table: GTable):
+    f = call.func
+
+    if f in ("add", "subtract", "multiply", "divide", "modulo"):
+        left = evaluate(call.args[0], table)
+        right = evaluate(call.args[1], table)
+        return binary_arith(f, left, right)
+
+    if f in ("eq", "ne", "lt", "le", "gt", "ge"):
+        left = evaluate(call.args[0], table)
+        right = evaluate(call.args[1], table)
+        if not isinstance(left, GColumn) and not isinstance(right, GColumn):
+            return _fold_scalar_cmp(f, left, right)
+        return compare(f, left, right)
+
+    if f == "and":
+        left = evaluate(call.args[0], table)
+        right = evaluate(call.args[1], table)
+        if not isinstance(left, GColumn) and not isinstance(right, GColumn):
+            return bool(left) and bool(right)
+        return logical_and(left, right)
+    if f == "or":
+        left = evaluate(call.args[0], table)
+        right = evaluate(call.args[1], table)
+        if not isinstance(left, GColumn) and not isinstance(right, GColumn):
+            return bool(left) or bool(right)
+        return logical_or(left, right)
+    if f == "not":
+        return logical_not(_as_column(call.args[0], table))
+
+    if f == "negate":
+        return binary_arith("multiply", evaluate(call.args[0], table), -1)
+
+    if f in ("is_null", "is_not_null"):
+        return is_null(_as_column(call.args[0], table), negate=(f == "is_not_null"))
+
+    if f in ("like", "not_like"):
+        pattern = _literal_value(call.args[1], "LIKE pattern")
+        return like(_as_column(call.args[0], table), pattern, negate=(f == "not_like"))
+
+    if f == "contains":
+        needle = _literal_value(call.args[1], "contains needle")
+        from ..kernels import contains as contains_kernel
+
+        return contains_kernel(_as_column(call.args[0], table), needle)
+
+    if f == "starts_with":
+        prefix = _literal_value(call.args[1], "starts_with prefix")
+        return like(_as_column(call.args[0], table), f"{prefix}%")
+
+    if f in ("in", "not_in"):
+        column = _as_column(call.args[0], table)
+        values = [_literal_value(a, "IN list element") for a in call.args[1:]]
+        result = in_list(column, values)
+        return logical_not(result) if f == "not_in" else result
+
+    if f == "between":
+        column = evaluate(call.args[0], table)
+        low = evaluate(call.args[1], table)
+        high = evaluate(call.args[2], table)
+        return logical_and(compare("ge", column, low), compare("le", column, high))
+
+    if f == "case":
+        # args = [cond1, res1, cond2, res2, ..., default]
+        pairs = call.args[:-1]
+        default = call.args[-1]
+        conditions = [_as_column(pairs[i], table) for i in range(0, len(pairs), 2)]
+        results = [evaluate(pairs[i + 1], table) for i in range(0, len(pairs), 2)]
+        return case_when(conditions, results, evaluate(default, table))
+
+    if f == "coalesce":
+        return coalesce([evaluate(a, table) for a in call.args])
+
+    if f == "cast":
+        target = dtype_from_name(call.options["to"])
+        return cast_column(_as_column(call.args[0], table), target)
+
+    if f in ("extract_year", "extract_month", "extract_day"):
+        return extract_date_part(f.removeprefix("extract_"), _as_column(call.args[0], table))
+
+    if f == "substring":
+        start = int(call.options.get("start", _literal_value(call.args[1], "substring start")))
+        length = int(call.options.get("length", _literal_value(call.args[2], "substring length")))
+        return substring(_as_column(call.args[0], table), start, length)
+
+    raise UnsupportedExpressionError(f"scalar function {f!r} not supported on device")
+
+
+def _fold_scalar_cmp(op: str, left, right) -> bool:
+    """Fold a comparison of two constants (e.g. optimizer leftovers)."""
+    if left is None or right is None:
+        return False
+    table = {"eq": left == right, "ne": left != right, "lt": left < right,
+             "le": left <= right, "gt": left > right, "ge": left >= right}
+    return bool(table[op])
+
+
+def _as_column(expr: Expression, table: GTable) -> GColumn:
+    result = evaluate(expr, table)
+    if isinstance(result, GColumn):
+        return result
+    return fill_constant(table.device, table.num_rows, result)
+
+
+def _literal_value(expr: Expression, what: str):
+    if not isinstance(expr, Literal):
+        raise UnsupportedExpressionError(f"{what} must be a literal, got {expr!r}")
+    return expr.value

@@ -1,0 +1,62 @@
+"""Graceful CPU fallback (§3.2.2).
+
+Sirius "includes a graceful fallback mechanism to the host database
+systems in the case of an error or missing features".  The engine wraps
+GPU execution; on :class:`UnsupportedFeatureError`,
+:class:`UnsupportedExpressionError`, or device OOM (when spilling is
+disabled) it re-executes the plan through a host-provided callback and
+records the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..columnar import Table
+from ..gpu.memory import OutOfDeviceMemory
+from ..plan import Plan
+from .expr_eval import UnsupportedExpressionError
+from .operators.base import UnsupportedFeatureError
+
+__all__ = ["FallbackHandler", "FallbackEvent"]
+
+FALLBACK_EXCEPTIONS = (UnsupportedFeatureError, UnsupportedExpressionError, OutOfDeviceMemory)
+
+
+@dataclass
+class FallbackEvent:
+    """Record of one query that fell back to the host engine."""
+
+    reason: str
+    exception_type: str
+
+
+@dataclass
+class FallbackHandler:
+    """Wraps GPU execution with a host-engine escape hatch."""
+
+    host_executor: Callable[[Plan], Table] | None = None
+    events: list[FallbackEvent] = field(default_factory=list)
+
+    def run(self, gpu_execute: Callable[[], Table], plan: Plan) -> tuple[Table, bool]:
+        """Run ``gpu_execute``; fall back to the host on known failures.
+
+        Returns:
+            ``(result, fell_back)``.
+
+        Raises:
+            The original exception if no host executor is registered, or
+            any exception outside the fallback set (bugs must surface).
+        """
+        try:
+            return gpu_execute(), False
+        except FALLBACK_EXCEPTIONS as exc:
+            self.events.append(FallbackEvent(str(exc), type(exc).__name__))
+            if self.host_executor is None:
+                raise
+            return self.host_executor(plan), True
+
+    @property
+    def fallback_count(self) -> int:
+        return len(self.events)

@@ -1,0 +1,42 @@
+"""Physical operators of the Sirius execution engine."""
+
+from .aggregate import GlobalAggSink, GroupBySink
+from .base import (
+    Category,
+    ExecutionContext,
+    OperatorRegistry,
+    PhysicalOperator,
+    SinkOperator,
+    SourceOperator,
+    StreamingOperator,
+    UnsupportedFeatureError,
+)
+from .join import HashJoinBuildSink, HashJoinProbe, custom_sort_merge_join, libcudf_join
+from .scan import IntermediateSource, TableScan
+from .sort import FetchSink, MaterializeSink, SortSink, TopNSink
+from .streaming import FilterOp, ProjectOp
+
+__all__ = [
+    "Category",
+    "ExecutionContext",
+    "FetchSink",
+    "FilterOp",
+    "GlobalAggSink",
+    "GroupBySink",
+    "HashJoinBuildSink",
+    "HashJoinProbe",
+    "IntermediateSource",
+    "MaterializeSink",
+    "OperatorRegistry",
+    "PhysicalOperator",
+    "ProjectOp",
+    "SinkOperator",
+    "SortSink",
+    "SourceOperator",
+    "StreamingOperator",
+    "TableScan",
+    "TopNSink",
+    "UnsupportedFeatureError",
+    "custom_sort_merge_join",
+    "libcudf_join",
+]

@@ -1,0 +1,157 @@
+"""Aggregation sinks: grouped (group-by) and global (reduction).
+
+The planner decomposes ``avg`` into sum/count here (the same decomposition
+the paper notes is missing from Sirius' *distributed* mode — our
+distributed layer supplies it explicitly as a future-work extension).
+
+Aggregate inputs that are expressions (e.g. ``sum(l_extendedprice * (1 -
+l_discount))``) are evaluated per chunk before accumulation, so the sink
+itself only ever aggregates materialised columns.
+"""
+
+from __future__ import annotations
+
+from ...columnar import Field, Schema, Table
+from ...kernels import AggSpec, GTable, binary_arith, concat_gtables, fill_constant, reduce_column
+from ...plan import AggregateCall
+from ...plan.expressions import aggregate_result_type
+from .. import expr_eval
+from .base import Category, ExecutionContext, SinkOperator
+
+__all__ = ["GroupBySink", "GlobalAggSink"]
+
+
+class GroupBySink(SinkOperator):
+    """Grouped aggregation pipeline breaker."""
+
+    category = Category.GROUPBY
+
+    def __init__(self, group_indices, measures, input_schema: Schema):
+        """
+        Args:
+            group_indices: Ordinals of the grouping keys in the input.
+            measures: ``[(AggregateCall, output_name), ...]``.
+            input_schema: Schema of incoming chunks.
+        """
+        self.group_indices = list(group_indices)
+        self.measures = list(measures)
+        self.input_schema = input_schema
+
+    def output_schema(self) -> Schema:
+        fields = [self.input_schema.fields[i] for i in self.group_indices]
+        for agg, name in self.measures:
+            fields.append(Field(name, aggregate_result_type(agg, self.input_schema)))
+        return Schema(fields)
+
+    def consume(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> None:
+        state.setdefault("chunks", []).append(chunk)
+
+    def finalize(self, ctx: ExecutionContext, state: dict) -> GTable:
+        chunks = state.get("chunks", [])
+        if not chunks:
+            return GTable.from_host(ctx.device, Table.empty(self.output_schema()))
+        data = chunks[0] if len(chunks) == 1 else concat_gtables(chunks)
+
+        keys = [data.columns[i] for i in self.group_indices]
+        specs: list[AggSpec] = []
+        post_avg: list[tuple[int, int, int]] = []  # (out_pos, sum_pos, count_pos)
+        for agg, name in self.measures:
+            arg_col = (
+                expr_eval.evaluate_to_column(agg.arg, data) if agg.arg is not None else None
+            )
+            if agg.op == "avg":
+                # Decompose: avg = sum / count, fused back after the kernel.
+                sum_pos = len(specs)
+                specs.append(AggSpec("sum", arg_col, f"__avg_sum_{name}"))
+                specs.append(AggSpec("count", arg_col, f"__avg_cnt_{name}"))
+                post_avg.append((len(post_avg), sum_pos, sum_pos + 1))
+                continue
+            op = agg.op
+            if op == "count" and agg.distinct:
+                op = "count_distinct"
+            if op == "count" and arg_col is None:
+                op = "count_star"
+            specs.append(AggSpec(op, arg_col, name))
+
+        impl = ctx.registry.get("groupby")
+        raw = impl(keys, specs)
+
+        # Reassemble in declared measure order, fusing avg columns.
+        out_schema = self.output_schema()
+        n_keys = len(self.group_indices)
+        out_cols = list(raw.columns[:n_keys])
+        raw_pos = n_keys
+        spec_pos = 0
+        for agg, name in self.measures:
+            if agg.op == "avg":
+                sums = raw.columns[raw_pos]
+                counts = raw.columns[raw_pos + 1]
+                out_cols.append(binary_arith("divide", sums, counts))
+                raw_pos += 2
+                spec_pos += 2
+            else:
+                out_cols.append(raw.columns[raw_pos])
+                raw_pos += 1
+                spec_pos += 1
+        return GTable(out_schema, out_cols, ctx.device)
+
+    def describe(self) -> str:
+        return f"GroupBy(keys={self.group_indices}, measures={[n for _, n in self.measures]})"
+
+
+class GlobalAggSink(SinkOperator):
+    """Global reductions (no GROUP BY) - always produce exactly one row."""
+
+    category = Category.AGGREGATION
+
+    def __init__(self, measures, input_schema: Schema):
+        self.measures = list(measures)
+        self.input_schema = input_schema
+
+    def output_schema(self) -> Schema:
+        return Schema(
+            [
+                Field(name, aggregate_result_type(agg, self.input_schema))
+                for agg, name in self.measures
+            ]
+        )
+
+    def consume(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> None:
+        state.setdefault("chunks", []).append(chunk)
+
+    def finalize(self, ctx: ExecutionContext, state: dict) -> GTable:
+        chunks = state.get("chunks", [])
+        out_schema = self.output_schema()
+        if not chunks:
+            data = None
+        else:
+            data = chunks[0] if len(chunks) == 1 else concat_gtables(chunks)
+
+        columns = []
+        for (agg, name), field in zip(self.measures, out_schema):
+            value = self._reduce(agg, data)
+            if value is None:
+                col = fill_constant(ctx.device, 1, 0, field.dtype)
+                import numpy as np
+
+                col.validity = ctx.device.new_buffer(np.array([False]))
+                columns.append(col)
+            else:
+                columns.append(fill_constant(ctx.device, 1, value, field.dtype))
+        return GTable(out_schema, columns, ctx.device)
+
+    def _reduce(self, agg: AggregateCall, data: GTable | None):
+        if data is None or data.num_rows == 0:
+            return 0 if agg.op in ("count", "count_star") else None
+        if agg.op == "count_star":
+            return data.num_rows
+        col = expr_eval.evaluate_to_column(agg.arg, data)
+        op = agg.op
+        if op == "count" and agg.distinct:
+            op = "count_distinct"
+        if op == "avg":
+            op = "mean"
+        return reduce_column(col, op)
+
+    def describe(self) -> str:
+        return f"GlobalAgg({[n for _, n in self.measures]})"

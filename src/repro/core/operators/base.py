@@ -1,0 +1,155 @@
+"""Physical operator base classes and the execution context.
+
+Sirius uses a **push-based** model inside each pipeline (§3.2.2): the
+executor owns all state and pushes data into *stateless* operators.  An
+operator is therefore a small object holding only its parameters; any
+mutable execution state (hash tables, accumulated chunks) lives in the
+executor's pipeline state, keyed by slot ids.
+
+Each operator declares a ``category`` — the bucket its simulated time is
+attributed to.  These categories are exactly the Figure 5 legend: join,
+group-by, filter, aggregation, order-by, other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ...columnar import Schema, Table
+from ...gpu.device import Device
+from ...kernels import GTable
+from ..buffer_manager import BufferManager
+
+__all__ = [
+    "Category",
+    "ExecutionContext",
+    "PhysicalOperator",
+    "StreamingOperator",
+    "SinkOperator",
+    "SourceOperator",
+    "UnsupportedFeatureError",
+]
+
+
+class Category:
+    """Time-attribution buckets (the paper's Figure 5 legend)."""
+
+    JOIN = "join"
+    GROUPBY = "groupby"
+    FILTER = "filter"
+    AGGREGATION = "aggregation"
+    ORDERBY = "orderby"
+    OTHER = "other"
+
+    ALL = (JOIN, GROUPBY, FILTER, AGGREGATION, ORDERBY, OTHER)
+
+
+class UnsupportedFeatureError(NotImplementedError):
+    """Raised when a plan needs something the GPU engine does not support;
+    the Sirius API catches it and falls back to the host engine (§3.2.2)."""
+
+
+@dataclass
+class ExecutionContext:
+    """Everything operators need at runtime.
+
+    Attributes:
+        device: The execution device (GPU for Sirius, CPU for baselines
+            reusing this executor).
+        buffer_manager: Caching region + format conversion.
+        catalog: Host tables by name (the host database's storage).
+        registry: Operator-implementation registry (libcudf vs custom).
+        exchange: Exchange service for distributed runs; ``None`` single-node
+            (the paper: "in single-node deployments, this layer can be
+            bypassed entirely").
+        batch_rows: If set, sources push data in batches of this many rows
+            (the out-of-core/pipelined execution extension of §3.4).
+        node_id: This node's rank in a distributed run.
+    """
+
+    device: Device
+    buffer_manager: BufferManager
+    catalog: Mapping[str, Table]
+    registry: "OperatorRegistry"
+    exchange: object | None = None
+    batch_rows: int | None = None
+    node_id: int = 0
+
+
+class PhysicalOperator:
+    """Base physical operator; parameters only, no execution state."""
+
+    category: str = Category.OTHER
+
+    def output_schema(self) -> Schema:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class SourceOperator(PhysicalOperator):
+    """Produces input chunks for a pipeline."""
+
+    def chunks(self, ctx: ExecutionContext):
+        """Yield GTable chunks."""
+        raise NotImplementedError
+
+
+class StreamingOperator(PhysicalOperator):
+    """Transforms one chunk into another without cross-chunk state."""
+
+    def process(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> GTable | None:
+        """Transform a chunk; may return ``None`` to drop it entirely."""
+        raise NotImplementedError
+
+
+class SinkOperator(PhysicalOperator):
+    """Pipeline terminator: consumes all chunks, then finalises."""
+
+    def consume(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> None:
+        raise NotImplementedError
+
+    def finalize(self, ctx: ExecutionContext, state: dict) -> GTable | None:
+        """Produce the sink's materialised output (None for pure effects)."""
+        raise NotImplementedError
+
+
+class OperatorRegistry:
+    """Switchable operator implementations (§3.2.2's modular design).
+
+    Sirius lets developers swap an operator's implementation between GPU
+    libraries (libcudf) and custom CUDA kernels; this registry models that:
+    implementations are registered under ``(op_kind, impl_name)`` and the
+    active implementation per kind is selectable at runtime.
+    """
+
+    def __init__(self):
+        self._impls: dict[tuple[str, str], object] = {}
+        self._active: dict[str, str] = {}
+
+    def register(self, op_kind: str, impl_name: str, impl: object, make_active: bool = False):
+        self._impls[(op_kind, impl_name)] = impl
+        if make_active or op_kind not in self._active:
+            self._active[op_kind] = impl_name
+
+    def use(self, op_kind: str, impl_name: str) -> None:
+        if (op_kind, impl_name) not in self._impls:
+            raise KeyError(f"no implementation {impl_name!r} registered for {op_kind!r}")
+        self._active[op_kind] = impl_name
+
+    def get(self, op_kind: str):
+        name = self._active.get(op_kind)
+        if name is None:
+            raise KeyError(f"no implementation registered for {op_kind!r}")
+        return self._impls[(op_kind, name)]
+
+    def active_implementations(self) -> dict[str, str]:
+        return dict(self._active)
+
+    def available(self, op_kind: str) -> list[str]:
+        return [impl for kind, impl in self._impls if kind == op_kind]

@@ -1,0 +1,195 @@
+"""Physical planning: Substrait-style plans -> GPU pipelines.
+
+Mirrors §3.2.2: the plan is divided into **pipelines** at pipeline
+breakers (aggregations, sorts, and the build side of every hash join).
+Each pipeline is ``source -> streaming operators -> sink``; sinks
+materialise their output into named *slots* that downstream pipelines
+read (as their source, or as a hash-join build table).
+
+Fusions performed here:
+
+* ``Fetch(Sort(x))`` -> a single top-N sink;
+* ``Exchange`` relations are pass-through in single-node plans (the paper:
+  the exchange layer "can be bypassed entirely") — distributed fragments
+  replace them with exchange sinks/sources before reaching this planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..plan import (
+    AggregateRel,
+    ExchangeRel,
+    FetchRel,
+    FilterRel,
+    JoinRel,
+    Plan,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortRel,
+)
+from .operators.aggregate import GlobalAggSink, GroupBySink
+from .operators.base import SinkOperator, SourceOperator, StreamingOperator, UnsupportedFeatureError
+from .operators.join import HashJoinBuildSink, HashJoinProbe
+from .operators.scan import IntermediateSource, TableScan
+from .operators.sort import FetchSink, MaterializeSink, SortSink, TopNSink
+from .operators.streaming import FilterOp, ProjectOp
+
+__all__ = ["Pipeline", "PhysicalPlan", "compile_plan"]
+
+RESULT_SLOT = "__result__"
+
+
+@dataclass
+class Pipeline:
+    """One schedulable unit: a source, streaming operators, and a sink."""
+
+    pid: int
+    source: SourceOperator
+    operators: list[StreamingOperator]
+    sink: SinkOperator
+    output_slot: str
+    dependencies: set[int] = field(default_factory=set)
+
+    def used_slots(self) -> list[str]:
+        """Slots this pipeline reads (its source and any probe builds)."""
+        slots = []
+        if isinstance(self.source, IntermediateSource):
+            slots.append(self.source.slot)
+        for op in self.operators:
+            if isinstance(op, HashJoinProbe):
+                slots.append(op.build_slot)
+        return slots
+
+    def describe(self) -> str:
+        chain = " -> ".join(
+            [self.source.describe()] + [o.describe() for o in self.operators] + [self.sink.describe()]
+        )
+        deps = f" (after {sorted(self.dependencies)})" if self.dependencies else ""
+        return f"P{self.pid}: {chain} => {self.output_slot}{deps}"
+
+
+@dataclass
+class PhysicalPlan:
+    """All pipelines of a query plus slot bookkeeping."""
+
+    pipelines: list[Pipeline]
+    final_slot: str
+
+    def explain(self) -> str:
+        return "\n".join(p.describe() for p in self.pipelines)
+
+    def slot_consumers(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for p in self.pipelines:
+            for slot in p.used_slots():
+                counts[slot] = counts.get(slot, 0) + 1
+        return counts
+
+
+class _Compiler:
+    def __init__(self):
+        self.pipelines: list[Pipeline] = []
+        self._next_slot = 0
+
+    def fresh_slot(self, hint: str) -> str:
+        self._next_slot += 1
+        return f"{hint}_{self._next_slot}"
+
+    def add_pipeline(self, source, operators, sink, slot, deps) -> int:
+        pid = len(self.pipelines)
+        self.pipelines.append(Pipeline(pid, source, operators, sink, slot, set(deps)))
+        return pid
+
+    # Returns (source, streaming_ops, deps) for a sub-tree that has NOT yet
+    # been terminated by a sink.
+    def compile(self, rel: Relation):
+        if isinstance(rel, ReadRel):
+            scan = TableScan(rel.table_name, rel.base_schema, rel.projection, rel.filter_expr)
+            return scan, [], set()
+
+        if isinstance(rel, FilterRel):
+            source, ops, deps = self.compile(rel.input_rel)
+            ops.append(FilterOp(rel.condition, rel.input_rel.output_schema()))
+            return source, ops, deps
+
+        if isinstance(rel, ProjectRel):
+            source, ops, deps = self.compile(rel.input_rel)
+            ops.append(ProjectOp(rel.expressions, rel.names, rel.output_schema()))
+            return source, ops, deps
+
+        if isinstance(rel, JoinRel):
+            # Build side (right) becomes its own pipeline.
+            build_schema = rel.right.output_schema()
+            build_slot = self.fresh_slot("build")
+            b_source, b_ops, b_deps = self.compile(rel.right)
+            build_pid = self.add_pipeline(
+                b_source, b_ops, HashJoinBuildSink(build_slot, build_schema), build_slot, b_deps
+            )
+            # Probe side continues the current pipeline.
+            source, ops, deps = self.compile(rel.left)
+            ops.append(
+                HashJoinProbe(
+                    build_slot,
+                    rel.join_type,
+                    rel.left_keys,
+                    rel.right_keys,
+                    rel.left.output_schema(),
+                    build_schema,
+                    rel.post_filter,
+                )
+            )
+            deps = deps | {build_pid}
+            return source, ops, deps
+
+        if isinstance(rel, AggregateRel):
+            schema = rel.input_rel.output_schema()
+            if rel.group_indices:
+                sink = GroupBySink(rel.group_indices, rel.measures, schema)
+            else:
+                sink = GlobalAggSink(rel.measures, schema)
+            return self._break(rel.input_rel, sink, "agg")
+
+        if isinstance(rel, FetchRel) and isinstance(rel.input_rel, SortRel):
+            sort_rel = rel.input_rel
+            if rel.count is None:
+                sink = SortSink(sort_rel.sort_keys, sort_rel.input_rel.output_schema())
+            else:
+                sink = TopNSink(
+                    sort_rel.sort_keys, rel.count, rel.offset, sort_rel.input_rel.output_schema()
+                )
+            return self._break(sort_rel.input_rel, sink, "topn")
+
+        if isinstance(rel, SortRel):
+            sink = SortSink(rel.sort_keys, rel.input_rel.output_schema())
+            return self._break(rel.input_rel, sink, "sort")
+
+        if isinstance(rel, FetchRel):
+            sink = FetchSink(rel.offset, rel.count, rel.input_rel.output_schema())
+            return self._break(rel.input_rel, sink, "fetch")
+
+        if isinstance(rel, ExchangeRel):
+            # Single-node: bypass entirely.
+            return self.compile(rel.input_rel)
+
+        raise UnsupportedFeatureError(f"no physical operator for {type(rel).__name__}")
+
+    def _break(self, input_rel: Relation, sink: SinkOperator, hint: str):
+        """Terminate the input sub-tree into ``sink`` and continue from the
+        materialised slot."""
+        slot = self.fresh_slot(hint)
+        source, ops, deps = self.compile(input_rel)
+        pid = self.add_pipeline(source, ops, sink, slot, deps)
+        return IntermediateSource(slot, sink.output_schema()), [], {pid}
+
+
+def compile_plan(plan: Plan) -> PhysicalPlan:
+    """Compile a validated plan into pipelines ending in a result slot."""
+    compiler = _Compiler()
+    source, ops, deps = compiler.compile(plan.root)
+    compiler.add_pipeline(
+        source, ops, MaterializeSink(plan.root.output_schema()), RESULT_SLOT, deps
+    )
+    return PhysicalPlan(compiler.pipelines, RESULT_SLOT)

@@ -1,0 +1,24 @@
+"""Distributed substrate: cluster, fragmentation, exchange, execution."""
+
+from .cluster import Cluster, ClusterNode, PARTITION_KEYS, REPLICATED_TABLES, partition_table
+from .engine import DistributedExecutor, DistributedResult
+from .fragments import (
+    DistributedPlanner,
+    DistributedUnsupportedError,
+    ExchangeSpec,
+    Fragment,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "DistributedExecutor",
+    "DistributedPlanner",
+    "DistributedResult",
+    "DistributedUnsupportedError",
+    "ExchangeSpec",
+    "Fragment",
+    "PARTITION_KEYS",
+    "REPLICATED_TABLES",
+    "partition_table",
+]

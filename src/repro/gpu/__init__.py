@@ -1,0 +1,56 @@
+"""Simulated GPU substrate: devices, memory, cost model, and collectives."""
+
+from .buffer import DeviceBuffer
+from .clock import SimClock
+from .costmodel import CostBreakdown, KernelClass, KernelCostModel
+from .device import Device
+from .memory import DeviceMemory, OutOfDeviceMemory
+from .nccl import Communicator, Fabric, INFINIBAND_NDR, ETHERNET_100G, NVLINK_P2P
+from .rmm import Allocation, PoolAllocator, PoolStats
+from .specs import (
+    A100_40G,
+    C6A_METAL,
+    DeviceSpec,
+    GH200,
+    GRACE_CPU,
+    H100_80G,
+    InstanceSpec,
+    M7I_16XLARGE,
+    M7I_CPU,
+    TABLE1_INSTANCES,
+    TRENDS,
+    XEON_6526Y,
+    trend_cagr,
+)
+
+__all__ = [
+    "A100_40G",
+    "Allocation",
+    "C6A_METAL",
+    "Communicator",
+    "CostBreakdown",
+    "Device",
+    "DeviceBuffer",
+    "DeviceMemory",
+    "DeviceSpec",
+    "ETHERNET_100G",
+    "Fabric",
+    "GH200",
+    "GRACE_CPU",
+    "H100_80G",
+    "INFINIBAND_NDR",
+    "InstanceSpec",
+    "KernelClass",
+    "KernelCostModel",
+    "M7I_16XLARGE",
+    "M7I_CPU",
+    "NVLINK_P2P",
+    "OutOfDeviceMemory",
+    "PoolAllocator",
+    "PoolStats",
+    "SimClock",
+    "TABLE1_INSTANCES",
+    "TRENDS",
+    "XEON_6526Y",
+    "trend_cagr",
+]

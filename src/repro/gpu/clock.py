@@ -1,0 +1,90 @@
+"""Simulated time.
+
+Every kernel launch, interconnect transfer, and network message in the
+reproduction advances a :class:`SimClock` by an analytically-modelled
+duration instead of (only) consuming wall-clock time.  This makes the
+benchmark results deterministic and lets a laptop report the *shape* of
+GH200-class numbers.
+
+The clock also supports named accounting buckets so the executor can
+produce the per-operator breakdowns of the paper's Figure 5 and Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock with attribution buckets."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._buckets: dict[str, float] = defaultdict(float)
+        self._category_stack: list[str] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since clock creation."""
+        return self._now
+
+    def advance(self, seconds: float, category: str | None = None) -> None:
+        """Advance simulated time.
+
+        Args:
+            seconds: Duration to add; must be non-negative.
+            category: Optional bucket to attribute the time to.  If omitted
+                and a category scope is active (see :meth:`attributed`),
+                the innermost scope receives the time.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}s")
+        self._now += seconds
+        if category is None and self._category_stack:
+            category = self._category_stack[-1]
+        if category is not None:
+            self._buckets[category] += seconds
+
+    def advance_to(self, timestamp: float, category: str | None = None) -> None:
+        """Advance the clock to an absolute simulated time if it is in the
+        future; no-op otherwise.
+
+        Used by collective operations in the distributed layer: a barrier
+        aligns every participating node's clock to the latest arrival, and
+        the waiting time is attributed (e.g. to ``"exchange"``).
+        """
+        if timestamp > self._now:
+            self.advance(timestamp - self._now, category)
+
+    @contextmanager
+    def attributed(self, category: str) -> Iterator[None]:
+        """Attribute all un-categorised advances inside the scope to
+        ``category``.  Scopes nest; the innermost wins."""
+        self._category_stack.append(category)
+        try:
+            yield
+        finally:
+            self._category_stack.pop()
+
+    def bucket(self, category: str) -> float:
+        """Total seconds attributed to ``category`` so far."""
+        return self._buckets.get(category, 0.0)
+
+    def buckets(self) -> dict[str, float]:
+        """Snapshot of all attribution buckets."""
+        return dict(self._buckets)
+
+    def reset_buckets(self) -> None:
+        """Clear attribution buckets without touching the clock itself."""
+        self._buckets.clear()
+
+    def elapsed_since(self, mark: float) -> float:
+        """Seconds elapsed since a previously-sampled :attr:`now`."""
+        return self._now - mark
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f}s, buckets={len(self._buckets)})"

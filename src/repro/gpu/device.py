@@ -1,0 +1,162 @@
+"""The simulated execution device.
+
+A :class:`Device` bundles everything the engine needs from "a GPU":
+
+* a :class:`~repro.gpu.clock.SimClock` that kernel launches and transfers
+  advance;
+* a **caching region** (plain byte accounting — Sirius pre-allocates it and
+  fills it with cached input columns);
+* a **processing region** managed by an RMM-style
+  :class:`~repro.gpu.rmm.PoolAllocator` for intermediates;
+* the :class:`~repro.gpu.costmodel.KernelCostModel` for that device's spec;
+* host-interconnect transfer charging (PCIe / NVLink-C2C).
+
+CPU devices use the same machinery with CPU-calibrated specs, which is how
+the cost-normalised baselines of Figure 4 are produced.
+
+The memory split follows the paper's evaluation setup: *"We dedicate 50% of
+each GPU memory for data caching, and the other half for data processing."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .buffer import DeviceBuffer
+from .clock import SimClock
+from .costmodel import CostBreakdown, KernelCostModel
+from .memory import DeviceMemory, OutOfDeviceMemory
+from .rmm import Allocation, PoolAllocator
+from .specs import GB, DeviceSpec
+
+__all__ = ["Device", "OutOfDeviceMemory"]
+
+
+class Device:
+    """One simulated CPU or GPU execution device."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        clock: SimClock | None = None,
+        caching_fraction: float = 0.5,
+        memory_limit_gb: float | None = None,
+        device_id: int = 0,
+    ):
+        """
+        Args:
+            spec: Hardware parameters (see :mod:`repro.gpu.specs`).
+            clock: Shared simulated clock; a private one is created if
+                omitted (single-device runs).
+            caching_fraction: Fraction of device memory given to the data
+                caching region; the rest becomes the processing pool.
+            memory_limit_gb: Override the spec's memory size (useful for
+                forcing OOM/spill paths in tests).
+            device_id: Identifier within a node (multi-GPU extension).
+        """
+        if not 0.0 < caching_fraction < 1.0:
+            raise ValueError("caching_fraction must be in (0, 1)")
+        self.spec = spec
+        self.device_id = device_id
+        self.clock = clock if clock is not None else SimClock()
+        self.cost_model = KernelCostModel(spec)
+        total = int((memory_limit_gb if memory_limit_gb is not None else spec.memory_gb) * GB)
+        cache_bytes = int(total * caching_fraction)
+        self.caching_region = DeviceMemory(cache_bytes, region="caching")
+        self.processing_pool = PoolAllocator(total - cache_bytes)
+        self.kernel_count = 0
+        self.htod_bytes = 0
+        self.dtoh_bytes = 0
+
+    # -- kernel execution -----------------------------------------------------
+
+    def launch(
+        self,
+        kclass: str,
+        bytes_in: int,
+        bytes_out: int,
+        rows: int,
+        num_groups: int | None = None,
+    ) -> CostBreakdown:
+        """Charge one kernel launch to the simulated clock and return its
+        cost breakdown.  The caller performs the actual NumPy work."""
+        cost = self.cost_model.kernel_cost(kclass, bytes_in, bytes_out, rows, num_groups)
+        self.clock.advance(cost.total)
+        self.kernel_count += 1
+        return cost
+
+    # -- transfers ---------------------------------------------------------------
+
+    def htod(self, nbytes: int) -> float:
+        """Charge a host-to-device transfer; returns the simulated seconds."""
+        seconds = self.cost_model.transfer_cost(nbytes)
+        self.clock.advance(seconds, category="transfer")
+        self.htod_bytes += nbytes
+        return seconds
+
+    def dtoh(self, nbytes: int) -> float:
+        """Charge a device-to-host transfer; returns the simulated seconds."""
+        seconds = self.cost_model.transfer_cost(nbytes)
+        self.clock.advance(seconds, category="transfer")
+        self.dtoh_bytes += nbytes
+        return seconds
+
+    # -- buffers ---------------------------------------------------------------
+
+    def new_buffer(
+        self,
+        array: np.ndarray,
+        region: str = "processing",
+        account_nbytes: int | None = None,
+    ) -> DeviceBuffer:
+        """Place ``array`` on the device, accounting its bytes to ``region``.
+
+        ``account_nbytes`` overrides the accounted size (used by the
+        caching region's compression extension, where the stored footprint
+        is smaller than the logical array).
+
+        Raises:
+            OutOfDeviceMemory: When the region cannot hold the bytes.
+        """
+        array = np.ascontiguousarray(array)
+        size = int(array.nbytes) if account_nbytes is None else int(account_nbytes)
+        if region == "processing":
+            allocation = self.processing_pool.allocate(size)
+            return DeviceBuffer(array, self, region, allocation, size)
+        if region == "caching":
+            self.caching_region.allocate(size)
+            return DeviceBuffer(array, self, region, None, size)
+        raise ValueError(f"unknown memory region {region!r}")
+
+    def release_buffer(self, buffer: DeviceBuffer, allocation: Allocation | None) -> None:
+        """Called by :meth:`DeviceBuffer.free`; not for direct use."""
+        if buffer.region == "processing":
+            if allocation is not None:
+                self.processing_pool.free(allocation)
+        else:
+            self.caching_region.free(buffer.nbytes)
+
+    def reset_processing_pool(self) -> None:
+        """Recycle the RMM pool between queries (all intermediates freed)."""
+        self.processing_pool.reset()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.spec.kind == "gpu"
+
+    def memory_report(self) -> dict[str, int]:
+        """Snapshot of both regions for diagnostics and tests."""
+        pool = self.processing_pool.stats()
+        return {
+            "caching_capacity": self.caching_region.capacity,
+            "caching_used": self.caching_region.used,
+            "caching_peak": self.caching_region.peak,
+            "processing_capacity": pool.capacity,
+            "processing_used": pool.in_use,
+            "processing_peak": pool.peak_in_use,
+        }
+
+    def __repr__(self) -> str:
+        return f"Device({self.spec.name}, id={self.device_id})"

@@ -1,0 +1,178 @@
+"""NCCL-style collectives over a simulated fabric.
+
+The paper's exchange service layer implements broadcast, shuffle, merge and
+multi-cast on NCCL primitives running over PCIe / NVLink / InfiniBand.
+Here, each participating device keeps its *own* simulated clock (nodes
+compute in parallel); a collective is a synchronisation point:
+
+1. every rank "arrives" at its local time;
+2. the collective completes at ``max(arrival) + comm_time``;
+3. every rank's clock is advanced to the completion time, with the waiting
+   + wire time attributed to the ``"exchange"`` bucket.
+
+``comm_time`` follows the standard alpha-beta model: per-message latency
+(alpha) plus bytes over per-link bandwidth (beta), with the bottleneck rank
+(max bytes in or out) setting the pace for all-to-all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .clock import SimClock
+
+__all__ = ["Fabric", "Communicator", "INFINIBAND_NDR", "ETHERNET_100G", "NVLINK_P2P"]
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """A point-to-point interconnect between ranks.
+
+    Attributes:
+        name: Human-readable name.
+        bandwidth_gbps: Per-link, per-direction bandwidth in GB/s.
+        latency_us: Per-message latency in microseconds.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_us: float
+
+    @property
+    def bandwidth(self) -> float:
+        return self.bandwidth_gbps * GB
+
+    @property
+    def latency(self) -> float:
+        return self.latency_us * 1e-6
+
+
+# 4x NDR InfiniBand = 400 Gbps ~= 50 GB/s per node (the paper's A100 cluster).
+INFINIBAND_NDR = Fabric("InfiniBand 4x NDR", 50.0, 3.0)
+ETHERNET_100G = Fabric("100 GbE", 12.5, 10.0)
+NVLINK_P2P = Fabric("NVLink peer-to-peer", 300.0, 1.5)
+
+EXCHANGE_CATEGORY = "exchange"
+
+
+class Communicator:
+    """A fixed group of ranks that synchronise through collectives.
+
+    ``fabric_for(i, j)`` optionally overrides the link between a specific
+    rank pair — the multi-GPU-per-node extension: ranks on the same host
+    talk over NVLink peer links while cross-host traffic rides the default
+    fabric, exactly how NCCL picks transports.
+    """
+
+    def __init__(
+        self,
+        clocks: Sequence[SimClock],
+        fabric: Fabric,
+        fabric_for=None,
+    ):
+        if not clocks:
+            raise ValueError("communicator needs at least one rank")
+        self._clocks = list(clocks)
+        self.fabric = fabric
+        self._fabric_for = fabric_for
+        self.bytes_on_wire = 0
+        self.collective_count = 0
+
+    def link(self, src: int, dst: int) -> Fabric:
+        """The fabric used between two ranks."""
+        if self._fabric_for is not None:
+            override = self._fabric_for(src, dst)
+            if override is not None:
+                return override
+        return self.fabric
+
+    @property
+    def world_size(self) -> int:
+        return len(self._clocks)
+
+    # -- internals ----------------------------------------------------------
+
+    def _complete(self, comm_seconds: float, nbytes: int) -> float:
+        """Advance all ranks to ``max(arrivals) + comm_seconds``."""
+        start = max(c.now for c in self._clocks)
+        end = start + comm_seconds
+        for clock in self._clocks:
+            clock.advance_to(end, category=EXCHANGE_CATEGORY)
+        self.bytes_on_wire += nbytes
+        self.collective_count += 1
+        return comm_seconds
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> float:
+        """Synchronise all ranks with a latency-only round."""
+        return self._complete(self.fabric.latency, 0)
+
+    def broadcast(self, root: int, nbytes: int) -> float:
+        """Pipelined broadcast of ``nbytes`` from ``root`` to all ranks.
+
+        With heterogeneous links the slowest receiver paces the pipeline.
+        """
+        self._check_rank(root)
+        if self.world_size == 1:
+            return self._complete(0.0, 0)
+        links = [self.link(root, r) for r in range(self.world_size) if r != root]
+        slowest = min(l.bandwidth for l in links)
+        latency = max(l.latency for l in links)
+        seconds = latency + nbytes / slowest
+        return self._complete(seconds, nbytes * (self.world_size - 1))
+
+    def all_to_all(self, bytes_matrix: Sequence[Sequence[int]]) -> float:
+        """Full shuffle: rank ``i`` sends ``bytes_matrix[i][j]`` to rank ``j``.
+
+        Diagonal entries (data staying local) are free.  The bottleneck rank
+        — max of per-rank bytes sent or received — sets the duration.
+        """
+        n = self.world_size
+        if len(bytes_matrix) != n or any(len(row) != n for row in bytes_matrix):
+            raise ValueError(f"bytes_matrix must be {n}x{n}")
+        # Per-rank serialised send/recv time over the (possibly per-pair)
+        # links; the bottleneck rank paces the collective.
+        send_time = [0.0] * n
+        recv_time = [0.0] * n
+        wire_bytes = 0
+        for i in range(n):
+            for j in range(n):
+                if i == j or not bytes_matrix[i][j]:
+                    continue
+                link = self.link(i, j)
+                t = bytes_matrix[i][j] / link.bandwidth
+                send_time[i] += t
+                recv_time[j] += t
+                wire_bytes += bytes_matrix[i][j]
+        bottleneck = max(max(send_time, default=0.0), max(recv_time, default=0.0))
+        seconds = self.fabric.latency * max(n - 1, 1) + bottleneck
+        return self._complete(seconds, wire_bytes)
+
+    def gather(self, root: int, nbytes_per_rank: Sequence[int]) -> float:
+        """Gather (merge pattern): every rank sends its bytes to ``root``."""
+        self._check_rank(root)
+        if len(nbytes_per_rank) != self.world_size:
+            raise ValueError("need one byte count per rank")
+        incoming = sum(b for r, b in enumerate(nbytes_per_rank) if r != root)
+        seconds = self.fabric.latency + incoming / self.fabric.bandwidth
+        return self._complete(seconds, incoming)
+
+    def multicast(self, root: int, targets: Sequence[int], nbytes: int) -> float:
+        """Send ``nbytes`` from ``root`` to a subset of ranks."""
+        self._check_rank(root)
+        remote = [t for t in targets if t != root]
+        for t in remote:
+            self._check_rank(t)
+        if not remote:
+            return self._complete(0.0, 0)
+        # Root's egress link serialises distinct destinations.
+        seconds = self.fabric.latency + nbytes * len(remote) / self.fabric.bandwidth
+        return self._complete(seconds, nbytes * len(remote))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range (world size {self.world_size})")

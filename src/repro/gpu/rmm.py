@@ -1,0 +1,192 @@
+"""An RMM-style pool sub-allocator for the data-processing region.
+
+The paper's Sirius uses the RAPIDS Memory Manager pool allocator for the
+device region that holds intermediate results (hash tables, join outputs,
+...), avoiding per-kernel cudaMalloc overhead.  This reproduction models
+the same discipline: one pre-allocated arena, first-fit free-list
+sub-allocation with block splitting and coalescing on free, and
+out-of-memory errors that surface exactly where a real pool would OOM.
+
+Offsets are simulated (no backing storage lives here — actual values live
+in NumPy arrays owned by :class:`~repro.gpu.buffer.DeviceBuffer`); the
+allocator exists so that capacity pressure, fragmentation, and peak usage
+behave like the real system's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import OutOfDeviceMemory
+
+__all__ = ["PoolAllocator", "PoolStats", "Allocation"]
+
+_ALIGNMENT = 256  # CUDA allocation alignment
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live sub-allocation: arena offset + rounded size + pool generation."""
+
+    offset: int
+    size: int
+    generation: int = 0
+
+
+@dataclass
+class PoolStats:
+    """Counters describing pool health."""
+
+    capacity: int
+    in_use: int
+    peak_in_use: int
+    num_allocs: int
+    num_frees: int
+    free_blocks: int
+    largest_free_block: int
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free bytes); 0 when unfragmented."""
+        free = self.capacity - self.in_use
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+
+class PoolAllocator:
+    """First-fit free-list allocator over a fixed arena."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = _round_up(capacity)
+        # Sorted list of (offset, size) free blocks.
+        self._free: list[tuple[int, int]] = [(0, self.capacity)]
+        self._live: dict[int, int] = {}  # offset -> size
+        self._in_use = 0
+        self._peak = 0
+        self._num_allocs = 0
+        self._num_frees = 0
+        self.generation = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> Allocation:
+        """Allocate ``nbytes`` (rounded up to 256-byte alignment).
+
+        Raises:
+            OutOfDeviceMemory: If no free block can satisfy the request —
+                either genuine exhaustion or fragmentation.
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        size = max(_round_up(nbytes), _ALIGNMENT)
+        for i, (offset, block) in enumerate(self._free):
+            if block >= size:
+                if block == size:
+                    del self._free[i]
+                else:
+                    self._free[i] = (offset + size, block - size)
+                self._live[offset] = size
+                self._in_use += size
+                self._peak = max(self._peak, self._in_use)
+                self._num_allocs += 1
+                return Allocation(offset, size, self.generation)
+        raise OutOfDeviceMemory(size, self.capacity - self._in_use, "processing pool")
+
+    def reset(self) -> None:
+        """Release every live allocation at once (inter-query pool reset).
+
+        This is how the engine reclaims all of a query's intermediates:
+        chunk-level temporaries freely share buffers, so wholesale reset is
+        both simpler and closer to how RMM pools are actually recycled.
+        Outstanding :class:`Allocation` handles become stale; freeing one
+        afterwards is a no-op (see :meth:`free`).
+        """
+        self._free = [(0, self.capacity)]
+        self._live.clear()
+        self._in_use = 0
+        self.generation += 1
+
+    def free(self, alloc: Allocation) -> None:
+        """Return an allocation to the pool, coalescing with neighbours.
+
+        Allocations from before the last :meth:`reset` are stale and are
+        ignored.
+        """
+        if alloc.generation != self.generation:
+            return
+        size = self._live.pop(alloc.offset, None)
+        if size is None:
+            raise ValueError(f"double free or unknown allocation at offset {alloc.offset}")
+        if size != alloc.size:
+            raise ValueError("allocation record does not match live table")
+        self._in_use -= size
+        self._num_frees += 1
+        self._insert_free(alloc.offset, size)
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        # Binary insert then coalesce with adjacent blocks.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (offset, size))
+        # Coalesce right neighbour.
+        if lo + 1 < len(self._free):
+            nxt_off, nxt_size = self._free[lo + 1]
+            if offset + size == nxt_off:
+                self._free[lo] = (offset, size + nxt_size)
+                del self._free[lo + 1]
+        # Coalesce left neighbour.
+        if lo > 0:
+            prev_off, prev_size = self._free[lo - 1]
+            cur_off, cur_size = self._free[lo]
+            if prev_off + prev_size == cur_off:
+                self._free[lo - 1] = (prev_off, prev_size + cur_size)
+                del self._free[lo]
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def stats(self) -> PoolStats:
+        largest = max((s for _, s in self._free), default=0)
+        return PoolStats(
+            capacity=self.capacity,
+            in_use=self._in_use,
+            peak_in_use=self._peak,
+            num_allocs=self._num_allocs,
+            num_frees=self._num_frees,
+            free_blocks=len(self._free),
+            largest_free_block=largest,
+        )
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency; used by property-based tests."""
+        blocks = sorted(self._free) + sorted((o, s) for o, s in self._live.items())
+        blocks.sort()
+        cursor = 0
+        for offset, size in blocks:
+            if offset < cursor:
+                raise AssertionError(f"overlapping blocks at offset {offset}")
+            cursor = offset + size
+        if cursor > self.capacity:
+            raise AssertionError("blocks extend past arena end")
+        total = sum(s for _, s in self._free) + sum(self._live.values())
+        if total != self.capacity:
+            raise AssertionError(f"bytes leaked: accounted {total} != {self.capacity}")
+
+
+def _round_up(n: int) -> int:
+    return (n + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT

@@ -1,0 +1,230 @@
+"""Hardware catalog: the instances, devices, and trend data the paper cites.
+
+This module is the single source of truth for
+
+* **Table 1** — the CPU-vs-GPU instance comparison (cores, memory bandwidth,
+  memory size, rental cost);
+* **Figure 1** — hardware trend series (GPU memory per generation, CPU-GPU
+  interconnect bandwidth, storage bandwidth, network bandwidth);
+* the calibrated parameters of the simulated devices used everywhere else
+  (HBM/DRAM bandwidth, interconnect links, kernel-launch overheads).
+
+All bandwidths are GB/s (decimal), memory sizes GB, costs $/hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InstanceSpec",
+    "DeviceSpec",
+    "GH200",
+    "A100_40G",
+    "H100_80G",
+    "C6A_METAL",
+    "M7I_16XLARGE",
+    "XEON_6526Y",
+    "GRACE_CPU",
+    "TABLE1_INSTANCES",
+    "TRENDS",
+]
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A rentable machine, as compared in the paper's Table 1."""
+
+    name: str
+    vendor: str
+    kind: str  # "cpu" | "gpu"
+    cores: int  # vCPUs or CUDA cores
+    memory_bw_gbps: float  # GB/s
+    memory_gb: float
+    cost_per_hour: float
+    cloud: str
+
+    @property
+    def bandwidth_per_dollar(self) -> float:
+        """GB/s of memory bandwidth per $/hour — the paper's cost-normalised
+        lens on why GPUs win."""
+        return self.memory_bw_gbps / self.cost_per_hour
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated execution device.
+
+    The analytical cost model (``repro.gpu.costmodel``) consumes these:
+
+    Attributes:
+        name: Marketing name.
+        kind: ``"gpu"`` or ``"cpu"``.
+        memory_gb: Device-resident memory capacity (HBM for GPUs, DRAM for
+            CPU devices).
+        memory_bw_gbps: Streaming read/write bandwidth of that memory.
+        random_access_efficiency: Fraction of streaming bandwidth achieved
+            by data-dependent (hash probe / gather) access patterns.
+        row_throughput_grows: Peak rows/second (in billions) the device can
+            push through a simple elementwise kernel; models the compute
+            side for very narrow rows.
+        kernel_launch_us: Fixed overhead per kernel launch (GPU) or per
+            operator/morsel dispatch (CPU).
+        interconnect_gbps: Host link bandwidth — PCIe or NVLink-C2C for
+            GPUs; effectively infinite (same memory) for CPU devices.
+        interconnect_latency_us: One-way latency of the host link.
+    """
+
+    name: str
+    kind: str
+    memory_gb: float
+    memory_bw_gbps: float
+    random_access_efficiency: float
+    row_throughput_grows: float
+    kernel_launch_us: float
+    interconnect_gbps: float
+    interconnect_latency_us: float
+
+
+# ---------------------------------------------------------------------------
+# Table 1 instances
+# ---------------------------------------------------------------------------
+
+C6A_METAL = InstanceSpec(
+    name="c6a.metal (AMD EPYC)", vendor="AMD", kind="cpu",
+    cores=192, memory_bw_gbps=400.0, memory_gb=384.0,
+    cost_per_hour=7.344, cloud="AWS",
+)
+M7I_16XLARGE = InstanceSpec(
+    name="m7i.16xlarge (Intel Xeon)", vendor="Intel", kind="cpu",
+    cores=64, memory_bw_gbps=300.0, memory_gb=256.0,
+    cost_per_hour=3.2, cloud="AWS",
+)
+GH200_INSTANCE = InstanceSpec(
+    name="GH200 (NVIDIA Grace-Hopper)", vendor="NVIDIA", kind="gpu",
+    cores=14592, memory_bw_gbps=3000.0, memory_gb=96.0,
+    cost_per_hour=3.2, cloud="Lambda Labs",
+)
+
+TABLE1_INSTANCES = (C6A_METAL, GH200_INSTANCE)
+
+# ---------------------------------------------------------------------------
+# Simulated devices (evaluation §4.1 hardware)
+# ---------------------------------------------------------------------------
+
+GH200 = DeviceSpec(
+    name="NVIDIA GH200 Hopper", kind="gpu",
+    memory_gb=92.0, memory_bw_gbps=3000.0,
+    random_access_efficiency=0.25, row_throughput_grows=20.0,
+    kernel_launch_us=6.0,
+    interconnect_gbps=450.0,  # NVLink-C2C, per direction
+    interconnect_latency_us=2.0,
+)
+
+A100_40G = DeviceSpec(
+    name="NVIDIA A100 40GB", kind="gpu",
+    memory_gb=40.0, memory_bw_gbps=1550.0,
+    random_access_efficiency=0.25, row_throughput_grows=12.0,
+    kernel_launch_us=6.0,
+    interconnect_gbps=25.6,  # PCIe4 x16, per direction
+    interconnect_latency_us=5.0,
+)
+
+H100_80G = DeviceSpec(
+    name="NVIDIA H100 80GB", kind="gpu",
+    memory_gb=80.0, memory_bw_gbps=3350.0,
+    random_access_efficiency=0.25, row_throughput_grows=22.0,
+    kernel_launch_us=6.0,
+    interconnect_gbps=64.0,  # PCIe5 x16
+    interconnect_latency_us=4.0,
+)
+
+# CPU "devices": the cost-equivalent machines the baselines run on.  Memory
+# is DRAM, interconnect is a no-op (data is already host-resident).
+
+M7I_CPU = DeviceSpec(
+    name="m7i.16xlarge CPU device", kind="cpu",
+    memory_gb=256.0, memory_bw_gbps=300.0,
+    random_access_efficiency=0.35, row_throughput_grows=1.6,
+    kernel_launch_us=1.0,
+    interconnect_gbps=300.0, interconnect_latency_us=0.1,
+)
+
+XEON_6526Y = DeviceSpec(
+    name="Intel Xeon Gold 6526Y (64 cores)", kind="cpu",
+    memory_gb=512.0, memory_bw_gbps=280.0,
+    random_access_efficiency=0.35, row_throughput_grows=1.4,
+    kernel_launch_us=1.0,
+    interconnect_gbps=280.0, interconnect_latency_us=0.1,
+)
+
+GRACE_CPU = DeviceSpec(
+    name="NVIDIA Grace (72 Neoverse cores)", kind="cpu",
+    memory_gb=480.0, memory_bw_gbps=500.0,
+    random_access_efficiency=0.35, row_throughput_grows=1.5,
+    kernel_launch_us=1.0,
+    interconnect_gbps=500.0, interconnect_latency_us=0.1,
+)
+
+# ---------------------------------------------------------------------------
+# Figure 1 trend series
+# ---------------------------------------------------------------------------
+
+TRENDS: dict[str, list[tuple[int, str, float]]] = {
+    # (year, label, GB) — GPU device memory per generation (Fig. 1a)
+    "gpu_memory_gb": [
+        (2014, "K80 (Kepler)", 24.0),
+        (2016, "P100 (Pascal)", 16.0),
+        (2017, "V100 (Volta)", 32.0),
+        (2020, "A100 (Ampere)", 80.0),
+        (2022, "H100 (Hopper)", 96.0),
+        (2023, "H200 (Hopper)", 141.0),
+        (2024, "B200 (Blackwell)", 192.0),
+        (2025, "B300 Ultra (Blackwell)", 288.0),
+    ],
+    # (year, label, GB/s) — CPU<->GPU interconnect bandwidth (Fig. 1b)
+    "interconnect_gbps": [
+        (2012, "PCIe 3.0 x16", 16.0),
+        (2017, "PCIe 4.0 x16", 32.0),
+        (2019, "PCIe 5.0 x16", 64.0),
+        (2022, "NVLink-C2C", 900.0),
+        (2024, "PCIe 6.0 x16", 128.0),
+    ],
+    # (year, label, GB/s) — storage bandwidth reachable by a GPU (Fig. 1c)
+    "storage_gbps": [
+        (2014, "NVMe PCIe3 SSD", 3.5),
+        (2018, "NVMe PCIe4 SSD", 7.0),
+        (2021, "NVMe PCIe5 SSD", 14.0),
+        (2023, "GPUDirect Storage array", 50.0),
+        (2025, "S3 over RDMA", 200.0),
+    ],
+    # (year, label, GB/s) — network bandwidth per node (Fig. 1d)
+    "network_gbps": [
+        (2014, "40 GbE", 5.0),
+        (2016, "100 GbE / EDR IB", 12.5),
+        (2018, "200 Gb HDR IB", 25.0),
+        (2021, "400 Gb NDR IB", 50.0),
+        (2024, "800 Gb XDR IB", 100.0),
+    ],
+    # (year, label, $/h) — H100 on-demand price decline (§2.1)
+    "h100_price_per_hour": [
+        (2023, "H100 launch (Mar 2023)", 8.0),
+        (2024, "H100 mid-2024", 4.5),
+        (2025, "H100 2025", 3.0),
+    ],
+}
+
+
+def trend_cagr(series: str) -> float:
+    """Compound annual growth rate of a Figure 1 trend series.
+
+    For the price series the value is negative (prices decline).
+    """
+    points = TRENDS[series]
+    (y0, _, v0), (y1, _, v1) = points[0], points[-1]
+    years = y1 - y0
+    if years <= 0:
+        raise ValueError(f"trend {series!r} spans no time")
+    return (v1 / v0) ** (1.0 / years) - 1.0

@@ -1,0 +1,101 @@
+"""ClickLite: the ClickHouse-style baseline.
+
+Reproduces the planning behaviours the paper's evaluation attributes to
+ClickHouse:
+
+* **no correlated subqueries** — the planner rejects them; the benchmark
+  harness substitutes the decorrelated rewrites (the paper: "we rewrite
+  queries containing subquery correlation for compatibility");
+* **no join reordering** — joins execute in FROM-clause order, and the
+  build side is never swapped to the smaller input.  On TPC-H this is
+  what makes join-heavy queries degrade (Q2, Q5, Q10, ...) and makes Q9 —
+  whose written order starts with two tables that share no join edge —
+  effectively never finish;
+* Q21 is **unsupported** outright;
+* a fast scan/aggregation path — ClickHouse beats the row-at-a-time
+  competition on scan-heavy queries (Q1/Q6 vs Doris in Table 2), modelled
+  as a higher streaming row throughput in the device spec.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..columnar import Table
+from ..gpu.device import Device
+from ..gpu.specs import DeviceSpec, M7I_CPU
+from ..sql import SqlPlanner, SqlPlanningError, TableStats
+from ..sql.optimizer import prune_columns
+from ..plan import Plan
+from ..tpch.queries import CLICKHOUSE_UNSUPPORTED
+from .cpu_engine import CpuEngine
+from .miniduck import QueryResult
+
+__all__ = ["ClickLite", "CLICKLITE_SPEC", "UnsupportedQueryError"]
+
+# Same machine class as MiniDuck's, but with ClickHouse's operator
+# profile: a stronger vectorised scan path (higher streaming row
+# throughput) and a much weaker hash-join path — ClickHouse's join builds
+# the right side serially without radix partitioning, achieving a small
+# fraction of the machine's random-access bandwidth.  This pair of
+# coefficients is what produces the paper's observation that ClickHouse
+# wins on scan-heavy queries (Q1/Q6 vs Doris) yet collapses on join-heavy
+# ones (Q2, Q5, Q10, ...).
+CLICKLITE_SPEC = DeviceSpec(
+    name="ClickLite CPU device (m7i.16xlarge)",
+    kind="cpu",
+    memory_gb=M7I_CPU.memory_gb,
+    memory_bw_gbps=M7I_CPU.memory_bw_gbps,
+    random_access_efficiency=0.12,
+    row_throughput_grows=1.8,
+    kernel_launch_us=M7I_CPU.kernel_launch_us,
+    interconnect_gbps=M7I_CPU.interconnect_gbps,
+    interconnect_latency_us=M7I_CPU.interconnect_latency_us,
+)
+
+
+class UnsupportedQueryError(ValueError):
+    """The query uses a feature ClickLite does not implement."""
+
+
+class ClickLite:
+    """A column-store baseline with ClickHouse-style planning limits."""
+
+    def __init__(self, spec: DeviceSpec = CLICKLITE_SPEC, max_intermediate_rows: int = 4_000_000):
+        """``max_intermediate_rows`` bounds join blow-ups; the written-order
+        cross join in Q9 exceeds any reasonable budget, reproducing the
+        paper's "Q9 does not finish"."""
+        self.device = Device(spec)
+        self.cpu_engine = CpuEngine(
+            self.device,
+            max_intermediate_rows=max_intermediate_rows,
+            materialize_joins=True,
+        )
+        self.tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, table: Table) -> None:
+        self.tables[name] = table
+
+    def load_tables(self, tables: Mapping[str, Table]) -> None:
+        for name, table in tables.items():
+            self.create_table(name, table)
+
+    def plan(self, sql: str) -> Plan:
+        stats = {n: TableStats(t.schema, t.num_rows) for n, t in self.tables.items()}
+        planner = SqlPlanner(
+            stats, reorder_joins=False, allow_correlated_subqueries=False
+        )
+        try:
+            plan = planner.plan_sql(sql)
+        except SqlPlanningError as exc:
+            raise UnsupportedQueryError(str(exc)) from exc
+        # ClickHouse prunes columns aggressively but keeps the join order.
+        return Plan(prune_columns(plan.root), plan.version)
+
+    def execute(self, sql: str) -> QueryResult:
+        plan = self.plan(sql)
+        table = self.cpu_engine.execute(plan, self.tables)
+        return QueryResult(table, "clicklite", self.cpu_engine.last_sim_seconds)
+
+    def supports_tpch(self, query_number: int) -> bool:
+        return query_number not in CLICKHOUSE_UNSUPPORTED

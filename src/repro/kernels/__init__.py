@@ -1,0 +1,73 @@
+"""Kernel library: the libcudf stand-in executing on simulated devices."""
+
+from .compute import (
+    binary_arith,
+    case_when,
+    cast_column,
+    coalesce,
+    compare,
+    contains,
+    extract_date_part,
+    fill_constant,
+    hash_partition_ids,
+    in_list,
+    is_null,
+    like,
+    logical_and,
+    logical_not,
+    logical_or,
+    substring,
+)
+from .asof import asof_join
+from .compression import PackedColumn, pack_column, packable, unpack_column
+from .copying import concat_gtables, gather_column, gather_table, mask_table, slice_table
+from .groupby import AGG_OPS, AggSpec, groupby
+from .gtable import GColumn, GTable, NULL_INDEX
+from .join import JoinResult, anti_join, inner_join, left_join, semi_join
+from .keys import factorize_keys
+from .reduce import reduce_column
+from .sort import sorted_order, top_n_order
+
+__all__ = [
+    "AGG_OPS",
+    "AggSpec",
+    "GColumn",
+    "GTable",
+    "JoinResult",
+    "NULL_INDEX",
+    "anti_join",
+    "asof_join",
+    "binary_arith",
+    "case_when",
+    "cast_column",
+    "coalesce",
+    "compare",
+    "concat_gtables",
+    "contains",
+    "extract_date_part",
+    "factorize_keys",
+    "fill_constant",
+    "gather_column",
+    "gather_table",
+    "groupby",
+    "hash_partition_ids",
+    "in_list",
+    "inner_join",
+    "is_null",
+    "left_join",
+    "like",
+    "logical_and",
+    "logical_not",
+    "logical_or",
+    "PackedColumn",
+    "pack_column",
+    "packable",
+    "unpack_column",
+    "mask_table",
+    "reduce_column",
+    "semi_join",
+    "slice_table",
+    "sorted_order",
+    "substring",
+    "top_n_order",
+]

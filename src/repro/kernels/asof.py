@@ -1,0 +1,104 @@
+"""ASOF join kernel — one of §3.4's "advanced SQL operators" extensions.
+
+``asof_join`` matches each left row with the *latest* right row whose
+"time" value does not exceed the left row's (the classic AS OF backward
+join used for market-data style queries), optionally within equality
+partitions (``by`` keys).  Returns libcudf-style int32 gather maps with
+``-1`` for left rows that have no match.
+
+Charged as a sort over the right side plus a probe over the left — the
+cost shape of a real GPU asof implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..gpu.costmodel import KernelClass
+from .gtable import GColumn
+from .join import JoinResult
+from .keys import factorize_keys
+
+__all__ = ["asof_join"]
+
+
+def asof_join(
+    left_time: GColumn,
+    right_time: GColumn,
+    left_by: Sequence[GColumn] = (),
+    right_by: Sequence[GColumn] = (),
+) -> JoinResult:
+    """Backward ASOF join: for each left row, the latest right row with
+    ``right_time <= left_time`` (within matching ``by`` keys, if given).
+
+    Args:
+        left_time: Ordered-comparable column (numeric or date).
+        right_time: Same type family as ``left_time``.
+        left_by / right_by: Optional equality partition keys.
+
+    Returns:
+        :class:`JoinResult` pairing every left index with its match
+        (right index ``-1`` when none exists).
+    """
+    if left_time.dtype.is_string or right_time.dtype.is_string:
+        raise TypeError("ASOF join requires ordered numeric/date time columns")
+    if len(left_by) != len(right_by):
+        raise ValueError("asof_join needs matching numbers of by-keys")
+
+    device = left_time.device
+    n_left, n_right = len(left_time), len(right_time)
+
+    if left_by:
+        lcodes, rcodes, _ = factorize_keys(list(left_by), list(right_by))
+    else:
+        lcodes = np.zeros(n_left, dtype=np.int64)
+        rcodes = np.zeros(n_right, dtype=np.int64)
+
+    lt = left_time.data.astype(np.float64)
+    rt = right_time.data.astype(np.float64)
+    lvalid = left_time.valid_mask() & (lcodes >= 0)
+    rvalid = right_time.valid_mask() & (rcodes >= 0)
+
+    # Sort the right side by (partition, time); binary-search each left row.
+    order = np.lexsort((rt, rcodes))
+    sorted_codes = rcodes[order]
+    sorted_times = rt[order]
+    # Build composite search keys: partition-major, time-minor.  Times are
+    # mapped to dense ranks so the composite stays integral and exact.
+    all_times = np.concatenate([sorted_times, lt])
+    _, time_ranks = np.unique(all_times, return_inverse=True)
+    r_ranks = time_ranks[: len(sorted_times)].astype(np.int64)
+    l_ranks = time_ranks[len(sorted_times):].astype(np.int64)
+    span = int(time_ranks.max()) + 2
+    composite_right = sorted_codes * span + r_ranks
+    composite_left = lcodes * span + l_ranks
+
+    pos = np.searchsorted(composite_right, composite_left, side="right") - 1
+    matched = pos >= 0
+    # The found row must be in the same partition (and valid).
+    same_part = np.zeros(n_left, dtype=bool)
+    safe = np.where(matched, pos, 0)
+    same_part[matched] = sorted_codes[safe[matched]] == lcodes[matched]
+    valid_right = np.ones(n_left, dtype=bool)
+    valid_right[matched] = rvalid[order][safe[matched]]
+    ok = matched & same_part & lvalid & valid_right
+
+    right_idx = np.full(n_left, -1, dtype=np.int64)
+    right_idx[ok] = order[pos[ok]]
+    left_idx = np.arange(n_left, dtype=np.int64)
+
+    device.launch(
+        KernelClass.SORT,
+        right_time.traffic_bytes + sum(k.traffic_bytes for k in right_by),
+        n_right * 8,
+        n_right,
+    )
+    device.launch(
+        KernelClass.HASH_PROBE,
+        left_time.traffic_bytes + sum(k.traffic_bytes for k in left_by),
+        n_left * 8,
+        n_left,
+    )
+    return JoinResult(left_idx, right_idx)

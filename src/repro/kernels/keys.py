@@ -1,0 +1,109 @@
+"""Key factorization shared by the join and group-by kernels.
+
+Hash joins and hash aggregations both reduce (possibly multi-column,
+possibly string) keys to dense integer codes.  This module performs that
+reduction consistently across *two* tables at once so the codes are
+directly comparable — which is what a shared hash function gives libcudf.
+
+Null semantics differ by consumer and are explicit:
+
+* joins: ``nulls_match=False`` — a NULL key never equals anything,
+  including another NULL (SQL join semantics); such rows get code ``-1``;
+* group-by: ``nulls_match=True`` — NULLs form one ordinary group
+  (SQL ``GROUP BY`` semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .gtable import GColumn
+
+__all__ = ["factorize_keys", "NULL_CODE"]
+
+NULL_CODE = np.int64(-1)
+
+
+def _column_values(col: GColumn) -> np.ndarray:
+    """Comparable value array for one column (decoded strings as objects)."""
+    if col.dtype.is_string:
+        # Compare by dictionary *values*: two tables have different dicts.
+        return col.decoded()
+    return col.data
+
+
+def _column_mask(col: GColumn) -> np.ndarray:
+    mask = col.valid_mask()
+    if col.dtype.is_string:
+        mask = mask & (col.data >= 0)
+    return mask
+
+
+def factorize_keys(
+    left: Sequence[GColumn],
+    right: Sequence[GColumn] = (),
+    nulls_match: bool = False,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Reduce key columns to dense int64 codes, consistently across sides.
+
+    Args:
+        left: Key columns of the first table.
+        right: Key columns of the second table (same count and comparable
+            types); empty for single-table use (group-by).
+        nulls_match: Whether NULL keys receive their own ordinary code
+            (group-by) or the never-matching ``-1`` (join).
+
+    Returns:
+        ``(left_codes, right_codes, num_distinct)`` — int64 code arrays for
+        each side (``right_codes`` empty if no right columns) and an upper
+        bound on the number of distinct combined codes.
+    """
+    if not left:
+        raise ValueError("factorize_keys needs at least one key column")
+    if right and len(left) != len(right):
+        raise ValueError("both sides must have the same number of key columns")
+    n_left = len(left[0])
+    n_right = len(right[0]) if right else 0
+
+    combined = np.zeros(n_left + n_right, dtype=np.int64)
+    any_null = np.zeros(n_left + n_right, dtype=np.bool_)
+    running_card = 1
+
+    for idx, lcol in enumerate(left):
+        rcol = right[idx] if right else None
+        values = _column_values(lcol)
+        mask = _column_mask(lcol)
+        if rcol is not None:
+            values = np.concatenate([values, _column_values(rcol)])
+            mask = np.concatenate([mask, _column_mask(rcol)])
+        codes = np.zeros(len(values), dtype=np.int64)
+        if bool(mask.any()):
+            _, inverse = np.unique(values[mask], return_inverse=True)
+            codes[mask] = inverse.astype(np.int64)
+        card = int(codes[mask].max()) + 1 if bool(mask.any()) else 0
+        # NULLs take a dedicated fresh code so they form their own group
+        # (group-by) and never collide with a real value.
+        codes[~mask] = card
+        has_null = bool((~mask).any())
+        col_card = card + (1 if has_null else 0)
+        col_card = max(col_card, 1)
+        combined = combined * np.int64(col_card) + codes
+        any_null |= ~mask
+        running_card *= col_card
+        if running_card > 2**40:
+            # Re-densify mid-way so many / high-cardinality key columns
+            # cannot overflow the int64 combination.
+            _, inv = np.unique(combined, return_inverse=True)
+            combined = inv.astype(np.int64)
+            running_card = int(combined.max()) + 1 if len(combined) else 1
+
+    # Re-densify the combined codes across both sides.
+    uniq, inverse = np.unique(combined, return_inverse=True)
+    dense = inverse.astype(np.int64)
+    if not nulls_match:
+        dense[any_null] = NULL_CODE
+    dense_l = dense[:n_left].copy()
+    dense_r = dense[n_left:].copy()
+    return dense_l, dense_r, len(uniq)

@@ -1,0 +1,174 @@
+"""The top-level plan container: versioning, JSON round-trip, validation.
+
+A :class:`Plan` is what a host database hands Sirius — the equivalent of a
+serialized Substrait plan.  ``validate`` performs the structural checks a
+consumer needs before executing third-party plans: ordinal bounds, boolean
+filter conditions, join-key type compatibility, and exchange placement.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..columnar import BOOL, Schema
+from .expressions import AggregateCall, Expression, FieldRef, infer_type
+from .relations import (
+    AggregateRel,
+    ExchangeRel,
+    FetchRel,
+    FilterRel,
+    JoinRel,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortRel,
+    rel_from_dict,
+)
+
+__all__ = ["Plan", "PlanValidationError", "validate_relation", "walk_relations", "walk_expressions"]
+
+PLAN_VERSION = "repro-substrait-1"
+
+
+class PlanValidationError(ValueError):
+    """A structural problem in a plan tree."""
+
+
+class Plan:
+    """A versioned, serialisable query plan."""
+
+    def __init__(self, root: Relation, version: str = PLAN_VERSION):
+        self.root = root
+        self.version = version
+
+    def output_schema(self) -> Schema:
+        return self.root.output_schema()
+
+    def to_dict(self) -> dict:
+        return {"version": self.version, "root": self.root.to_dict()}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Plan":
+        return cls(rel_from_dict(data["root"]), data.get("version", PLAN_VERSION))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Plan":
+        return cls.from_dict(json.loads(text))
+
+    def validate(self) -> None:
+        validate_relation(self.root)
+
+    def explain(self) -> str:
+        """Human-readable indented plan tree."""
+        lines: list[str] = []
+
+        def visit(rel: Relation, depth: int) -> None:
+            lines.append("  " * depth + repr(rel))
+            for child in rel.inputs:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Plan({self.root!r})"
+
+
+def walk_relations(rel: Relation):
+    """Yield every relation in the tree, parents before children."""
+    yield rel
+    for child in rel.inputs:
+        yield from walk_relations(child)
+
+
+def walk_expressions(expr: Expression):
+    """Yield every expression node in a tree, parents first."""
+    yield expr
+    for child in expr.children():
+        yield from walk_expressions(child)
+
+
+def _check_expr(expr: Expression, schema: Schema, where: str) -> None:
+    for node in walk_expressions(expr):
+        if isinstance(node, FieldRef) and node.index >= len(schema):
+            raise PlanValidationError(
+                f"{where}: field ${node.index} out of range (input arity {len(schema)})"
+            )
+    # Trigger full type inference, surfacing type errors.
+    try:
+        infer_type(expr, schema)
+    except (TypeError, KeyError, IndexError) as exc:
+        raise PlanValidationError(f"{where}: {exc}") from exc
+
+
+def validate_relation(rel: Relation) -> None:
+    """Recursively validate a relation tree (raises on the first problem)."""
+    for child in rel.inputs:
+        validate_relation(child)
+
+    if isinstance(rel, ReadRel):
+        if rel.filter_expr is not None:
+            schema = rel.output_schema()
+            _check_expr(rel.filter_expr, schema, f"read({rel.table_name}).filter")
+            if infer_type(rel.filter_expr, schema) is not BOOL:
+                raise PlanValidationError(f"read({rel.table_name}): pushed filter is not boolean")
+    elif isinstance(rel, FilterRel):
+        schema = rel.input_rel.output_schema()
+        _check_expr(rel.condition, schema, "filter")
+        if infer_type(rel.condition, schema) is not BOOL:
+            raise PlanValidationError("filter condition is not boolean")
+    elif isinstance(rel, ProjectRel):
+        schema = rel.input_rel.output_schema()
+        if len(set(rel.names)) != len(rel.names):
+            raise PlanValidationError(f"project emits duplicate names: {rel.names}")
+        for expr in rel.expressions:
+            _check_expr(expr, schema, "project")
+    elif isinstance(rel, JoinRel):
+        left_schema = rel.left.output_schema()
+        right_schema = rel.right.output_schema()
+        if not rel.left_keys and rel.join_type != "inner":
+            raise PlanValidationError("key-less (cross) joins must be inner joins")
+        for lk, rk in zip(rel.left_keys, rel.right_keys):
+            if lk >= len(left_schema) or rk >= len(right_schema):
+                raise PlanValidationError(f"join key ordinal out of range: {lk}={rk}")
+            lt = left_schema.fields[lk].dtype
+            rt = right_schema.fields[rk].dtype
+            compatible = lt is rt or (lt.is_numeric and rt.is_numeric)
+            if not compatible:
+                raise PlanValidationError(f"join key type mismatch: {lt} vs {rt}")
+        if rel.post_filter is not None:
+            # Post-filters see the combined schema even for semi/anti joins
+            # (residual correlated predicates reference both sides).
+            from .relations import join_output_schema
+
+            combined = join_output_schema(left_schema, right_schema)
+            _check_expr(rel.post_filter, combined, "join.post_filter")
+    elif isinstance(rel, AggregateRel):
+        schema = rel.input_rel.output_schema()
+        for g in rel.group_indices:
+            if g >= len(schema):
+                raise PlanValidationError(f"group ordinal ${g} out of range")
+        for agg, name in rel.measures:
+            if not isinstance(agg, AggregateCall):
+                raise PlanValidationError(f"measure {name} is not an aggregate call")
+            if agg.arg is not None:
+                _check_expr(agg.arg, schema, f"aggregate measure {name}")
+        out_names = rel.output_schema().names()
+        if len(set(out_names)) != len(out_names):
+            raise PlanValidationError(f"aggregate emits duplicate names: {out_names}")
+    elif isinstance(rel, SortRel):
+        schema = rel.input_rel.output_schema()
+        for idx, _ in rel.sort_keys:
+            if idx >= len(schema):
+                raise PlanValidationError(f"sort ordinal ${idx} out of range")
+    elif isinstance(rel, FetchRel):
+        if rel.offset < 0 or (rel.count is not None and rel.count < 0):
+            raise PlanValidationError("fetch offset/count must be non-negative")
+    elif isinstance(rel, ExchangeRel):
+        schema = rel.input_rel.output_schema()
+        for idx in rel.keys:
+            if idx >= len(schema):
+                raise PlanValidationError(f"exchange key ordinal ${idx} out of range")

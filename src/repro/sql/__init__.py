@@ -1,0 +1,16 @@
+"""SQL frontend: lexer, parser, and the binding/decorrelating planner."""
+
+from .ast_nodes import SelectStmt
+from .lexer import SqlSyntaxError, tokenize
+from .parser import parse_sql
+from .planner import SqlPlanner, SqlPlanningError, TableStats
+
+__all__ = [
+    "SelectStmt",
+    "SqlPlanner",
+    "SqlPlanningError",
+    "SqlSyntaxError",
+    "TableStats",
+    "parse_sql",
+    "tokenize",
+]

@@ -1,0 +1,131 @@
+"""SQL lexer for the host databases' frontend.
+
+Tokenises the SQL dialect needed by all 22 TPC-H queries: identifiers,
+keywords, numeric and string literals, typed literals (``date '...'``,
+``interval '2' day``), operators, and punctuation.  Comments (``--`` and
+``/* */``) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "SqlSyntaxError", "KEYWORDS"]
+
+
+class SqlSyntaxError(ValueError):
+    """A lexing or parsing failure with position context."""
+
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc limit offset distinct
+    as and or not in exists between like is null case when then else end
+    join inner left right outer on cross
+    date interval year month day for
+    sum min max avg count substring extract cast coalesce
+    with union all any
+    create view drop
+    true false
+    """.split()
+)
+
+_TWO_CHAR_OPS = ("<>", "<=", ">=", "!=", "||")
+_ONE_CHAR_OPS = "+-*/%<>=(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``keyword``, ``ident``, ``number``, ``string``,
+    ``op``, or ``eof``.  Keywords and identifiers are lower-cased (the
+    dialect is case-insensitive, like DuckDB's).
+    """
+
+    kind: str
+    value: str
+    pos: int
+
+    def is_kw(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.value in words
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated comment at {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError(f"unterminated string literal at {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # Don't swallow "1." followed by an identifier (alias.col).
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j].lower()
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("ident", sql[i + 1 : j].lower(), i))
+            i = j + 1
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,475 @@
+"""Recursive-descent SQL parser covering the TPC-H dialect.
+
+Grammar (simplified)::
+
+    stmt        := [WITH name AS (select) [, ...]] select
+    select      := SELECT [DISTINCT] items FROM from_clause
+                   [WHERE expr] [GROUP BY exprs] [HAVING expr]
+                   [ORDER BY order_items] [LIMIT n]
+    from_clause := from_item ([,] from_item | join_clause)*
+    join_clause := [INNER | LEFT [OUTER] | CROSS] JOIN from_item [ON expr]
+    expr        := or-expression with the usual precedence ladder:
+                   OR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < +- < */%
+    primary     := literal | date/interval literal | case | cast | func |
+                   aggregate | column | (expr) | (select) | EXISTS (select)
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AggCall,
+    BetweenExpr,
+    BinaryOp,
+    BoolLit,
+    CaseExpr,
+    CastExpr,
+    ColumnRef,
+    DateLit,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    IntervalLit,
+    IsNullExpr,
+    JoinClause,
+    LikeExpr,
+    NullLit,
+    NumberLit,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStmt,
+    Star,
+    StringLit,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from .lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse_sql", "SqlSyntaxError"]
+
+_AGG_FUNCS = frozenset({"sum", "min", "max", "avg", "count"})
+_CMP_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+
+
+def parse_sql(sql: str) -> SelectStmt:
+    """Parse one SELECT statement (with optional CTEs)."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.parse_statement()
+    parser.expect_end()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept_kw(self, *words: str) -> bool:
+        if self.peek().is_kw(*words):
+            self.next()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        tok = self.next()
+        if not tok.is_kw(word):
+            raise SqlSyntaxError(f"expected {word.upper()} at {tok.pos}, got {tok.value!r}")
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().kind == "op" and self.peek().value == op:
+            self.next()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        tok = self.next()
+        if tok.kind != "op" or tok.value != op:
+            raise SqlSyntaxError(f"expected {op!r} at {tok.pos}, got {tok.value!r}")
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise SqlSyntaxError(f"expected identifier at {tok.pos}, got {tok.value!r}")
+        return tok.value
+
+    def expect_end(self) -> None:
+        self.accept_op(";")
+        tok = self.peek()
+        if tok.kind != "eof":
+            raise SqlSyntaxError(f"unexpected trailing input at {tok.pos}: {tok.value!r}")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> SelectStmt:
+        ctes: dict[str, SelectStmt] = {}
+        if self.accept_kw("with"):
+            while True:
+                name = self.expect_ident()
+                self.expect_kw("as")
+                self.expect_op("(")
+                ctes[name] = self.parse_select()
+                self.expect_op(")")
+                if not self.accept_op(","):
+                    break
+        stmt = self.parse_select()
+        stmt.ctes = ctes
+        return stmt
+
+    def parse_select(self) -> SelectStmt:
+        self.expect_kw("select")
+        stmt = SelectStmt()
+        stmt.distinct = self.accept_kw("distinct")
+        stmt.items = self._select_items()
+        if self.accept_kw("from"):
+            self._from_clause(stmt)
+        if self.accept_kw("where"):
+            stmt.where = self.parse_expr()
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            stmt.group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                stmt.group_by.append(self.parse_expr())
+        if self.accept_kw("having"):
+            stmt.having = self.parse_expr()
+        if self.accept_kw("order"):
+            self.expect_kw("by")
+            stmt.order_by.append(self._order_item())
+            while self.accept_op(","):
+                stmt.order_by.append(self._order_item())
+        if self.accept_kw("limit"):
+            tok = self.next()
+            if tok.kind != "number":
+                raise SqlSyntaxError(f"LIMIT expects a number at {tok.pos}")
+            stmt.limit = int(tok.value)
+        return stmt
+
+    def _select_items(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        if self.peek().kind == "op" and self.peek().value == "*":
+            self.next()
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_kw("as"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.expect_ident()
+        return SelectItem(expr, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_kw("desc"):
+            ascending = False
+        else:
+            self.accept_kw("asc")
+        return OrderItem(expr, ascending)
+
+    # -- FROM -----------------------------------------------------------------
+
+    def _from_clause(self, stmt: SelectStmt) -> None:
+        stmt.from_tables.append(self._from_item())
+        while True:
+            if self.accept_op(","):
+                stmt.from_tables.append(self._from_item())
+                continue
+            kind = None
+            if self.accept_kw("inner"):
+                kind = "inner"
+            elif self.accept_kw("left"):
+                self.accept_kw("outer")
+                kind = "left"
+            elif self.accept_kw("cross"):
+                kind = "cross"
+            if kind is None and self.peek().is_kw("join"):
+                kind = "inner"
+            if kind is None:
+                return
+            self.expect_kw("join")
+            right = self._from_item()
+            condition = None
+            if self.accept_kw("on"):
+                condition = self.parse_expr()
+            stmt.joins.append(JoinClause(kind, right, condition))
+
+    def _from_item(self):
+        if self.peek().kind == "op" and self.peek().value == "(":
+            self.next()
+            sub = self.parse_select()
+            self.expect_op(")")
+            self.accept_kw("as")
+            alias = self.expect_ident()
+            return SubqueryRef(sub, alias)
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("as"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.expect_ident()
+        return TableRef(name, alias)
+
+    # -- expressions (precedence climbing) ---------------------------------------
+
+    def parse_expr(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept_kw("or"):
+            left = BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept_kw("and"):
+            left = BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept_kw("not"):
+            return UnaryOp("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self):
+        left = self._additive()
+        tok = self.peek()
+
+        if tok.kind == "op" and tok.value in _CMP_OPS:
+            op = self.next().value
+            if op == "!=":
+                op = "<>"
+            # ANY/ALL subqueries are not in TPC-H; plain comparisons only.
+            right = self._additive()
+            return BinaryOp(op, left, right)
+
+        negated = False
+        if tok.is_kw("not"):
+            nxt = self.peek(1)
+            if nxt.is_kw("in", "like", "between"):
+                self.next()
+                negated = True
+                tok = self.peek()
+
+        if tok.is_kw("between"):
+            self.next()
+            low = self._additive()
+            self.expect_kw("and")
+            high = self._additive()
+            return BetweenExpr(left, low, high, negated)
+
+        if tok.is_kw("like"):
+            self.next()
+            pat = self.next()
+            if pat.kind != "string":
+                raise SqlSyntaxError(f"LIKE expects a string pattern at {pat.pos}")
+            return LikeExpr(left, pat.value, negated)
+
+        if tok.is_kw("in"):
+            self.next()
+            self.expect_op("(")
+            if self.peek().is_kw("select"):
+                sub = self.parse_select()
+                self.expect_op(")")
+                return InExpr(left, subquery=sub, negated=negated)
+            values = [self.parse_expr()]
+            while self.accept_op(","):
+                values.append(self.parse_expr())
+            self.expect_op(")")
+            return InExpr(left, values=values, negated=negated)
+
+        if tok.is_kw("is"):
+            self.next()
+            neg = self.accept_kw("not")
+            self.expect_kw("null")
+            return IsNullExpr(left, neg)
+
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.value in ("+", "-"):
+                op = "+" if self.next().value == "+" else "-"
+                left = BinaryOp(op, left, self._multiplicative())
+            elif tok.kind == "op" and tok.value == "||":
+                self.next()
+                left = FuncCall("concat", [left, self._multiplicative()])
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.value in ("*", "/", "%"):
+                op = self.next().value
+                left = BinaryOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        if self.peek().kind == "op" and self.peek().value == "-":
+            self.next()
+            return UnaryOp("-", self._unary())
+        if self.peek().kind == "op" and self.peek().value == "+":
+            self.next()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self):
+        tok = self.peek()
+
+        if tok.kind == "number":
+            self.next()
+            text = tok.value
+            return NumberLit(float(text) if "." in text else int(text))
+        if tok.kind == "string":
+            self.next()
+            return StringLit(tok.value)
+        if tok.is_kw("true"):
+            self.next()
+            return BoolLit(True)
+        if tok.is_kw("false"):
+            self.next()
+            return BoolLit(False)
+        if tok.is_kw("null"):
+            self.next()
+            return NullLit()
+
+        if tok.is_kw("date"):
+            self.next()
+            lit = self.next()
+            if lit.kind != "string":
+                raise SqlSyntaxError(f"DATE expects a string at {lit.pos}")
+            return DateLit(lit.value)
+
+        if tok.is_kw("interval"):
+            self.next()
+            amount = self.next()
+            if amount.kind != "string" and amount.kind != "number":
+                raise SqlSyntaxError(f"INTERVAL expects an amount at {amount.pos}")
+            unit_tok = self.next()
+            unit = unit_tok.value.rstrip("s")
+            if unit not in ("day", "month", "year"):
+                raise SqlSyntaxError(f"unsupported interval unit {unit_tok.value!r}")
+            return IntervalLit(int(float(amount.value)), unit)
+
+        if tok.is_kw("case"):
+            return self._case_expr()
+
+        if tok.is_kw("cast"):
+            self.next()
+            self.expect_op("(")
+            operand = self.parse_expr()
+            self.expect_kw("as")
+            type_name = self.next().value
+            # decimal(15,2) style precision arguments are ignored.
+            if self.accept_op("("):
+                while not self.accept_op(")"):
+                    self.next()
+            self.expect_op(")")
+            return CastExpr(operand, type_name)
+
+        if tok.is_kw("exists"):
+            self.next()
+            self.expect_op("(")
+            sub = self.parse_select()
+            self.expect_op(")")
+            return ExistsExpr(sub)
+
+        if tok.is_kw("extract"):
+            self.next()
+            self.expect_op("(")
+            part = self.next().value  # year / month / day keywords
+            self.expect_kw("from")
+            arg = self.parse_expr()
+            self.expect_op(")")
+            return FuncCall("extract", [arg], {"part": part})
+
+        if tok.is_kw("substring"):
+            self.next()
+            self.expect_op("(")
+            arg = self.parse_expr()
+            if self.accept_kw("from"):
+                start = self.parse_expr()
+                self.expect_kw("for")
+            else:
+                self.expect_op(",")
+                start = self.parse_expr()
+                self.expect_op(",")
+            length = self.parse_expr()
+            self.expect_op(")")
+            return FuncCall("substring", [arg, start, length])
+
+        if tok.is_kw(*_AGG_FUNCS):
+            func = self.next().value
+            self.expect_op("(")
+            distinct = self.accept_kw("distinct")
+            if self.peek().kind == "op" and self.peek().value == "*":
+                self.next()
+                arg = None
+            else:
+                arg = self.parse_expr()
+            self.expect_op(")")
+            return AggCall(func, arg, distinct)
+
+        if tok.is_kw("coalesce"):
+            self.next()
+            self.expect_op("(")
+            args = [self.parse_expr()]
+            while self.accept_op(","):
+                args.append(self.parse_expr())
+            self.expect_op(")")
+            return FuncCall("coalesce", args)
+
+        if tok.kind == "op" and tok.value == "(":
+            self.next()
+            if self.peek().is_kw("select"):
+                sub = self.parse_select()
+                self.expect_op(")")
+                return ScalarSubquery(sub)
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+
+        if tok.kind == "ident":
+            name = self.expect_ident()
+            if self.accept_op("."):
+                column = self.expect_ident()
+                return ColumnRef(column, qualifier=name)
+            return ColumnRef(name)
+
+        raise SqlSyntaxError(f"unexpected token {tok.value!r} at {tok.pos}")
+
+    def _case_expr(self):
+        self.expect_kw("case")
+        whens: list[tuple] = []
+        while self.accept_kw("when"):
+            cond = self.parse_expr()
+            self.expect_kw("then")
+            result = self.parse_expr()
+            whens.append((cond, result))
+        default = None
+        if self.accept_kw("else"):
+            default = self.parse_expr()
+        self.expect_kw("end")
+        if not whens:
+            raise SqlSyntaxError("CASE requires at least one WHEN")
+        return CaseExpr(whens, default)

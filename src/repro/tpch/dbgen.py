@@ -1,0 +1,392 @@
+"""Deterministic TPC-H data generator (the dbgen substrate).
+
+Follows the TPC-H specification's value distributions closely enough that
+query selectivities, join fan-outs, and group cardinalities have the right
+*shape* at any scale factor — which is what the paper's Figures 4/5 and
+Table 2 depend on.  Highlights:
+
+* fixed region/nation tables and the spec's part naming vocabulary
+  (``p_name`` draws five colour words, so ``%green%``/``forest%`` hit the
+  Q9/Q20 selectivities);
+* the spec's partsupp supplier-assignment formula, so every part has four
+  suppliers and lineitem (partkey, suppkey) pairs join back to partsupp;
+* order dates uniform over 1992-01-01..1998-08-02 with ship/commit/receipt
+  offsets per spec, driving Q1/Q4/Q6/... date selectivities;
+* seeded comment patterns for Q13 (``%special%requests%``) and Q16
+  (``%Customer%Complaints%``).
+
+Everything is generated with a seeded NumPy RNG: same scale factor, same
+bytes, on every machine.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from ..columnar import Column, Table, column_from_pylist, date_to_days
+from ..columnar.dtypes import DATE32, FLOAT64, INT64
+from .schema import TABLE_BASE_ROWS, TPCH_SCHEMAS
+
+__all__ = ["generate_tpch", "generate_table"]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+_COLOURS = (
+    "almond antique aquamarine azure beige bisque black blanched blue blush "
+    "brown burlywood burnished chartreuse chiffon chocolate coral cornflower "
+    "cornsilk cream cyan dark deep dim dodger drab firebrick floral forest "
+    "frosted gainsboro ghost goldenrod green grey honeydew hot indian ivory "
+    "khaki lace lavender lawn lemon light lime linen magenta maroon medium "
+    "metallic midnight mint misty moccasin navajo navy olive orange orchid "
+    "pale papaya peach peru pink plum powder puff purple red rose rosy royal "
+    "saddle salmon sandy seashell sienna sky slate smoke snow spring steel "
+    "tan thistle tomato turquoise violet wheat white yellow"
+).split()
+
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_CONTAINER_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_CONTAINER_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_COMMENT_WORDS = (
+    "carefully quickly furiously slyly blithely regular ironic final express "
+    "pending bold even silent unusual special packages deposits requests "
+    "accounts instructions theodolites platelets foxes pinto beans ideas "
+    "dependencies excuses asymptotes courts dolphins multipliers sauternes"
+).split()
+
+_START_DATE = date_to_days(datetime.date(1992, 1, 1))
+_END_ORDER_DATE = date_to_days(datetime.date(1998, 8, 2))
+_CURRENT_DATE = date_to_days(datetime.date(1995, 6, 17))
+
+
+def _scaled(table: str, sf: float) -> int:
+    return max(int(TABLE_BASE_ROWS[table] * sf), 1)
+
+
+def _comments(rng: np.random.Generator, n: int, words: int = 5) -> Column:
+    picks = rng.integers(0, len(_COMMENT_WORDS), size=(n, words))
+    vocab = np.asarray(_COMMENT_WORDS, dtype=object)
+    values = [" ".join(vocab[row]) for row in picks]
+    return Column.from_strings(values)
+
+
+def _strings(values) -> Column:
+    return Column.from_strings(list(values))
+
+
+def _money(rng: np.random.Generator, n: int, low: float, high: float) -> np.ndarray:
+    return np.round(rng.uniform(low, high, n), 2)
+
+
+def generate_table(table: str, sf: float, seed: int = 19920101) -> Table:
+    """Generate one TPC-H table at scale factor ``sf``."""
+    generators = {
+        "region": _gen_region,
+        "nation": _gen_nation,
+        "supplier": _gen_supplier,
+        "customer": _gen_customer,
+        "part": _gen_part,
+        "partsupp": _gen_partsupp,
+        "orders": _gen_orders_and_lineitem,
+        "lineitem": _gen_orders_and_lineitem,
+    }
+    if table not in generators:
+        raise KeyError(f"unknown TPC-H table {table!r}")
+    if table in ("orders", "lineitem"):
+        orders, lineitem = _gen_orders_and_lineitem(sf, seed)
+        return orders if table == "orders" else lineitem
+    return generators[table](sf, seed)
+
+
+def generate_tpch(sf: float = 0.01, seed: int = 19920101) -> dict[str, Table]:
+    """Generate the full eight-table TPC-H database."""
+    orders, lineitem = _gen_orders_and_lineitem(sf, seed)
+    return {
+        "region": _gen_region(sf, seed),
+        "nation": _gen_nation(sf, seed),
+        "supplier": _gen_supplier(sf, seed),
+        "customer": _gen_customer(sf, seed),
+        "part": _gen_part(sf, seed),
+        "partsupp": _gen_partsupp(sf, seed),
+        "orders": orders,
+        "lineitem": lineitem,
+    }
+
+
+def _gen_region(sf: float, seed: int) -> Table:
+    rng = np.random.default_rng(seed + 1)
+    schema = TPCH_SCHEMAS["region"]
+    return Table(
+        schema,
+        [
+            column_from_pylist(list(range(5)), INT64),
+            _strings(_REGIONS),
+            _comments(rng, 5),
+        ],
+    )
+
+
+def _gen_nation(sf: float, seed: int) -> Table:
+    rng = np.random.default_rng(seed + 2)
+    schema = TPCH_SCHEMAS["nation"]
+    return Table(
+        schema,
+        [
+            column_from_pylist(list(range(25)), INT64),
+            _strings([n for n, _ in _NATIONS]),
+            column_from_pylist([r for _, r in _NATIONS], INT64),
+            _comments(rng, 25),
+        ],
+    )
+
+
+def _gen_supplier(sf: float, seed: int) -> Table:
+    rng = np.random.default_rng(seed + 3)
+    n = _scaled("supplier", sf)
+    keys = np.arange(1, n + 1)
+    nationkeys = rng.integers(0, 25, n)
+    comments = _comments(rng, n).to_pylist()
+    # Per spec: ~5 per 10k suppliers complain, ~5 recommend (Q16's filter).
+    complain = rng.choice(n, size=max(n // 2000, 1), replace=False)
+    for i in complain:
+        comments[i] = "sleep slyly Customer waiting Complaints about"
+    phones = [_phone(rng, int(nk)) for nk in nationkeys]
+    return Table(
+        TPCH_SCHEMAS["supplier"],
+        [
+            column_from_pylist(keys.tolist(), INT64),
+            _strings([f"Supplier#{k:09d}" for k in keys]),
+            _strings([_address(rng) for _ in range(n)]),
+            column_from_pylist(nationkeys.tolist(), INT64),
+            _strings(phones),
+            Column(FLOAT64, _money(rng, n, -999.99, 9999.99)),
+            Column.from_strings(comments),
+        ],
+    )
+
+
+def _gen_customer(sf: float, seed: int) -> Table:
+    rng = np.random.default_rng(seed + 4)
+    n = _scaled("customer", sf)
+    keys = np.arange(1, n + 1)
+    nationkeys = rng.integers(0, 25, n)
+    segments = rng.integers(0, len(_SEGMENTS), n)
+    seg_vocab = np.asarray(_SEGMENTS, dtype=object)
+    return Table(
+        TPCH_SCHEMAS["customer"],
+        [
+            column_from_pylist(keys.tolist(), INT64),
+            _strings([f"Customer#{k:09d}" for k in keys]),
+            _strings([_address(rng) for _ in range(n)]),
+            column_from_pylist(nationkeys.tolist(), INT64),
+            _strings([_phone(rng, int(nk)) for nk in nationkeys]),
+            Column(FLOAT64, _money(rng, n, -999.99, 9999.99)),
+            Column.from_strings(list(seg_vocab[segments])),
+            _comments(rng, n),
+        ],
+    )
+
+
+def _gen_part(sf: float, seed: int) -> Table:
+    rng = np.random.default_rng(seed + 5)
+    n = _scaled("part", sf)
+    keys = np.arange(1, n + 1)
+    colour_idx = rng.integers(0, len(_COLOURS), size=(n, 5))
+    vocab = np.asarray(_COLOURS, dtype=object)
+    names = [" ".join(vocab[row]) for row in colour_idx]
+    mfgr = rng.integers(1, 6, n)
+    brand = mfgr * 10 + rng.integers(1, 6, n)
+    types = [
+        f"{_TYPE_SYLL1[a]} {_TYPE_SYLL2[b]} {_TYPE_SYLL3[c]}"
+        for a, b, c in zip(
+            rng.integers(0, 6, n), rng.integers(0, 5, n), rng.integers(0, 5, n)
+        )
+    ]
+    containers = [
+        f"{_CONTAINER_1[a]} {_CONTAINER_2[b]}"
+        for a, b in zip(rng.integers(0, 5, n), rng.integers(0, 8, n))
+    ]
+    # Spec retail price formula: 90000 + ((key/10) % 20001) + 100*(key % 1000), /100.
+    price = (90000 + (keys / 10 % 20001) + 100 * (keys % 1000)) / 100.0
+    return Table(
+        TPCH_SCHEMAS["part"],
+        [
+            column_from_pylist(keys.tolist(), INT64),
+            Column.from_strings(names),
+            _strings([f"Manufacturer#{m}" for m in mfgr]),
+            _strings([f"Brand#{b}" for b in brand]),
+            Column.from_strings(types),
+            column_from_pylist(rng.integers(1, 51, n).tolist(), INT64),
+            Column.from_strings(containers),
+            Column(FLOAT64, np.round(price, 2)),
+            _comments(rng, n, words=3),
+        ],
+    )
+
+
+def _supplier_for_part(partkey: np.ndarray, i: int, num_suppliers: int, num_parts: int):
+    """The spec's supplier assignment: the i-th (0..3) supplier of a part."""
+    s = num_suppliers
+    return (
+        (partkey + i * (s // 4 + (partkey - 1) // num_parts)) % s
+    ) + 1
+
+
+def _gen_partsupp(sf: float, seed: int) -> Table:
+    rng = np.random.default_rng(seed + 6)
+    num_parts = _scaled("part", sf)
+    num_suppliers = _scaled("supplier", sf)
+    partkeys = np.repeat(np.arange(1, num_parts + 1), 4)
+    i_idx = np.tile(np.arange(4), num_parts)
+    suppkeys = _supplier_for_part(partkeys, 0, num_suppliers, num_parts)
+    for i in range(1, 4):
+        mask = i_idx == i
+        suppkeys[mask] = _supplier_for_part(partkeys[mask], i, num_suppliers, num_parts)
+    n = len(partkeys)
+    return Table(
+        TPCH_SCHEMAS["partsupp"],
+        [
+            column_from_pylist(partkeys.tolist(), INT64),
+            column_from_pylist(suppkeys.tolist(), INT64),
+            column_from_pylist(rng.integers(1, 10000, n).tolist(), INT64),
+            Column(FLOAT64, _money(rng, n, 1.0, 1000.0)),
+            _comments(rng, n),
+        ],
+    )
+
+
+def _gen_orders_and_lineitem(sf: float, seed: int) -> tuple[Table, Table]:
+    rng = np.random.default_rng(seed + 7)
+    num_orders = _scaled("orders", sf)
+    num_customers = _scaled("customer", sf)
+    num_parts = _scaled("part", sf)
+    num_suppliers = _scaled("supplier", sf)
+
+    orderkeys = np.arange(1, num_orders + 1) * 4 - 3  # sparse keys, per spec
+    # Only two thirds of customers have orders (spec: custkey % 3 != 0).
+    raw_cust = rng.integers(1, max(num_customers, 2), num_orders)
+    custkeys = np.where(raw_cust % 3 == 0, (raw_cust % max(num_customers - 1, 1)) + 1, raw_cust)
+    custkeys = np.where(custkeys % 3 == 0, np.maximum(custkeys - 1, 1), custkeys)
+    orderdates = rng.integers(_START_DATE, _END_ORDER_DATE + 1, num_orders)
+    priorities = rng.integers(0, 5, num_orders)
+
+    lines_per_order = rng.integers(1, 8, num_orders)
+    total_lines = int(lines_per_order.sum())
+    l_orderkey = np.repeat(orderkeys, lines_per_order)
+    l_orderdate = np.repeat(orderdates, lines_per_order)
+    starts = np.cumsum(lines_per_order) - lines_per_order
+    l_linenumber = np.arange(total_lines) - np.repeat(starts, lines_per_order) + 1
+
+    l_partkey = rng.integers(1, num_parts + 1, total_lines)
+    supp_i = rng.integers(0, 4, total_lines)
+    l_suppkey = _supplier_for_part(l_partkey, 0, num_suppliers, num_parts)
+    for i in range(1, 4):
+        mask = supp_i == i
+        l_suppkey[mask] = _supplier_for_part(l_partkey[mask], i, num_suppliers, num_parts)
+
+    l_quantity = rng.integers(1, 51, total_lines).astype(np.float64)
+    part_price = (90000 + (l_partkey / 10 % 20001) + 100 * (l_partkey % 1000)) / 100.0
+    l_extendedprice = np.round(l_quantity * part_price, 2)
+    l_discount = np.round(rng.integers(0, 11, total_lines) / 100.0, 2)
+    l_tax = np.round(rng.integers(0, 9, total_lines) / 100.0, 2)
+
+    l_shipdate = l_orderdate + rng.integers(1, 122, total_lines)
+    l_commitdate = l_orderdate + rng.integers(30, 91, total_lines)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, total_lines)
+
+    returned = l_receiptdate <= _CURRENT_DATE
+    flag_draw = rng.random(total_lines) < 0.5
+    l_returnflag = np.where(returned, np.where(flag_draw, "R", "A"), "N").astype(object)
+    shipped = l_shipdate <= _CURRENT_DATE
+    l_linestatus = np.where(shipped, "F", "O").astype(object)
+
+    mode_idx = rng.integers(0, len(_SHIP_MODES), total_lines)
+    instr_idx = rng.integers(0, len(_SHIP_INSTRUCT), total_lines)
+
+    # Order totals and status derive from their lineitems.
+    line_totals = l_extendedprice * (1 + l_tax) * (1 - l_discount)
+    o_totalprice = np.zeros(num_orders)
+    np.add.at(o_totalprice, np.repeat(np.arange(num_orders), lines_per_order), line_totals)
+    fully_shipped = np.ones(num_orders, dtype=bool)
+    none_shipped = np.ones(num_orders, dtype=bool)
+    order_idx = np.repeat(np.arange(num_orders), lines_per_order)
+    np.logical_and.at(fully_shipped, order_idx, l_linestatus == "F")
+    np.logical_and.at(none_shipped, order_idx, l_linestatus == "O")
+    o_status = np.where(fully_shipped, "F", np.where(none_shipped, "O", "P")).astype(object)
+
+    o_comments = _comments(rng, num_orders).to_pylist()
+    # Q13 pattern: a slice of orders mention "special ... requests".
+    special = rng.random(num_orders) < 0.01
+    for i in np.flatnonzero(special):
+        o_comments[i] = "the special packages wake requests above the"
+
+    prio_vocab = np.asarray(_PRIORITIES, dtype=object)
+    orders = Table(
+        TPCH_SCHEMAS["orders"],
+        [
+            column_from_pylist(orderkeys.tolist(), INT64),
+            column_from_pylist(custkeys.tolist(), INT64),
+            Column.from_strings(list(o_status)),
+            Column(FLOAT64, np.round(o_totalprice, 2)),
+            Column(DATE32, orderdates.astype(np.int32)),
+            Column.from_strings(list(prio_vocab[priorities])),
+            _strings([f"Clerk#{c:09d}" for c in rng.integers(1, max(int(1000 * sf), 2), num_orders)]),
+            column_from_pylist([0] * num_orders, INT64),
+            Column.from_strings(o_comments),
+        ],
+    )
+
+    mode_vocab = np.asarray(_SHIP_MODES, dtype=object)
+    instr_vocab = np.asarray(_SHIP_INSTRUCT, dtype=object)
+    rng_l = np.random.default_rng(seed + 8)
+    lineitem = Table(
+        TPCH_SCHEMAS["lineitem"],
+        [
+            column_from_pylist(l_orderkey.tolist(), INT64),
+            column_from_pylist(l_partkey.tolist(), INT64),
+            column_from_pylist(l_suppkey.tolist(), INT64),
+            column_from_pylist(l_linenumber.tolist(), INT64),
+            Column(FLOAT64, l_quantity),
+            Column(FLOAT64, l_extendedprice),
+            Column(FLOAT64, l_discount),
+            Column(FLOAT64, l_tax),
+            Column.from_strings(list(l_returnflag)),
+            Column.from_strings(list(l_linestatus)),
+            Column(DATE32, l_shipdate.astype(np.int32)),
+            Column(DATE32, l_commitdate.astype(np.int32)),
+            Column(DATE32, l_receiptdate.astype(np.int32)),
+            Column.from_strings(list(instr_vocab[instr_idx])),
+            Column.from_strings(list(mode_vocab[mode_idx])),
+            _comments(rng_l, total_lines, words=3),
+        ],
+    )
+    return orders, lineitem
+
+
+def _phone(rng: np.random.Generator, nationkey: int) -> str:
+    return (
+        f"{nationkey + 10}-{rng.integers(100, 1000)}-"
+        f"{rng.integers(100, 1000)}-{rng.integers(1000, 10000)}"
+    )
+
+
+def _address(rng: np.random.Generator) -> str:
+    length = int(rng.integers(8, 20))
+    chars = "abcdefghijklmnopqrstuvwxyz0123456789 ,"
+    return "".join(chars[i] for i in rng.integers(0, len(chars), length))

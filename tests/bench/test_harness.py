@@ -1,0 +1,66 @@
+"""Tests for the benchmark harness itself (tiny scale: fast)."""
+
+import pytest
+
+from repro.bench import (
+    DistributedHarness,
+    SingleNodeHarness,
+    ascii_table,
+    bar_series,
+    figure1_series,
+    format_ms,
+    geomean,
+    table1,
+)
+
+
+class TestReportHelpers:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_format_ms(self):
+        assert format_ms(0.0015) == "1.500"
+        assert format_ms(None) == "-"
+
+    def test_bar_series_uses_category_glyphs(self):
+        bar = bar_series("Q1", {"join": 0.5, "filter": 0.5}, width=10)
+        assert "J" in bar and "F" in bar
+
+    def test_table1_and_figure1_render(self):
+        assert "GH200" in table1()
+        assert "CAGR" in figure1_series("network_gbps")
+
+
+class TestSingleNodeHarnessSmall:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return SingleNodeHarness(sf=0.01)
+
+    def test_run_subset(self, harness):
+        result = harness.run(queries=[1, 6])
+        assert [t.query for t in result.timings] == [1, 6]
+        assert result.speedup_vs_duckdb > 1.0
+
+    def test_figure4_table_renders_statuses(self, harness):
+        result = harness.run(queries=[6, 21])
+        text = result.figure4_table()
+        assert "unsupported" in text
+
+    def test_breakdowns_recorded(self, harness):
+        result = harness.run(queries=[6])
+        assert result.dominant_category(6) == "filter"
+
+
+class TestDistributedHarnessSmall:
+    def test_run_q6(self):
+        harness = DistributedHarness(sf=0.01, num_nodes=2)
+        result = harness.run(queries=(6,))
+        row = result.row(6)
+        assert row.sirius_s < row.doris_s
+        assert "Sirius ms" in result.table()

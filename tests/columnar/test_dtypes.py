@@ -1,0 +1,94 @@
+"""Unit tests for logical dtypes and scalar conversions."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.columnar import (
+    BOOL,
+    DATE32,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    common_numeric_type,
+    date_to_days,
+    days_to_date,
+    dtype_from_name,
+)
+
+
+class TestDTypeLookup:
+    def test_canonical_names_resolve(self):
+        assert dtype_from_name("int64") is INT64
+        assert dtype_from_name("float64") is FLOAT64
+        assert dtype_from_name("string") is STRING
+        assert dtype_from_name("bool") is BOOL
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("BIGINT", INT64),
+            ("integer", INT32),
+            ("DOUBLE", FLOAT64),
+            ("decimal", FLOAT64),
+            ("VARCHAR", STRING),
+            ("date", DATE32),
+            ("boolean", BOOL),
+        ],
+    )
+    def test_sql_aliases(self, alias, expected):
+        assert dtype_from_name(alias) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            dtype_from_name("uuid")
+
+
+class TestDTypeProperties:
+    def test_numeric_flags(self):
+        assert INT64.is_numeric and FLOAT64.is_numeric and INT32.is_numeric
+        assert not STRING.is_numeric and not DATE32.is_numeric
+
+    def test_integer_flags(self):
+        assert INT32.is_integer and INT64.is_integer
+        assert not FLOAT64.is_integer
+
+    def test_itemsizes_match_numpy(self):
+        for t in (BOOL, INT32, INT64, FLOAT64, DATE32):
+            assert t.itemsize == np.dtype(t.numpy_dtype).itemsize
+
+    def test_string_physical_type_is_codes(self):
+        assert STRING.numpy_dtype == np.dtype(np.int32)
+
+
+class TestDateConversion:
+    def test_epoch_is_day_zero(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_round_trip(self):
+        d = datetime.date(1998, 9, 2)
+        assert days_to_date(date_to_days(d)) == d
+
+    def test_iso_string_accepted(self):
+        assert date_to_days("1995-01-01") == date_to_days(datetime.date(1995, 1, 1))
+
+    def test_pre_epoch_dates(self):
+        d = datetime.date(1969, 12, 31)
+        assert date_to_days(d) == -1
+        assert days_to_date(-1) == d
+
+
+class TestNumericPromotion:
+    def test_float_wins(self):
+        assert common_numeric_type(INT64, FLOAT64) is FLOAT64
+        assert common_numeric_type(FLOAT64, INT32) is FLOAT64
+
+    def test_wider_int_wins(self):
+        assert common_numeric_type(INT32, INT64) is INT64
+        assert common_numeric_type(INT32, INT32) is INT32
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            common_numeric_type(STRING, INT64)

@@ -1,0 +1,55 @@
+"""Unit tests for the RPQ columnar file format."""
+
+import pytest
+
+from repro.columnar import Schema, Table, read_table, write_table
+
+
+@pytest.fixture
+def mixed_table():
+    schema = Schema(
+        [("id", "int64"), ("price", "float64"), ("day", "date"), ("name", "string"), ("ok", "bool")]
+    )
+    return Table.from_pydict(
+        {
+            "id": [1, 2, None, 4],
+            "price": [9.5, None, 7.25, 0.0],
+            "day": ["1995-01-01", "1996-02-02", "1997-03-03", None],
+            "name": ["alpha", "beta", None, "alpha"],
+            "ok": [True, False, True, None],
+        },
+        schema,
+    )
+
+
+class TestRoundTrip:
+    def test_values_survive(self, tmp_path, mixed_table):
+        path = tmp_path / "t.rpq"
+        write_table(mixed_table, path)
+        back = read_table(path)
+        assert back.to_pydict() == mixed_table.to_pydict()
+
+    def test_schema_survives(self, tmp_path, mixed_table):
+        path = tmp_path / "t.rpq"
+        write_table(mixed_table, path)
+        back = read_table(path)
+        assert back.schema == mixed_table.schema
+
+    def test_empty_table(self, tmp_path):
+        t = Table.empty(Schema([("a", "int64"), ("s", "string")]))
+        path = tmp_path / "empty.rpq"
+        write_table(t, path)
+        back = read_table(path)
+        assert back.num_rows == 0
+        assert back.schema == t.schema
+
+    def test_reported_size_matches_file(self, tmp_path, mixed_table):
+        path = tmp_path / "t.rpq"
+        size = write_table(mixed_table, path)
+        assert size == path.stat().st_size > 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.rpq"
+        path.write_bytes(b"NOPE" + b"\0" * 16)
+        with pytest.raises(ValueError, match="not an RPQ file"):
+            read_table(path)

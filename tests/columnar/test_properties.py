@@ -1,0 +1,77 @@
+"""Property-based tests on the columnar substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import (
+    Column,
+    FLOAT64,
+    INT64,
+    Schema,
+    Table,
+    column_from_pylist,
+    read_table,
+    write_table,
+)
+
+maybe_ints = st.lists(st.one_of(st.none(), st.integers(-(2**40), 2**40)), max_size=60)
+maybe_strings = st.lists(
+    st.one_of(st.none(), st.text(alphabet=st.characters(codec="utf-8", exclude_characters="\n"), max_size=12)),
+    max_size=60,
+)
+
+
+class TestColumnProperties:
+    @given(maybe_ints)
+    def test_int_pylist_round_trip(self, values):
+        col = column_from_pylist(values, INT64)
+        assert col.to_pylist() == values
+
+    @given(maybe_strings)
+    def test_string_dictionary_round_trip(self, values):
+        col = Column.from_strings(values)
+        assert col.to_pylist() == values
+
+    @given(maybe_strings)
+    def test_string_dictionary_sorted_invariant(self, values):
+        col = Column.from_strings(values)
+        d = list(col.dictionary)
+        assert d == sorted(d)
+
+    @given(maybe_ints, st.randoms())
+    def test_take_matches_python_indexing(self, values, rng):
+        col = column_from_pylist(values, INT64)
+        if not values:
+            return
+        indices = [rng.randrange(len(values)) for _ in range(len(values))]
+        taken = col.take(np.array(indices))
+        assert taken.to_pylist() == [values[i] for i in indices]
+
+    @given(maybe_ints)
+    def test_mask_matches_python_filter(self, values):
+        col = column_from_pylist(values, INT64)
+        keep = np.array([v is not None and v % 2 == 0 for v in values], dtype=bool)
+        masked = col.mask(keep)
+        assert masked.to_pylist() == [v for v, k in zip(values, keep) if k]
+
+    @given(maybe_ints)
+    def test_null_count_matches(self, values):
+        col = column_from_pylist(values, INT64)
+        assert col.null_count == sum(v is None for v in values)
+
+
+class TestIOProperties:
+    @settings(max_examples=25)
+    @given(ints=maybe_ints, strings=maybe_strings)
+    def test_file_round_trip(self, ints, strings):
+        import tempfile
+        from pathlib import Path
+
+        n = min(len(ints), len(strings))
+        schema = Schema([("i", "int64"), ("s", "string")])
+        table = Table.from_pydict({"i": ints[:n], "s": strings[:n]}, schema)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.rpq"
+            write_table(table, path)
+            assert read_table(path).to_pydict() == table.to_pydict()

@@ -1,0 +1,118 @@
+"""Unit tests for Schema and Table."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import (
+    Column,
+    Field,
+    INT64,
+    FLOAT64,
+    Schema,
+    STRING,
+    Table,
+    column_from_pylist,
+    concat_tables,
+)
+
+
+@pytest.fixture
+def small():
+    schema = Schema([("k", "int64"), ("v", "float64"), ("s", "string")])
+    return Table.from_pydict(
+        {"k": [1, 2, 3], "v": [1.5, 2.5, 3.5], "s": ["a", None, "c"]}, schema
+    )
+
+
+class TestSchema:
+    def test_lookup(self):
+        s = Schema([("a", "int64"), ("b", "string")])
+        assert s.index_of("b") == 1
+        assert s.field("a").dtype is INT64
+        assert "a" in s and "z" not in s
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([("a", "int64"), ("a", "string")])
+
+    def test_equality(self):
+        assert Schema([("a", "int64")]) == Schema([Field("a", INT64)])
+        assert Schema([("a", "int64")]) != Schema([("a", "float64")])
+
+
+class TestTableConstruction:
+    def test_round_trip(self, small):
+        assert small.to_pydict()["k"] == [1, 2, 3]
+        assert small.num_rows == 3 and small.num_columns == 3
+
+    def test_ragged_rejected(self):
+        schema = Schema([("a", "int64"), ("b", "int64")])
+        with pytest.raises(ValueError):
+            Table(schema, [column_from_pylist([1], INT64), column_from_pylist([1, 2], INT64)])
+
+    def test_dtype_mismatch_rejected(self):
+        schema = Schema([("a", "int64")])
+        with pytest.raises(TypeError):
+            Table(schema, [column_from_pylist([1.0], FLOAT64)])
+
+    def test_empty(self):
+        t = Table.empty(Schema([("a", "int64")]))
+        assert t.num_rows == 0
+
+
+class TestTableOps:
+    def test_select_reorders(self, small):
+        t = small.select(["s", "k"])
+        assert t.schema.names() == ["s", "k"]
+
+    def test_take_rows(self, small):
+        t = small.take(np.array([2, 0]))
+        assert t.to_pydict()["k"] == [3, 1]
+
+    def test_mask_rows(self, small):
+        t = small.mask(np.array([True, False, True]))
+        assert t.to_pydict()["v"] == [1.5, 3.5]
+
+    def test_with_column_appends(self, small):
+        t = small.with_column("w", column_from_pylist([9, 9, 9], INT64))
+        assert t.num_columns == 4
+        assert t["w"].to_pylist() == [9, 9, 9]
+
+    def test_with_column_replaces(self, small):
+        t = small.with_column("k", column_from_pylist([7, 7, 7], INT64))
+        assert t.num_columns == 3
+        assert t["k"].to_pylist() == [7, 7, 7]
+
+    def test_rename(self, small):
+        t = small.rename(["x", "y", "z"])
+        assert t.schema.names() == ["x", "y", "z"]
+        with pytest.raises(ValueError):
+            small.rename(["only_one"])
+
+    def test_to_rows(self, small):
+        rows = small.to_rows()
+        assert rows[0] == (1, 1.5, "a")
+        assert rows[1][2] is None
+
+    def test_pretty_renders_nulls(self, small):
+        text = small.pretty()
+        assert "NULL" in text and "k" in text
+
+
+class TestConcat:
+    def test_concat_preserves_order_and_values(self, small):
+        both = concat_tables([small, small])
+        assert both.num_rows == 6
+        assert both.to_pydict()["k"] == [1, 2, 3, 1, 2, 3]
+        assert both.to_pydict()["s"] == ["a", None, "c", "a", None, "c"]
+
+    def test_concat_rejects_mismatched_schema(self, small):
+        other = Table.from_pydict({"k": [1]}, Schema([("k", "int64")]))
+        with pytest.raises(ValueError):
+            concat_tables([small, other])
+
+    def test_concat_string_dictionaries_merge(self):
+        s1 = Table.from_pydict({"s": ["a", "b"]}, Schema([("s", "string")]))
+        s2 = Table.from_pydict({"s": ["c", "a"]}, Schema([("s", "string")]))
+        out = concat_tables([s1, s2])
+        assert out.to_pydict()["s"] == ["a", "b", "c", "a"]

@@ -1,0 +1,72 @@
+"""Shared fixtures: simulated devices and small canonical tables."""
+
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.gpu import A100_40G, Device, GH200, M7I_CPU, SimClock
+
+
+@pytest.fixture
+def gpu():
+    """A GH200-like device with a small memory limit (tests stay tiny)."""
+    return Device(GH200, memory_limit_gb=2.0)
+
+
+@pytest.fixture
+def cpu_device():
+    return Device(M7I_CPU, memory_limit_gb=2.0)
+
+
+@pytest.fixture
+def a100():
+    return Device(A100_40G, memory_limit_gb=2.0)
+
+
+@pytest.fixture
+def orders_table():
+    """A small orders-like table with ints, floats, dates, and strings."""
+    schema = Schema(
+        [
+            ("o_orderkey", "int64"),
+            ("o_custkey", "int64"),
+            ("o_totalprice", "float64"),
+            ("o_orderdate", "date"),
+            ("o_orderpriority", "string"),
+        ]
+    )
+    return Table.from_pydict(
+        {
+            "o_orderkey": [1, 2, 3, 4, 5, 6],
+            "o_custkey": [10, 20, 10, 30, 20, 10],
+            "o_totalprice": [100.0, 250.5, 75.25, 300.0, 125.75, 90.0],
+            "o_orderdate": [
+                "1995-01-10",
+                "1995-03-15",
+                "1996-06-01",
+                "1996-07-20",
+                "1997-02-28",
+                "1997-11-11",
+            ],
+            "o_orderpriority": ["1-URGENT", "2-HIGH", "1-URGENT", "3-MEDIUM", "2-HIGH", "5-LOW"],
+        },
+        schema,
+    )
+
+
+@pytest.fixture
+def customer_table():
+    schema = Schema(
+        [
+            ("c_custkey", "int64"),
+            ("c_name", "string"),
+            ("c_acctbal", "float64"),
+        ]
+    )
+    return Table.from_pydict(
+        {
+            "c_custkey": [10, 20, 30, 40],
+            "c_name": ["Customer#10", "Customer#20", "Customer#30", "Customer#40"],
+            "c_acctbal": [1000.0, -50.0, 0.0, 777.7],
+        },
+        schema,
+    )

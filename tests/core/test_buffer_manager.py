@@ -1,0 +1,125 @@
+"""Unit tests for Sirius' buffer manager: caching, spilling, conversions."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.core import BufferManager
+from repro.gpu import Device, GH200, OutOfDeviceMemory
+
+
+def make_table(rows: int, name_prefix="v") -> Table:
+    schema = Schema([("a", "int64"), ("b", "float64")])
+    return Table.from_pydict(
+        {"a": list(range(rows)), "b": [float(i) for i in range(rows)]}, schema
+    )
+
+
+@pytest.fixture
+def device():
+    return Device(GH200, memory_limit_gb=0.001)  # 1 MB: 500 KB caching
+
+
+@pytest.fixture
+def bm(device):
+    return BufferManager(device)
+
+
+class TestCaching:
+    def test_cold_then_hot(self, bm):
+        t = make_table(100)
+        g1 = bm.get_table("t", t)
+        g2 = bm.get_table("t", t)
+        assert g1 is g2
+        assert bm.cold_loads == 1 and bm.hot_hits == 1
+
+    def test_cold_load_charges_transfer(self, bm, device):
+        before = device.htod_bytes
+        bm.get_table("t", make_table(100))
+        assert device.htod_bytes > before
+        hot_before = device.htod_bytes
+        bm.get_table("t", make_table(100))
+        assert device.htod_bytes == hot_before  # hot runs move nothing
+
+    def test_drop_releases_device_memory(self, bm, device):
+        bm.get_table("t", make_table(1000))
+        used = device.caching_region.used
+        assert used > 0
+        bm.drop("t")
+        assert device.caching_region.used == 0
+
+    def test_clear(self, bm):
+        bm.get_table("a", make_table(10))
+        bm.get_table("b", make_table(10))
+        bm.clear()
+        assert bm.cached_tables() == []
+
+
+class TestSpilling:
+    def test_lru_spill_under_pressure(self, bm):
+        # Each table is ~16 KB x ... fill past 500 KB to force spills.
+        for i in range(40):
+            bm.get_table(f"t{i}", make_table(2000))
+        assert bm.spills > 0
+        assert bm.pinned_host_bytes > 0
+
+    def test_spilled_table_comes_back(self, bm):
+        big = make_table(12000)  # ~192 KB each
+        bm.get_table("a", big)
+        bm.get_table("b", big)
+        bm.get_table("c", big)  # evicts "a"
+        assert bm.spills >= 1
+        again = bm.get_table("a", big)  # unspill
+        assert bm.unspills >= 1
+        assert len(again.columns[0]) == 12000
+
+    def test_spill_disabled_raises(self, device):
+        bm = BufferManager(device, enable_spill=False)
+        with pytest.raises(OutOfDeviceMemory):
+            for i in range(40):
+                bm.get_table(f"t{i}", make_table(2000))
+
+    def test_table_larger_than_region_raises_even_with_spill(self, bm):
+        with pytest.raises(OutOfDeviceMemory):
+            bm.get_table("huge", make_table(200_000))  # ~3.2 MB > 500 KB
+
+    def test_failed_load_leaks_nothing(self, bm, device):
+        with pytest.raises(OutOfDeviceMemory):
+            bm.get_table("huge", make_table(200_000))
+        assert device.caching_region.used == 0
+
+
+class TestIndexConversion:
+    """The paper's one non-zero-copy conversion: uint64 <-> int32 row ids."""
+
+    def test_round_trip(self, bm):
+        engine_ids = np.array([0, 5, 17], dtype=np.uint64)
+        kernel_ids = bm.engine_indices_to_kernel(engine_ids)
+        assert kernel_ids.dtype == np.int32
+        back = bm.kernel_indices_to_engine(kernel_ids)
+        assert back.dtype == np.uint64
+        assert back.tolist() == engine_ids.tolist()
+
+    def test_null_sentinel_round_trip(self, bm):
+        kernel_ids = np.array([3, -1, 7], dtype=np.int32)
+        engine_ids = bm.kernel_indices_to_engine(kernel_ids)
+        assert engine_ids[1] == np.uint64(2**64 - 1)
+        assert bm.engine_indices_to_kernel(engine_ids).tolist() == [3, -1, 7]
+
+    def test_wrong_dtype_rejected(self, bm):
+        with pytest.raises(TypeError):
+            bm.engine_indices_to_kernel(np.array([1, 2], dtype=np.int64))
+
+    def test_overflowing_index_rejected(self, bm):
+        too_big = np.array([2**40], dtype=np.uint64)
+        with pytest.raises(OverflowError):
+            bm.engine_indices_to_kernel(too_big)
+
+    def test_conversion_is_charged(self, bm, device):
+        before = device.kernel_count
+        bm.engine_indices_to_kernel(np.arange(10, dtype=np.uint64))
+        assert device.kernel_count == before + 1
+
+    def test_stats_keys(self, bm):
+        stats = bm.stats()
+        assert {"cold_loads", "hot_hits", "spills", "caching_capacity"} <= set(stats)

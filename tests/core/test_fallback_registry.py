@@ -1,0 +1,112 @@
+"""Tests for graceful fallback and the operator-implementation registry."""
+
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.core import SiriusEngine
+from repro.core.operators.base import OperatorRegistry, UnsupportedFeatureError
+from repro.gpu.specs import A100_40G
+from repro.hosts import CpuEngine
+from repro.plan import PlanBuilder, col, lit
+
+SCHEMA = Schema([("k", "int64"), ("v", "float64")])
+
+
+@pytest.fixture
+def data():
+    return {
+        "t": Table.from_pydict(
+            {"k": list(range(2000)), "v": [float(i) for i in range(2000)]}, SCHEMA
+        )
+    }
+
+
+class TestFallback:
+    def test_oom_falls_back_to_host(self, data):
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=0.00003,  # ~30 KB: cannot hold the table
+            enable_spill=False,
+            host_executor=lambda plan: CpuEngine().execute(plan, data),
+        )
+        plan = PlanBuilder.read("t", SCHEMA).filter(col("v") > lit(10.0)).build()
+        out = engine.execute(plan, data)
+        assert out.num_rows == 1989
+        assert engine.fallback.fallback_count == 1
+        assert engine.fallback.events[0].exception_type == "OutOfDeviceMemory"
+
+    def test_missing_table_falls_back(self, data):
+        calls = []
+
+        def host(plan):
+            calls.append(plan)
+            return CpuEngine().execute(plan, data)
+
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0, host_executor=host)
+        plan = PlanBuilder.read("t", SCHEMA).build()
+        engine.execute(plan, {})  # table absent on the GPU path
+        assert len(calls) == 1
+
+    def test_no_host_executor_reraises(self, data):
+        engine = SiriusEngine.for_spec(
+            A100_40G, memory_limit_gb=0.00003, enable_spill=False
+        )
+        plan = PlanBuilder.read("t", SCHEMA).build()
+        with pytest.raises(Exception):
+            engine.execute(plan, data)
+        assert engine.fallback.fallback_count == 1  # event recorded anyway
+
+    def test_profile_cleared_after_fallback(self, data):
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=0.00003,
+            enable_spill=False,
+            host_executor=lambda plan: CpuEngine().execute(plan, data),
+        )
+        plan = PlanBuilder.read("t", SCHEMA).build()
+        engine.execute(plan, data)
+        assert engine.last_profile is None  # GPU profile would be misleading
+
+
+class TestRegistry:
+    def test_register_and_use(self):
+        reg = OperatorRegistry()
+        reg.register("join", "a", object(), make_active=True)
+        reg.register("join", "b", object())
+        assert reg.active_implementations()["join"] == "a"
+        reg.use("join", "b")
+        assert reg.active_implementations()["join"] == "b"
+
+    def test_unknown_impl_rejected(self):
+        reg = OperatorRegistry()
+        reg.register("join", "a", object())
+        with pytest.raises(KeyError):
+            reg.use("join", "missing")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            OperatorRegistry().get("teleport")
+
+    def test_available_lists_all(self):
+        reg = OperatorRegistry()
+        reg.register("groupby", "x", object())
+        reg.register("groupby", "y", object())
+        assert sorted(reg.available("groupby")) == ["x", "y"]
+
+    def test_engine_swap_changes_results_not_values(self, data):
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0)
+        other = PlanBuilder.read("t", SCHEMA)
+        plan = (
+            PlanBuilder.read("t", SCHEMA)
+            .join(other, "inner", [("k", "k")])
+            .aggregate(groups=[], aggs=[("count", None, "n")])
+            .build()
+        )
+        baseline = engine.execute(plan, data).to_pydict()
+        engine.use_implementation("join", "custom")
+        assert engine.execute(plan, data).to_pydict() == baseline
+
+    def test_engine_rejects_unknown_impl(self, data):
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0)
+        with pytest.raises(KeyError):
+            engine.use_implementation("join", "fpga")

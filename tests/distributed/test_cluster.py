@@ -1,0 +1,93 @@
+"""Unit tests for the cluster substrate: partitioning, nodes, clocks."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.distributed import Cluster, PARTITION_KEYS, REPLICATED_TABLES, partition_table
+from repro.gpu import Device, SimClock
+from repro.gpu.specs import A100_40G
+from repro.tpch import generate_tpch
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(sf=0.01)
+
+
+class TestPartitioning:
+    def test_partitions_cover_all_rows(self):
+        t = Table.from_pydict(
+            {"k": list(range(100)), "v": [float(i) for i in range(100)]},
+            Schema([("k", "int64"), ("v", "float64")]),
+        )
+        parts = partition_table(t, "k", 4)
+        assert sum(p.num_rows for p in parts) == 100
+
+    def test_same_key_same_partition(self):
+        t = Table.from_pydict(
+            {"k": [7, 7, 11, 11]}, Schema([("k", "int64")])
+        )
+        parts = partition_table(t, "k", 3)
+        homes = [i for i, p in enumerate(parts) if 7 in p["k"].to_pylist()]
+        assert len(homes) == 1
+
+    def test_string_partition_key_rejected(self):
+        t = Table.from_pydict({"s": ["a"]}, Schema([("s", "string")]))
+        with pytest.raises(ValueError):
+            partition_table(t, "s", 2)
+
+    def test_co_partitioning_of_equal_keys(self):
+        """Rows with equal key values land on the same node across tables -
+        the property that makes co-located joins correct."""
+        a = Table.from_pydict({"k": list(range(50))}, Schema([("k", "int64")]))
+        b = Table.from_pydict({"k": list(range(0, 50, 5))}, Schema([("k", "int64")]))
+        pa = partition_table(a, "k", 4)
+        pb = partition_table(b, "k", 4)
+        for node in range(4):
+            assert set(pb[node]["k"].to_pylist()) <= set(pa[node]["k"].to_pylist())
+
+
+class TestCluster:
+    def test_default_is_four_a100s(self):
+        cluster = Cluster()
+        assert cluster.num_nodes == 4
+        assert all(n.device.spec.name == A100_40G.name for n in cluster.nodes)
+
+    def test_load_replicates_small_tables(self, data):
+        cluster = Cluster(num_nodes=4)
+        cluster.load_tables(data)
+        for node in cluster.nodes:
+            assert node.catalog["nation"].num_rows == 25  # replicated
+        lineitem_total = sum(n.catalog["lineitem"].num_rows for n in cluster.nodes)
+        assert lineitem_total == data["lineitem"].num_rows  # partitioned
+
+    def test_partitioning_of(self, data):
+        cluster = Cluster()
+        cluster.load_tables(data)
+        assert cluster.partitioning_of("nation") is None
+        assert cluster.partitioning_of("orders") == PARTITION_KEYS["orders"]
+
+    def test_heartbeat_membership(self):
+        cluster = Cluster(num_nodes=3)
+        assert len(cluster.active_nodes()) == 3
+        assert all(n.alive for n in cluster.nodes)
+
+    def test_independent_clocks_align_on_barrier(self):
+        cluster = Cluster(num_nodes=2)
+        cluster.nodes[0].clock.advance(5.0)
+        assert cluster.nodes[1].clock.now == 0.0
+        latest = cluster.align_clocks(category="exchange")
+        assert latest == 5.0
+        assert cluster.nodes[1].clock.now == 5.0
+        assert cluster.nodes[1].clock.bucket("exchange") == 5.0
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=0)
+
+    def test_custom_device_factory(self):
+        from repro.gpu.specs import M7I_CPU
+
+        cluster = Cluster(num_nodes=2, device_factory=lambda c: Device(M7I_CPU, clock=c))
+        assert all(not n.device.is_gpu for n in cluster.nodes)

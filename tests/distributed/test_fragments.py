@@ -1,0 +1,176 @@
+"""Unit tests for distributed plan fragmentation."""
+
+import pytest
+
+from repro.columnar import Schema
+from repro.distributed import DistributedPlanner, DistributedUnsupportedError
+from repro.plan import (
+    AggregateCall,
+    AggregateRel,
+    FieldRef,
+    JoinRel,
+    PlanBuilder,
+    ReadRel,
+    col,
+    lit,
+)
+
+FACTS = Schema([("k", "int64"), ("g", "int64"), ("v", "float64")])
+DIMS = Schema([("k", "int64"), ("name", "string")])
+
+PARTITIONING = {"facts": "k", "dims": None, "other_facts": "g"}
+
+
+def planner(**kwargs):
+    return DistributedPlanner(lambda t: PARTITIONING.get(t), **kwargs)
+
+
+def fragment_kinds(fragments):
+    return [f.output.kind if f.output else "result" for f in fragments]
+
+
+class TestScanFilterProject:
+    def test_partitioned_scan_merges_at_the_end(self):
+        plan = PlanBuilder.read("facts", FACTS).filter(col("v") > lit(0.0)).build()
+        frags = planner().plan(plan.root)
+        assert fragment_kinds(frags) == ["merge", "result"]
+        assert frags[-1].runs_on == "coordinator"
+
+    def test_replicated_scan_runs_once(self):
+        plan = PlanBuilder.read("dims", DIMS).build()
+        frags = planner().plan(plan.root)
+        assert fragment_kinds(frags) == ["result"]
+        assert frags[0].runs_on == "coordinator"
+
+
+class TestJoins:
+    def test_replicated_build_side_join_is_local(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .join(PlanBuilder.read("dims", DIMS), "inner", [("k", "k")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        # Local join then merge: no shuffle fragment.
+        assert "shuffle" not in fragment_kinds(frags)
+
+    def test_non_colocated_join_shuffles_misplaced_side(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .join(PlanBuilder.read("other_facts", FACTS), "inner", [("k", "k")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        # other_facts is partitioned on g, joined on k: one shuffle needed.
+        assert fragment_kinds(frags).count("shuffle") == 1
+
+    def test_colocated_join_needs_no_exchange(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .join(PlanBuilder.read("facts", FACTS), "inner", [("k", "k")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        assert "shuffle" not in fragment_kinds(frags)
+
+    def test_broadcast_mode_ships_build_side_and_centralises(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .join(PlanBuilder.read("other_facts", FACTS), "inner", [("g", "k")])
+            .build()
+        )
+        frags = planner(prefer_broadcast_joins=True).plan(plan.root)
+        kinds = fragment_kinds(frags)
+        assert "broadcast" in kinds
+        assert frags[-1].runs_on == "coordinator"
+
+    def test_consumed_exchanges_derived_from_plan(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .join(PlanBuilder.read("other_facts", FACTS), "inner", [("k", "k")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        producing = {f.output.exchange_id for f in frags if f.output}
+        consumed = {e for f in frags for e in f.consumes}
+        assert consumed <= producing
+        assert consumed  # somebody reads something
+
+
+class TestAggregates:
+    def test_grouped_aggregate_two_phase(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .aggregate(groups=["g"], aggs=[("sum", "v", "s"), ("count", None, "n")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        assert "shuffle" in fragment_kinds(frags)
+        # Partial + final aggregates exist.
+        agg_count = sum(
+            1
+            for f in frags
+            for rel in _walk(f.plan)
+            if isinstance(rel, AggregateRel)
+        )
+        assert agg_count == 2
+
+    def test_groups_on_partition_key_single_phase(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .aggregate(groups=["k"], aggs=[("sum", "v", "s")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        assert "shuffle" not in fragment_kinds(frags)
+
+    def test_global_aggregate_merges_partials(self):
+        plan = PlanBuilder.read("facts", FACTS).aggregate(
+            groups=[], aggs=[("sum", "v", "s")]
+        ).build()
+        frags = planner().plan(plan.root)
+        assert fragment_kinds(frags) == ["merge", "result"]
+
+    def test_avg_decomposed_into_sum_and_count(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .aggregate(groups=["g"], aggs=[("avg", "v", "m")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        partial = next(
+            rel
+            for f in frags
+            for rel in _walk(f.plan)
+            if isinstance(rel, AggregateRel) and len(rel.measures) == 2
+        )
+        ops = sorted(a.op for a, _ in partial.measures)
+        assert ops == ["count", "sum"]
+
+    def test_distinct_aggregate_shuffles_rows(self):
+        plan = (
+            PlanBuilder.read("facts", FACTS)
+            .aggregate(groups=["g"], aggs=[("count_distinct", "v", "d")])
+            .build()
+        )
+        frags = planner().plan(plan.root)
+        assert "shuffle" in fragment_kinds(frags)
+        # Exactly one aggregate: no partial phase for DISTINCT.
+        agg_count = sum(
+            1 for f in frags for rel in _walk(f.plan) if isinstance(rel, AggregateRel)
+        )
+        assert agg_count == 1
+
+
+class TestSortLimit:
+    def test_topn_local_then_final(self):
+        plan = PlanBuilder.read("facts", FACTS).sort([("v", False)]).limit(5).build()
+        frags = planner().plan(plan.root)
+        assert fragment_kinds(frags) == ["merge", "result"]
+        assert frags[-1].runs_on == "coordinator"
+
+
+def _walk(rel):
+    yield rel
+    for child in rel.inputs:
+        yield from _walk(child)

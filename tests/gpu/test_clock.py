@@ -1,0 +1,87 @@
+"""Unit tests for the simulated clock and its attribution buckets."""
+
+import pytest
+
+from repro.gpu import SimClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_future(self):
+        c = SimClock()
+        c.advance(1.0)
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_to_past_is_noop(self):
+        c = SimClock()
+        c.advance(3.0)
+        c.advance_to(1.0)
+        assert c.now == 3.0
+
+    def test_elapsed_since(self):
+        c = SimClock()
+        mark = c.now
+        c.advance(2.25)
+        assert c.elapsed_since(mark) == 2.25
+
+
+class TestAttribution:
+    def test_explicit_category(self):
+        c = SimClock()
+        c.advance(1.0, category="join")
+        c.advance(2.0, category="filter")
+        c.advance(0.5, category="join")
+        assert c.bucket("join") == 1.5
+        assert c.bucket("filter") == 2.0
+
+    def test_unknown_bucket_is_zero(self):
+        assert SimClock().bucket("nothing") == 0.0
+
+    def test_scoped_attribution(self):
+        c = SimClock()
+        with c.attributed("groupby"):
+            c.advance(1.0)
+        c.advance(1.0)  # outside any scope: unattributed
+        assert c.bucket("groupby") == 1.0
+        assert c.now == 2.0
+
+    def test_nested_scopes_innermost_wins(self):
+        c = SimClock()
+        with c.attributed("outer"):
+            with c.attributed("inner"):
+                c.advance(1.0)
+            c.advance(2.0)
+        assert c.bucket("inner") == 1.0
+        assert c.bucket("outer") == 2.0
+
+    def test_explicit_category_overrides_scope(self):
+        c = SimClock()
+        with c.attributed("scope"):
+            c.advance(1.0, category="explicit")
+        assert c.bucket("explicit") == 1.0
+        assert c.bucket("scope") == 0.0
+
+    def test_advance_to_attributes_waiting_time(self):
+        c = SimClock()
+        c.advance_to(4.0, category="exchange")
+        assert c.bucket("exchange") == 4.0
+
+    def test_reset_buckets_keeps_time(self):
+        c = SimClock()
+        c.advance(1.0, category="x")
+        c.reset_buckets()
+        assert c.now == 1.0
+        assert c.buckets() == {}

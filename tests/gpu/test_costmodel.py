@@ -1,0 +1,92 @@
+"""Unit tests pinning the analytical kernel cost model."""
+
+import pytest
+
+from repro.gpu import GH200, KernelClass, KernelCostModel, M7I_CPU
+
+GB = 1_000_000_000
+
+
+@pytest.fixture
+def gpu_model():
+    return KernelCostModel(GH200)
+
+
+@pytest.fixture
+def cpu_model():
+    return KernelCostModel(M7I_CPU)
+
+
+class TestStreamingKernels:
+    def test_bandwidth_bound_time(self, gpu_model):
+        # 3 GB in + 3 GB out over 3000 GB/s = 2 ms of memory traffic.
+        cost = gpu_model.kernel_cost(KernelClass.STREAM, 3 * GB, 3 * GB, 1000)
+        assert cost.streaming == pytest.approx(0.002)
+        assert cost.random == 0.0
+
+    def test_launch_overhead_dominates_tiny_kernels(self, gpu_model):
+        cost = gpu_model.kernel_cost(KernelClass.STREAM, 64, 64, 8)
+        assert cost.launch > cost.streaming + cost.compute
+
+    def test_gpu_beats_cpu_on_big_streams(self, gpu_model, cpu_model):
+        args = (KernelClass.STREAM, 10 * GB, 10 * GB, 100_000_000)
+        assert gpu_model.kernel_cost(*args).total < cpu_model.kernel_cost(*args).total
+
+    def test_bandwidth_ratio_shapes_speedup(self, gpu_model, cpu_model):
+        # For huge purely-streaming kernels, the speedup approaches the
+        # bandwidth ratio (3000/300 = 10x here).
+        args = (KernelClass.STREAM, 100 * GB, 0, 1)
+        ratio = cpu_model.kernel_cost(*args).total / gpu_model.kernel_cost(*args).total
+        assert 9.0 < ratio < 11.0
+
+
+class TestRandomAccessKernels:
+    def test_hash_probe_pays_random_discount(self, gpu_model):
+        stream = gpu_model.kernel_cost(KernelClass.STREAM, GB, 0, 10)
+        probe = gpu_model.kernel_cost(KernelClass.HASH_PROBE, GB, 0, 10)
+        assert probe.random > stream.streaming
+
+    def test_random_efficiency_factor(self, gpu_model):
+        cost = gpu_model.kernel_cost(KernelClass.GATHER, GB, 0, 1)
+        expected = GB / (3000 * GB * 0.25)
+        assert cost.random == pytest.approx(expected)
+
+
+class TestSortKernels:
+    def test_sort_pays_log_passes(self, gpu_model):
+        small = gpu_model.kernel_cost(KernelClass.SORT, GB, 0, 2**10)
+        big = gpu_model.kernel_cost(KernelClass.SORT, GB, 0, 2**30)
+        assert big.streaming > small.streaming
+
+
+class TestContentionPenalty:
+    def test_few_groups_penalised_on_gpu(self, gpu_model):
+        few = gpu_model.kernel_cost(KernelClass.GROUPBY_HASH, GB, 0, 10**7, num_groups=4)
+        many = gpu_model.kernel_cost(KernelClass.GROUPBY_HASH, GB, 0, 10**7, num_groups=10**6)
+        assert few.penalty > 0.0
+        assert many.penalty == 0.0
+        assert few.total > many.total
+
+    def test_cpu_has_no_contention_penalty(self, cpu_model):
+        cost = cpu_model.kernel_cost(KernelClass.GROUPBY_HASH, GB, 0, 10**7, num_groups=4)
+        assert cost.penalty == 0.0
+
+    def test_penalty_monotone_in_group_count(self, gpu_model):
+        penalties = [
+            gpu_model.kernel_cost(
+                KernelClass.GROUPBY_HASH, GB, 0, 10**7, num_groups=g
+            ).penalty
+            for g in (2, 32, 512, 4096)
+        ]
+        assert penalties == sorted(penalties, reverse=True)
+
+
+class TestTransfers:
+    def test_transfer_time_is_latency_plus_bytes(self, gpu_model):
+        t = gpu_model.transfer_cost(45 * GB)
+        # 45 GB over 450 GB/s NVLink-C2C = 100 ms, plus 2 us latency.
+        assert t == pytest.approx(0.1 + 2e-6)
+
+    def test_unknown_kernel_class_rejected(self, gpu_model):
+        with pytest.raises(ValueError):
+            gpu_model.kernel_cost("warp_drive", 1, 1, 1)

@@ -1,0 +1,107 @@
+"""Unit tests for Device and DeviceMemory: regions, transfers, OOM."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, DeviceMemory, GH200, OutOfDeviceMemory, SimClock
+
+
+class TestDeviceMemory:
+    def test_allocate_free_cycle(self):
+        m = DeviceMemory(1000)
+        m.allocate(600)
+        assert m.used == 600 and m.available == 400
+        m.free(600)
+        assert m.used == 0
+
+    def test_oom(self):
+        m = DeviceMemory(100)
+        with pytest.raises(OutOfDeviceMemory) as exc:
+            m.allocate(200)
+        assert exc.value.requested == 200
+
+    def test_over_free_rejected(self):
+        m = DeviceMemory(100)
+        with pytest.raises(ValueError):
+            m.free(1)
+
+    def test_peak(self):
+        m = DeviceMemory(1000)
+        m.allocate(800)
+        m.free(800)
+        m.allocate(100)
+        assert m.peak == 800
+
+
+class TestDeviceRegions:
+    def test_fifty_fifty_split_by_default(self):
+        d = Device(GH200, memory_limit_gb=2.0)
+        assert d.caching_region.capacity == pytest.approx(10**9, rel=0.01)
+        assert d.processing_pool.capacity == pytest.approx(10**9, rel=0.01)
+
+    def test_custom_caching_fraction(self):
+        d = Device(GH200, caching_fraction=0.25, memory_limit_gb=4.0)
+        assert d.caching_region.capacity == pytest.approx(10**9, rel=0.01)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Device(GH200, caching_fraction=1.5)
+
+    def test_buffer_in_processing_pool(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        buf = d.new_buffer(np.zeros(1000, dtype=np.int64))
+        assert d.processing_pool.in_use >= 8000
+        buf.free()
+        assert d.processing_pool.in_use == 0
+
+    def test_buffer_in_caching_region(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        buf = d.new_buffer(np.zeros(1000, dtype=np.int64), region="caching")
+        assert d.caching_region.used == 8000
+        buf.free()
+        assert d.caching_region.used == 0
+
+    def test_buffer_free_is_idempotent(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        buf = d.new_buffer(np.zeros(10))
+        buf.free()
+        buf.free()  # second free must not raise or double-release
+        assert d.processing_pool.in_use == 0
+
+    def test_processing_oom_surfaces(self):
+        d = Device(GH200, memory_limit_gb=0.001)  # 1 MB total, 512 KB pool
+        with pytest.raises(OutOfDeviceMemory):
+            d.new_buffer(np.zeros(10**6, dtype=np.float64))
+
+    def test_unknown_region_rejected(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        with pytest.raises(ValueError):
+            d.new_buffer(np.zeros(1), region="l2_cache")
+
+
+class TestDeviceTimeCharging:
+    def test_launch_advances_clock(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        before = d.clock.now
+        d.launch("stream", 10**6, 10**6, 1000)
+        assert d.clock.now > before
+        assert d.kernel_count == 1
+
+    def test_transfers_attributed(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        d.htod(10**9)
+        d.dtoh(10**9)
+        assert d.htod_bytes == 10**9 and d.dtoh_bytes == 10**9
+        assert d.clock.bucket("transfer") == pytest.approx(d.clock.now)
+
+    def test_shared_clock(self):
+        clock = SimClock()
+        d1 = Device(GH200, clock=clock, memory_limit_gb=1.0)
+        d2 = Device(GH200, clock=clock, memory_limit_gb=1.0)
+        d1.launch("stream", 10**6, 0, 10)
+        assert d2.clock.now == d1.clock.now > 0
+
+    def test_memory_report_keys(self):
+        d = Device(GH200, memory_limit_gb=1.0)
+        report = d.memory_report()
+        assert {"caching_capacity", "processing_peak"} <= set(report)

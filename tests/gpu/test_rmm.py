@@ -1,0 +1,120 @@
+"""Unit + property tests for the RMM-style pool allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import PoolAllocator
+from repro.gpu.memory import OutOfDeviceMemory
+
+
+class TestBasicAllocation:
+    def test_allocate_and_free(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(1000)
+        assert a.size >= 1000
+        assert pool.in_use == a.size
+        pool.free(a)
+        assert pool.in_use == 0
+
+    def test_alignment(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(1)
+        assert a.size % 256 == 0
+        assert a.offset % 256 == 0
+
+    def test_oom_on_exhaustion(self):
+        pool = PoolAllocator(1024)
+        pool.allocate(512)
+        with pytest.raises(OutOfDeviceMemory):
+            pool.allocate(1024)
+
+    def test_double_free_detected(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(100)
+        pool.free(a)
+        with pytest.raises(ValueError, match="double free"):
+            pool.free(a)
+
+    def test_zero_size_allowed(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(0)
+        assert a.size == 256  # minimum block
+        pool.free(a)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PoolAllocator(0)
+
+
+class TestCoalescing:
+    def test_freed_neighbours_merge(self):
+        pool = PoolAllocator(4096)
+        a = pool.allocate(1024)
+        b = pool.allocate(1024)
+        c = pool.allocate(1024)
+        pool.free(a)
+        pool.free(c)
+        assert pool.stats().free_blocks == 2  # a-hole and c+tail
+        pool.free(b)
+        stats = pool.stats()
+        assert stats.free_blocks == 1
+        assert stats.largest_free_block == pool.capacity
+
+    def test_fragmentation_metric(self):
+        pool = PoolAllocator(4096)
+        blocks = [pool.allocate(512) for _ in range(8)]
+        for blk in blocks[::2]:
+            pool.free(blk)
+        stats = pool.stats()
+        assert stats.fragmentation > 0.0
+        # Even though half the pool is free, a 1024-byte request fails.
+        assert pool.available == 2048
+        with pytest.raises(OutOfDeviceMemory):
+            pool.allocate(1024)
+
+
+class TestStats:
+    def test_peak_tracks_high_water(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(1000)
+        b = pool.allocate(2000)
+        pool.free(a)
+        pool.free(b)
+        assert pool.stats().peak_in_use >= 3000
+        assert pool.in_use == 0
+
+    def test_counters(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(10)
+        pool.free(a)
+        stats = pool.stats()
+        assert stats.num_allocs == 1 and stats.num_frees == 1
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 4096)),
+            max_size=120,
+        )
+    )
+    def test_random_workload_never_corrupts(self, ops):
+        """No overlap, no leak, frees restore capacity - under any workload."""
+        pool = PoolAllocator(1 << 16)
+        live = []
+        for action, size in ops:
+            if action == "alloc":
+                try:
+                    live.append(pool.allocate(size))
+                except OutOfDeviceMemory:
+                    pass
+            elif live:
+                pool.free(live.pop(len(live) // 2))
+            pool.check_invariants()
+        for a in live:
+            pool.free(a)
+        pool.check_invariants()
+        assert pool.in_use == 0
+        assert pool.stats().free_blocks == 1

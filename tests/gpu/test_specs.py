@@ -1,0 +1,60 @@
+"""Tests for the hardware catalog (Table 1 and Figure 1 source data)."""
+
+import pytest
+
+from repro.gpu import C6A_METAL, GH200, TABLE1_INSTANCES, TRENDS, trend_cagr
+from repro.gpu.specs import GH200_INSTANCE
+
+
+class TestTable1Data:
+    def test_table1_has_cpu_and_gpu(self):
+        kinds = {i.kind for i in TABLE1_INSTANCES}
+        assert kinds == {"cpu", "gpu"}
+
+    def test_paper_numbers_for_c6a(self):
+        assert C6A_METAL.cores == 192
+        assert C6A_METAL.memory_bw_gbps == 400.0
+        assert C6A_METAL.memory_gb == 384.0
+        assert C6A_METAL.cost_per_hour == pytest.approx(7.344)
+
+    def test_paper_numbers_for_gh200(self):
+        assert GH200_INSTANCE.cores > 14000
+        assert GH200_INSTANCE.memory_bw_gbps == 3000.0
+        assert GH200_INSTANCE.cost_per_hour == pytest.approx(3.2)
+
+    def test_gpu_wins_bandwidth_per_dollar(self):
+        # The paper's core economic argument.
+        assert GH200_INSTANCE.bandwidth_per_dollar > 10 * C6A_METAL.bandwidth_per_dollar
+
+
+class TestFigure1Trends:
+    def test_all_four_panels_present(self):
+        assert {"gpu_memory_gb", "interconnect_gbps", "storage_gbps", "network_gbps"} <= set(
+            TRENDS
+        )
+
+    def test_series_sorted_by_year(self):
+        for name, series in TRENDS.items():
+            years = [y for y, _, _ in series]
+            assert years == sorted(years), name
+
+    def test_gpu_memory_reaches_288(self):
+        values = [v for _, _, v in TRENDS["gpu_memory_gb"]]
+        assert max(values) == 288.0
+
+    def test_capacity_trends_grow(self):
+        for name in ("gpu_memory_gb", "interconnect_gbps", "storage_gbps", "network_gbps"):
+            assert trend_cagr(name) > 0, name
+
+    def test_h100_price_declines(self):
+        assert trend_cagr("h100_price_per_hour") < 0
+
+
+class TestDeviceSpecs:
+    def test_gh200_device_matches_eval_section(self):
+        assert GH200.memory_gb == 92.0
+        assert GH200.memory_bw_gbps == 3000.0
+        assert GH200.interconnect_gbps == 450.0  # NVLink-C2C per direction
+
+    def test_gpu_random_access_discounted(self):
+        assert 0 < GH200.random_access_efficiency < 1

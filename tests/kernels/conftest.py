@@ -1,0 +1,23 @@
+"""Helpers for kernel tests: quick device-table construction."""
+
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.gpu import Device, GH200
+from repro.kernels import GTable
+
+
+@pytest.fixture
+def dev():
+    return Device(GH200, memory_limit_gb=2.0)
+
+
+@pytest.fixture
+def make_gtable(dev):
+    """Factory: make_gtable({"k": [...]}, [("k", "int64"), ...]) -> GTable."""
+
+    def factory(data, fields):
+        table = Table.from_pydict(data, Schema(fields))
+        return GTable.from_host(dev, table)
+
+    return factory

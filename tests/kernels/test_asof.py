@@ -1,0 +1,107 @@
+"""Tests for the ASOF join extension kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import Schema, Table
+from repro.gpu import Device, GH200
+from repro.kernels import GTable, asof_join
+
+
+def gtable(data, fields, dev=None):
+    dev = dev or Device(GH200, memory_limit_gb=1.0)
+    return GTable.from_host(dev, Table.from_pydict(data, Schema(fields)))
+
+
+class TestBasicAsof:
+    def test_latest_at_or_before(self):
+        trades = gtable({"t": [3, 7, 10]}, [("t", "int64")])
+        quotes = gtable({"t": [1, 5, 8]}, [("t", "int64")])
+        res = asof_join(trades.column("t"), quotes.column("t"))
+        assert res.left_indices.tolist() == [0, 1, 2]
+        assert res.right_indices.tolist() == [0, 1, 2]
+
+    def test_exact_timestamp_matches(self):
+        left = gtable({"t": [5]}, [("t", "int64")])
+        right = gtable({"t": [5]}, [("t", "int64")])
+        res = asof_join(left.column("t"), right.column("t"))
+        assert res.right_indices.tolist() == [0]
+
+    def test_no_earlier_row_gives_null(self):
+        left = gtable({"t": [1]}, [("t", "int64")])
+        right = gtable({"t": [10]}, [("t", "int64")])
+        res = asof_join(left.column("t"), right.column("t"))
+        assert res.right_indices.tolist() == [-1]
+
+    def test_unsorted_right_side_handled(self):
+        left = gtable({"t": [6]}, [("t", "int64")])
+        right = gtable({"t": [9, 2, 5]}, [("t", "int64")])
+        res = asof_join(left.column("t"), right.column("t"))
+        assert res.right_indices.tolist() == [2]  # t=5 is the latest <= 6
+
+    def test_string_time_rejected(self):
+        left = gtable({"t": ["a"]}, [("t", "string")])
+        right = gtable({"t": ["b"]}, [("t", "string")])
+        with pytest.raises(TypeError):
+            asof_join(left.column("t"), right.column("t"))
+
+
+class TestPartitionedAsof:
+    def test_by_keys_partition_matches(self):
+        dev = Device(GH200, memory_limit_gb=1.0)
+        left = gtable(
+            {"sym": [1, 1, 2], "t": [10, 20, 10]},
+            [("sym", "int64"), ("t", "int64")],
+            dev,
+        )
+        right = gtable(
+            {"sym": [1, 2, 2], "t": [5, 8, 15]},
+            [("sym", "int64"), ("t", "int64")],
+            dev,
+        )
+        res = asof_join(
+            left.column("t"), right.column("t"),
+            [left.column("sym")], [right.column("sym")],
+        )
+        # sym=1 rows match right row 0; sym=2 at t=10 matches right row 1.
+        assert res.right_indices.tolist() == [0, 0, 1]
+
+    def test_cross_partition_never_matches(self):
+        dev = Device(GH200, memory_limit_gb=1.0)
+        left = gtable({"sym": [1], "t": [100]}, [("sym", "int64"), ("t", "int64")], dev)
+        right = gtable({"sym": [2], "t": [50]}, [("sym", "int64"), ("t", "int64")], dev)
+        res = asof_join(
+            left.column("t"), right.column("t"),
+            [left.column("sym")], [right.column("sym")],
+        )
+        assert res.right_indices.tolist() == [-1]
+
+    def test_mismatched_by_keys_rejected(self):
+        dev = Device(GH200, memory_limit_gb=1.0)
+        left = gtable({"t": [1]}, [("t", "int64")], dev)
+        right = gtable({"t": [1]}, [("t", "int64")], dev)
+        with pytest.raises(ValueError):
+            asof_join(left.column("t"), right.column("t"), [left.column("t")], [])
+
+
+class TestAsofProperty:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=30),
+        st.lists(st.integers(0, 100), min_size=1, max_size=30),
+    )
+    def test_matches_reference_scan(self, left_times, right_times):
+        dev = Device(GH200, memory_limit_gb=1.0)
+        left = gtable({"t": left_times}, [("t", "int64")], dev)
+        right = gtable({"t": right_times}, [("t", "int64")], dev)
+        res = asof_join(left.column("t"), right.column("t"))
+        for i, lt in enumerate(left_times):
+            candidates = [(rt, j) for j, rt in enumerate(right_times) if rt <= lt]
+            got = res.right_indices[i]
+            if not candidates:
+                assert got == -1
+            else:
+                best_time = max(rt for rt, _ in candidates)
+                assert right_times[got] == best_time

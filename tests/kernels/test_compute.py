@@ -1,0 +1,230 @@
+"""Unit tests for elementwise compute kernels."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.columnar import FLOAT64, INT64, STRING
+from repro.kernels import (
+    binary_arith,
+    case_when,
+    cast_column,
+    coalesce,
+    compare,
+    contains,
+    extract_date_part,
+    fill_constant,
+    hash_partition_ids,
+    in_list,
+    is_null,
+    like,
+    logical_and,
+    logical_not,
+    logical_or,
+    substring,
+)
+
+
+class TestArithmetic:
+    def test_column_scalar_add(self, make_gtable):
+        g = make_gtable({"v": [1.0, 2.0]}, [("v", "float64")])
+        out = binary_arith("add", g.column("v"), 10.0)
+        assert out.data.tolist() == [11.0, 12.0]
+
+    def test_column_column_multiply(self, make_gtable):
+        g = make_gtable({"a": [2.0, 3.0], "b": [4.0, 5.0]}, [("a", "float64"), ("b", "float64")])
+        out = binary_arith("multiply", g.column("a"), g.column("b"))
+        assert out.data.tolist() == [8.0, 15.0]
+
+    def test_divide_always_float(self, make_gtable):
+        g = make_gtable({"a": [7, 8]}, [("a", "int64")])
+        out = binary_arith("divide", g.column("a"), 2)
+        assert out.dtype is FLOAT64
+        assert out.data.tolist() == [3.5, 4.0]
+
+    def test_divide_by_zero_is_null(self, make_gtable):
+        g = make_gtable({"a": [1.0], "b": [0.0]}, [("a", "float64"), ("b", "float64")])
+        out = binary_arith("divide", g.column("a"), g.column("b"))
+        assert out.valid_mask().tolist() == [False]
+
+    def test_null_propagates(self, make_gtable):
+        g = make_gtable({"a": [1.0, None]}, [("a", "float64")])
+        out = binary_arith("add", g.column("a"), 1.0)
+        assert out.valid_mask().tolist() == [True, False]
+
+    def test_date_minus_days(self, make_gtable):
+        g = make_gtable({"d": ["1998-12-01"]}, [("d", "date")])
+        out = binary_arith("subtract", g.column("d"), 90)
+        assert out.to_host(False).to_pylist() == [datetime.date(1998, 9, 2)]
+
+
+class TestComparison:
+    def test_numeric_compare(self, make_gtable):
+        g = make_gtable({"v": [1.0, 5.0, 3.0]}, [("v", "float64")])
+        out = compare("gt", g.column("v"), 2.5)
+        assert out.data.tolist() == [False, True, True]
+
+    def test_date_compare_with_literal(self, make_gtable):
+        g = make_gtable({"d": ["1995-01-01", "1997-06-15"]}, [("d", "date")])
+        out = compare("lt", g.column("d"), datetime.date(1996, 1, 1))
+        assert out.data.tolist() == [True, False]
+
+    def test_string_scalar_compare(self, make_gtable):
+        g = make_gtable({"s": ["BRAZIL", "FRANCE"]}, [("s", "string")])
+        out = compare("eq", g.column("s"), "BRAZIL")
+        assert out.data.tolist() == [True, False]
+
+    def test_string_scalar_compare_flipped(self, make_gtable):
+        g = make_gtable({"s": ["b", "d"]}, [("s", "string")])
+        # scalar < column: "c" < col
+        out = compare("lt", "c", g.column("s"))
+        assert out.data.tolist() == [False, True]
+
+    def test_string_column_column_compare(self, make_gtable):
+        g = make_gtable(
+            {"a": ["x", "y"], "b": ["x", "z"]}, [("a", "string"), ("b", "string")]
+        )
+        out = compare("eq", g.column("a"), g.column("b"))
+        assert out.data.tolist() == [True, False]
+
+    def test_null_comparison_invalid(self, make_gtable):
+        g = make_gtable({"v": [None, 2.0]}, [("v", "float64")])
+        out = compare("eq", g.column("v"), 2.0)
+        assert out.valid_mask().tolist() == [False, True]
+
+
+class TestLogic:
+    def test_kleene_and(self, make_gtable):
+        g = make_gtable(
+            {"a": [True, False, None], "b": [None, None, None]},
+            [("a", "bool"), ("b", "bool")],
+        )
+        out = logical_and(g.column("a"), g.column("b"))
+        # TRUE AND NULL = NULL; FALSE AND NULL = FALSE; NULL AND NULL = NULL
+        assert out.valid_mask().tolist() == [False, True, False]
+        assert out.data[1] == False  # noqa: E712
+
+    def test_kleene_or(self, make_gtable):
+        g = make_gtable(
+            {"a": [True, False, None], "b": [None, None, None]},
+            [("a", "bool"), ("b", "bool")],
+        )
+        out = logical_or(g.column("a"), g.column("b"))
+        # TRUE OR NULL = TRUE; FALSE OR NULL = NULL
+        assert out.valid_mask().tolist() == [True, False, False]
+        assert out.data[0] == True  # noqa: E712
+
+    def test_not(self, make_gtable):
+        g = make_gtable({"a": [True, False, None]}, [("a", "bool")])
+        out = logical_not(g.column("a"))
+        assert out.data.tolist()[:2] == [False, True]
+        assert out.valid_mask().tolist() == [True, True, False]
+
+    def test_is_null(self, make_gtable):
+        g = make_gtable({"a": [1, None]}, [("a", "int64")])
+        assert is_null(g.column("a")).data.tolist() == [False, True]
+        assert is_null(g.column("a"), negate=True).data.tolist() == [True, False]
+
+
+class TestPredicates:
+    def test_in_list_numeric(self, make_gtable):
+        g = make_gtable({"v": [1, 2, 3]}, [("v", "int64")])
+        assert in_list(g.column("v"), [1, 3]).data.tolist() == [True, False, True]
+
+    def test_in_list_strings(self, make_gtable):
+        g = make_gtable({"s": ["a", "b", "c"]}, [("s", "string")])
+        assert in_list(g.column("s"), ["b", "c"]).data.tolist() == [False, True, True]
+
+    def test_like_prefix_suffix(self, make_gtable):
+        g = make_gtable(
+            {"s": ["PROMO BURNISHED", "STANDARD BRASS", "PROMO PLATED"]}, [("s", "string")]
+        )
+        assert like(g.column("s"), "PROMO%").data.tolist() == [True, False, True]
+        assert like(g.column("s"), "%BRASS").data.tolist() == [False, True, False]
+
+    def test_like_underscore(self, make_gtable):
+        g = make_gtable({"s": ["cat", "cart"]}, [("s", "string")])
+        assert like(g.column("s"), "ca_").data.tolist() == [True, False]
+
+    def test_not_like(self, make_gtable):
+        g = make_gtable({"s": ["special request", "ordinary"]}, [("s", "string")])
+        assert like(g.column("s"), "%special%", negate=True).data.tolist() == [False, True]
+
+    def test_contains(self, make_gtable):
+        g = make_gtable({"s": ["hello world", "goodbye"]}, [("s", "string")])
+        assert contains(g.column("s"), "world").data.tolist() == [True, False]
+
+    def test_like_regex_chars_escaped(self, make_gtable):
+        g = make_gtable({"s": ["a.b", "axb"]}, [("s", "string")])
+        assert like(g.column("s"), "a.b").data.tolist() == [True, False]
+
+
+class TestConditionals:
+    def test_case_when(self, make_gtable):
+        g = make_gtable({"v": [1.0, 5.0, 9.0]}, [("v", "float64")])
+        c1 = compare("lt", g.column("v"), 3.0)
+        c2 = compare("lt", g.column("v"), 7.0)
+        out = case_when([c1, c2], [10.0, 20.0], 30.0)
+        assert out.data.tolist() == [10.0, 20.0, 30.0]
+
+    def test_case_first_match_wins(self, make_gtable):
+        g = make_gtable({"v": [1.0]}, [("v", "float64")])
+        c1 = compare("lt", g.column("v"), 100.0)
+        c2 = compare("lt", g.column("v"), 100.0)
+        out = case_when([c1, c2], [1.0, 2.0], 3.0)
+        assert out.data.tolist() == [1.0]
+
+    def test_coalesce(self, make_gtable):
+        g = make_gtable({"a": [None, 2.0], "b": [1.5, 9.0]}, [("a", "float64"), ("b", "float64")])
+        out = coalesce([g.column("a"), g.column("b")])
+        assert out.data.tolist() == [1.5, 2.0]
+
+
+class TestDatesStringsCasts:
+    def test_extract_parts(self, make_gtable):
+        g = make_gtable({"d": ["1995-09-17"]}, [("d", "date")])
+        assert extract_date_part("year", g.column("d")).data.tolist() == [1995]
+        assert extract_date_part("month", g.column("d")).data.tolist() == [9]
+        assert extract_date_part("day", g.column("d")).data.tolist() == [17]
+
+    def test_substring(self, make_gtable):
+        g = make_gtable({"s": ["ABCDEF", "XY"]}, [("s", "string")])
+        out = substring(g.column("s"), 1, 2)
+        assert out.to_host(False).to_pylist() == ["AB", "XY"]
+
+    def test_cast_int_to_float(self, make_gtable):
+        g = make_gtable({"v": [1, 2]}, [("v", "int64")])
+        out = cast_column(g.column("v"), FLOAT64)
+        assert out.dtype is FLOAT64
+
+    def test_cast_string_to_int(self, make_gtable):
+        g = make_gtable({"s": ["11", "42"]}, [("s", "string")])
+        out = cast_column(g.column("s"), INT64)
+        assert out.data.tolist() == [11, 42]
+
+    def test_fill_constant(self, dev):
+        out = fill_constant(dev, 3, 7)
+        assert out.data.tolist() == [7, 7, 7]
+        s = fill_constant(dev, 2, "hi", STRING)
+        assert s.to_host(False).to_pylist() == ["hi", "hi"]
+
+
+class TestHashPartition:
+    def test_partition_ids_in_range(self, make_gtable):
+        g = make_gtable({"k": list(range(100))}, [("k", "int64")])
+        ids = hash_partition_ids([g.column("k")], 4)
+        assert ids.min() >= 0 and ids.max() < 4
+
+    def test_equal_keys_same_partition(self, make_gtable):
+        g = make_gtable({"k": [5, 5, 9, 9]}, [("k", "int64")])
+        ids = hash_partition_ids([g.column("k")], 8)
+        assert ids[0] == ids[1] and ids[2] == ids[3]
+
+    def test_string_keys_deterministic(self, make_gtable):
+        g1 = make_gtable({"s": ["a", "b", "c"]}, [("s", "string")])
+        g2 = make_gtable({"s": ["c", "a", "b"]}, [("s", "string")])
+        ids1 = hash_partition_ids([g1.column("s")], 4)
+        ids2 = hash_partition_ids([g2.column("s")], 4)
+        assert ids1[0] == ids2[1]  # "a" hashes identically
+        assert ids1[2] == ids2[0]  # "c" too

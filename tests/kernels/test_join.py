@@ -1,0 +1,137 @@
+"""Unit tests for the join kernels (inner/left/semi/anti, nulls, strings)."""
+
+import pytest
+
+
+def pairs(result):
+    return sorted(zip(result.left_indices.tolist(), result.right_indices.tolist()))
+
+
+class TestInnerJoin:
+    def test_basic_matches(self, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"k": [1, 2, 2, 3]}, [("k", "int64")])
+        right = make_gtable({"k": [2, 3, 4]}, [("k", "int64")])
+        res = inner_join([left.column("k")], [right.column("k")])
+        assert pairs(res) == [(1, 0), (2, 0), (3, 1)]
+
+    def test_duplicates_produce_cross_product(self, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"k": [7, 7]}, [("k", "int64")])
+        right = make_gtable({"k": [7, 7, 7]}, [("k", "int64")])
+        res = inner_join([left.column("k")], [right.column("k")])
+        assert len(res) == 6
+
+    def test_no_matches(self, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"k": [1]}, [("k", "int64")])
+        right = make_gtable({"k": [2]}, [("k", "int64")])
+        assert len(inner_join([left.column("k")], [right.column("k")])) == 0
+
+    def test_null_keys_never_match(self, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"k": [1, None]}, [("k", "int64")])
+        right = make_gtable({"k": [None, 1]}, [("k", "int64")])
+        res = inner_join([left.column("k")], [right.column("k")])
+        assert pairs(res) == [(0, 1)]
+
+    def test_multi_key(self, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"a": [1, 1, 2], "b": [10, 20, 10]}, [("a", "int64"), ("b", "int64")])
+        right = make_gtable({"a": [1, 2], "b": [20, 10]}, [("a", "int64"), ("b", "int64")])
+        res = inner_join(
+            [left.column("a"), left.column("b")], [right.column("a"), right.column("b")]
+        )
+        assert pairs(res) == [(1, 0), (2, 1)]
+
+    def test_string_keys_join_across_dictionaries(self, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"s": ["apple", "pear"]}, [("s", "string")])
+        right = make_gtable({"s": ["pear", "plum", "apple"]}, [("s", "string")])
+        res = inner_join([left.column("s")], [right.column("s")])
+        assert pairs(res) == [(0, 2), (1, 0)]
+
+    def test_int32_index_type(self, make_gtable):
+        from repro.kernels import inner_join
+        import numpy as np
+
+        left = make_gtable({"k": [1]}, [("k", "int64")])
+        right = make_gtable({"k": [1]}, [("k", "int64")])
+        res = inner_join([left.column("k")], [right.column("k")])
+        assert res.left_indices.dtype == np.int32
+        assert res.right_indices.dtype == np.int32
+
+    def test_charges_build_and_probe_kernels(self, dev, make_gtable):
+        from repro.kernels import inner_join
+
+        left = make_gtable({"k": list(range(100))}, [("k", "int64")])
+        right = make_gtable({"k": list(range(100))}, [("k", "int64")])
+        before = dev.kernel_count
+        inner_join([left.column("k")], [right.column("k")])
+        assert dev.kernel_count == before + 2
+
+
+class TestLeftJoin:
+    def test_unmatched_left_rows_survive(self, make_gtable):
+        from repro.kernels import left_join
+
+        left = make_gtable({"k": [1, 2, 3]}, [("k", "int64")])
+        right = make_gtable({"k": [2]}, [("k", "int64")])
+        res = left_join([left.column("k")], [right.column("k")])
+        assert pairs(res) == [(0, -1), (1, 0), (2, -1)]
+
+    def test_null_left_keys_survive_unmatched(self, make_gtable):
+        from repro.kernels import left_join
+
+        left = make_gtable({"k": [None, 1]}, [("k", "int64")])
+        right = make_gtable({"k": [1]}, [("k", "int64")])
+        res = left_join([left.column("k")], [right.column("k")])
+        assert pairs(res) == [(0, -1), (1, 0)]
+
+    def test_every_left_row_appears_at_least_once(self, make_gtable):
+        from repro.kernels import left_join
+
+        left = make_gtable({"k": [5, 6, 7, 8]}, [("k", "int64")])
+        right = make_gtable({"k": [6, 6, 9]}, [("k", "int64")])
+        res = left_join([left.column("k")], [right.column("k")])
+        assert set(res.left_indices.tolist()) == {0, 1, 2, 3}
+
+
+class TestSemiAnti:
+    def test_semi_returns_each_match_once(self, make_gtable):
+        from repro.kernels import semi_join
+
+        left = make_gtable({"k": [1, 2, 3]}, [("k", "int64")])
+        right = make_gtable({"k": [2, 2, 2, 3]}, [("k", "int64")])
+        assert semi_join([left.column("k")], [right.column("k")]).tolist() == [1, 2]
+
+    def test_anti_is_complement_of_semi(self, make_gtable):
+        from repro.kernels import anti_join, semi_join
+
+        left = make_gtable({"k": [1, 2, 3, 4]}, [("k", "int64")])
+        right = make_gtable({"k": [2, 4]}, [("k", "int64")])
+        semi = set(semi_join([left.column("k")], [right.column("k")]).tolist())
+        anti = set(anti_join([left.column("k")], [right.column("k")]).tolist())
+        assert semi | anti == {0, 1, 2, 3}
+        assert semi & anti == set()
+
+    def test_anti_keeps_null_probe_rows(self, make_gtable):
+        from repro.kernels import anti_join
+
+        left = make_gtable({"k": [None, 2]}, [("k", "int64")])
+        right = make_gtable({"k": [2]}, [("k", "int64")])
+        assert anti_join([left.column("k")], [right.column("k")]).tolist() == [0]
+
+    def test_empty_right_side(self, make_gtable):
+        from repro.kernels import anti_join, semi_join
+
+        left = make_gtable({"k": [1, 2]}, [("k", "int64")])
+        right = make_gtable({"k": []}, [("k", "int64")])
+        assert semi_join([left.column("k")], [right.column("k")]).tolist() == []
+        assert anti_join([left.column("k")], [right.column("k")]).tolist() == [0, 1]

@@ -1,0 +1,149 @@
+"""Property-based tests: kernels vs brute-force reference implementations."""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import Schema, Table
+from repro.gpu import Device, GH200
+from repro.kernels import (
+    AggSpec,
+    anti_join,
+    factorize_keys,
+    groupby,
+    inner_join,
+    left_join,
+    semi_join,
+    sorted_order,
+)
+from repro.kernels.gtable import GTable
+
+keys_strategy = st.lists(st.one_of(st.none(), st.integers(0, 8)), min_size=0, max_size=40)
+
+
+def gtable_from(values, name="k"):
+    device = Device(GH200, memory_limit_gb=2.0)
+    t = Table.from_pydict({name: values}, Schema([(name, "int64")]))
+    return GTable.from_host(device, t)
+
+
+class TestJoinAgainstNestedLoop:
+    @settings(max_examples=60)
+    @given(keys_strategy, keys_strategy)
+    def test_inner_join_matches_nested_loop(self, left_vals, right_vals):
+        left = gtable_from(left_vals)
+        right = gtable_from(right_vals)
+        res = inner_join([left.column("k")], [right.column("k")])
+        got = sorted(zip(res.left_indices.tolist(), res.right_indices.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left_vals)
+            for j, rv in enumerate(right_vals)
+            if lv is not None and rv is not None and lv == rv
+        )
+        assert got == expected
+
+    @settings(max_examples=40)
+    @given(keys_strategy, keys_strategy)
+    def test_left_join_covers_all_left_rows(self, left_vals, right_vals):
+        left = gtable_from(left_vals)
+        right = gtable_from(right_vals)
+        res = left_join([left.column("k")], [right.column("k")])
+        match_count = defaultdict(int)
+        for i, lv in enumerate(left_vals):
+            for rv in right_vals:
+                if lv is not None and rv is not None and lv == rv:
+                    match_count[i] += 1
+        expected_rows = sum(max(1, match_count[i]) for i in range(len(left_vals)))
+        assert len(res) == expected_rows
+        assert set(res.left_indices.tolist()) == set(range(len(left_vals)))
+
+    @settings(max_examples=40)
+    @given(keys_strategy, keys_strategy)
+    def test_semi_anti_partition_left(self, left_vals, right_vals):
+        left = gtable_from(left_vals)
+        right = gtable_from(right_vals)
+        semi = set(semi_join([left.column("k")], [right.column("k")]).tolist())
+        anti = set(anti_join([left.column("k")], [right.column("k")]).tolist())
+        assert semi | anti == set(range(len(left_vals)))
+        assert not (semi & anti)
+        right_set = {v for v in right_vals if v is not None}
+        for i in semi:
+            assert left_vals[i] in right_set
+
+
+class TestGroupbyAgainstReference:
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.floats(-100, 100)), max_size=50))
+    def test_sum_count_match_python(self, rows):
+        keys = [k for k, _ in rows]
+        vals = [v for _, v in rows]
+        if not rows:
+            return
+        device = Device(GH200, memory_limit_gb=2.0)
+        t = Table.from_pydict(
+            {"k": keys, "v": vals}, Schema([("k", "int64"), ("v", "float64")])
+        )
+        g = GTable.from_host(device, t)
+        out = groupby(
+            [g.column("k")],
+            [AggSpec("sum", g.column("v"), "s"), AggSpec("count_star", None, "n")],
+        ).to_host(False).to_pydict()
+        ref_sum = defaultdict(float)
+        ref_n = defaultdict(int)
+        for k, v in rows:
+            ref_sum[k] += v
+            ref_n[k] += 1
+        got = {k: (pytest.approx(s, abs=1e-6), n) for k, s, n in zip(out["key0"], out["s"], out["n"])}
+        assert set(got) == set(ref_sum)
+        for k in ref_sum:
+            assert ref_sum[k] == got[k][0]
+            assert ref_n[k] == got[k][1]
+
+
+class TestSortAgainstPython:
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(-1000, 1000), max_size=60))
+    def test_order_matches_python_sorted(self, values):
+        if not values:
+            return
+        g = gtable_from(values, "v")
+        order = sorted_order([g.column("v")], [True])
+        assert [values[i] for i in order] == sorted(values)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 5), max_size=40))
+    def test_sort_is_permutation(self, values):
+        if not values:
+            return
+        g = gtable_from(values, "v")
+        order = sorted_order([g.column("v")], [False])
+        assert sorted(order.tolist()) == list(range(len(values)))
+
+
+class TestFactorizeKeys:
+    @settings(max_examples=60)
+    @given(keys_strategy, keys_strategy)
+    def test_codes_agree_with_equality(self, left_vals, right_vals):
+        if not left_vals or not right_vals:
+            return
+        left = gtable_from(left_vals)
+        right = gtable_from(right_vals)
+        lc, rc, _ = factorize_keys([left.column("k")], [right.column("k")])
+        for i, lv in enumerate(left_vals):
+            for j, rv in enumerate(right_vals):
+                if lv is None or rv is None:
+                    continue
+                assert (lc[i] == rc[j]) == (lv == rv)
+
+    @settings(max_examples=30)
+    @given(keys_strategy)
+    def test_nulls_match_mode_gives_no_sentinels(self, values):
+        if not values:
+            return
+        g = gtable_from(values)
+        codes, _, _ = factorize_keys([g.column("k")], nulls_match=True)
+        assert (codes >= 0).all()

@@ -1,0 +1,187 @@
+"""Unit tests for the plan IR: expressions, relations, validation, JSON."""
+
+import datetime
+
+import pytest
+
+from repro.columnar import BOOL, DATE32, FLOAT64, INT64, Schema, STRING
+from repro.plan import (
+    AggregateCall,
+    AggregateRel,
+    FieldRef,
+    FilterRel,
+    JoinRel,
+    Literal,
+    Plan,
+    PlanBuilder,
+    PlanValidationError,
+    ProjectRel,
+    ReadRel,
+    ScalarCall,
+    col,
+    expr_from_dict,
+    infer_type,
+    lit,
+)
+
+SCHEMA = Schema(
+    [("k", "int64"), ("price", "float64"), ("d", "date"), ("name", "string")]
+)
+
+
+class TestExpressionTyping:
+    def test_field_ref(self):
+        assert infer_type(FieldRef(1), SCHEMA) is FLOAT64
+
+    def test_literal_types(self):
+        assert Literal(3).dtype is INT64
+        assert Literal(3.5).dtype is FLOAT64
+        assert Literal("x").dtype is STRING
+        assert Literal(datetime.date(1995, 1, 1)).dtype is DATE32
+        assert Literal(True).dtype is BOOL
+
+    def test_comparison_is_boolean(self):
+        e = ScalarCall("le", [FieldRef(1), Literal(5.0)])
+        assert infer_type(e, SCHEMA) is BOOL
+
+    def test_arith_promotes(self):
+        e = ScalarCall("add", [FieldRef(0), Literal(1.0)])
+        assert infer_type(e, SCHEMA) is FLOAT64
+
+    def test_divide_always_float(self):
+        e = ScalarCall("divide", [FieldRef(0), Literal(2)])
+        assert infer_type(e, SCHEMA) is FLOAT64
+
+    def test_date_arithmetic(self):
+        e = ScalarCall("subtract", [FieldRef(2), Literal(90)])
+        assert infer_type(e, SCHEMA) is DATE32
+
+    def test_aggregate_types(self):
+        assert infer_type(AggregateCall("count_star", None), SCHEMA) is INT64
+        assert infer_type(AggregateCall("avg", FieldRef(0)), SCHEMA) is FLOAT64
+        assert infer_type(AggregateCall("sum", FieldRef(0)), SCHEMA) is INT64
+        assert infer_type(AggregateCall("sum", FieldRef(1)), SCHEMA) is FLOAT64
+        assert infer_type(AggregateCall("min", FieldRef(3)), SCHEMA) is STRING
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarCall("sqrt", [FieldRef(0)])
+
+    def test_out_of_range_field(self):
+        with pytest.raises(IndexError):
+            infer_type(FieldRef(99), SCHEMA)
+
+
+class TestRelationSchemas:
+    def test_read_projection(self):
+        r = ReadRel("t", SCHEMA, projection=["name", "k"])
+        assert r.output_schema().names() == ["name", "k"]
+
+    def test_read_unknown_projection_rejected(self):
+        with pytest.raises(KeyError):
+            ReadRel("t", SCHEMA, projection=["ghost"])
+
+    def test_join_schema_concatenates(self):
+        left = ReadRel("a", Schema([("x", "int64")]))
+        right = ReadRel("b", Schema([("y", "int64")]))
+        j = JoinRel(left, right, "inner", [0], [0])
+        assert j.output_schema().names() == ["x", "y"]
+
+    def test_semi_join_keeps_left_only(self):
+        left = ReadRel("a", Schema([("x", "int64")]))
+        right = ReadRel("b", Schema([("y", "int64")]))
+        j = JoinRel(left, right, "semi", [0], [0])
+        assert j.output_schema().names() == ["x"]
+
+    def test_aggregate_schema(self):
+        read = ReadRel("t", SCHEMA)
+        agg = AggregateRel(read, [3], [(AggregateCall("sum", FieldRef(1)), "total")])
+        out = agg.output_schema()
+        assert out.names() == ["name", "total"]
+        assert out.field("total").dtype is FLOAT64
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        plan = (
+            PlanBuilder.read("t", SCHEMA)
+            .filter(col("price") > lit(10.0))
+            .aggregate(groups=["name"], aggs=[("sum", "price", "total")])
+            .build()
+        )
+        assert plan.output_schema().names() == ["name", "total"]
+
+    def test_non_boolean_filter_rejected(self):
+        rel = FilterRel(ReadRel("t", SCHEMA), FieldRef(1))
+        with pytest.raises(PlanValidationError, match="not boolean"):
+            Plan(rel).validate()
+
+    def test_field_out_of_range_rejected(self):
+        rel = FilterRel(ReadRel("t", SCHEMA), ScalarCall("eq", [FieldRef(9), Literal(1)]))
+        with pytest.raises(PlanValidationError, match="out of range"):
+            Plan(rel).validate()
+
+    def test_join_type_mismatch_rejected(self):
+        left = ReadRel("a", Schema([("x", "string")]))
+        right = ReadRel("b", Schema([("y", "int64")]))
+        rel = JoinRel(left, right, "inner", [0], [0])
+        with pytest.raises(PlanValidationError, match="type mismatch"):
+            Plan(rel).validate()
+
+    def test_duplicate_project_names_rejected(self):
+        rel = ProjectRel(ReadRel("t", SCHEMA), [FieldRef(0), FieldRef(1)], ["a", "a"])
+        with pytest.raises(PlanValidationError, match="duplicate"):
+            Plan(rel).validate()
+
+
+class TestSerialization:
+    def make_plan(self):
+        return (
+            PlanBuilder.read("t", SCHEMA)
+            .filter((col("d") <= lit(datetime.date(1998, 9, 2))) & (col("name").like("A%")))
+            .project([(col("price") * lit(0.9), "discounted"), ("name", "name")])
+            .aggregate(groups=["name"], aggs=[("sum", "discounted", "total"), ("count", None, "n")])
+            .sort([("total", False)])
+            .limit(5)
+            .build()
+        )
+
+    def test_json_round_trip(self):
+        plan = self.make_plan()
+        back = Plan.from_json(plan.to_json())
+        assert back.to_dict() == plan.to_dict()
+        back.validate()
+
+    def test_round_trip_preserves_schema(self):
+        plan = self.make_plan()
+        back = Plan.from_json(plan.to_json())
+        assert back.output_schema() == plan.output_schema()
+
+    def test_date_literals_survive_json(self):
+        e = Literal(datetime.date(1995, 3, 15))
+        back = expr_from_dict(e.to_dict())
+        assert back.value == datetime.date(1995, 3, 15)
+
+    def test_explain_renders_tree(self):
+        text = self.make_plan().explain()
+        assert "Read(t)" in text and "Aggregate" in text
+
+
+class TestBuilderSugar:
+    def test_operator_overloads(self):
+        expr = (col("k") + lit(1)) * lit(2) >= lit(10)
+        resolved = expr.resolve(SCHEMA)
+        assert infer_type(resolved, SCHEMA) is BOOL
+
+    def test_between_and_isin(self):
+        plan = (
+            PlanBuilder.read("t", SCHEMA)
+            .filter(col("price").between(1.0, 9.0) & col("name").isin(["a", "b"]))
+            .build()
+        )
+        plan.validate()
+
+    def test_exchange_builder(self):
+        b = PlanBuilder.read("t", SCHEMA).exchange("shuffle", keys=["k"])
+        plan = b.build()
+        assert plan.root.kind == "shuffle"

@@ -1,0 +1,66 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql import SqlSyntaxError, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]  # drop eof
+
+
+class TestBasicTokens:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT From")[0] == ("keyword", "select")
+        assert kinds("SELECT From")[1] == ("keyword", "from")
+
+    def test_identifiers(self):
+        assert kinds("l_orderkey")[0] == ("ident", "l_orderkey")
+
+    def test_qualified_name_tokens(self):
+        toks = kinds("n1.n_name")
+        assert toks == [("ident", "n1"), ("op", "."), ("ident", "n_name")]
+
+    def test_integer_and_decimal(self):
+        assert kinds("42")[0] == ("number", "42")
+        assert kinds("0.05")[0] == ("number", "0.05")
+
+    def test_number_then_dot_identifier_not_swallowed(self):
+        toks = kinds("7.0")
+        assert toks == [("number", "7.0")]
+
+    def test_string_literal(self):
+        assert kinds("'BUILDING'")[0] == ("string", "BUILDING")
+
+    def test_escaped_quote_in_string(self):
+        assert kinds("'it''s'")[0] == ("string", "it's")
+
+    def test_two_char_operators(self):
+        assert kinds("a <> b")[1] == ("op", "<>")
+        assert kinds("a >= b")[1] == ("op", ">=")
+
+    def test_eof_token_present(self):
+        assert tokenize("select")[-1].kind == "eof"
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_skipped(self):
+        assert kinds("select -- a comment\n 1") == [("keyword", "select"), ("number", "1")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("select /* hi */ 1") == [("keyword", "select"), ("number", "1")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("select 'oops")
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated comment"):
+            tokenize("select /* forever")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("select @foo")
+
+    def test_quoted_identifier(self):
+        assert kinds('"Weird Name"')[0] == ("ident", "weird name")

@@ -1,0 +1,129 @@
+"""Unit tests for the IR optimizer passes: pruning and build-side swap."""
+
+import pytest
+
+from repro.columnar import Schema
+from repro.plan import JoinRel, PlanBuilder, ProjectRel, ReadRel, col, lit
+from repro.plan.plan import Plan, walk_relations
+from repro.sql.optimizer import choose_build_sides, optimize_plan, prune_columns
+
+WIDE = Schema([(f"c{i}", "int64") for i in range(8)])
+OTHER = Schema([("k", "int64"), ("v", "float64"), ("s", "string")])
+
+
+def reads(rel):
+    return [r for r in walk_relations(rel) if isinstance(r, ReadRel)]
+
+
+class TestProjectionPruning:
+    def test_scan_pruned_to_used_columns(self):
+        plan = (
+            PlanBuilder.read("t", WIDE)
+            .filter(col("c3") > lit(0))
+            .project([("c1", "out")])
+            .build()
+        )
+        pruned = prune_columns(plan.root)
+        (read,) = reads(pruned)
+        assert set(read.projection) == {"c1", "c3"}
+        Plan(pruned).validate()
+
+    def test_pruned_plan_keeps_output_schema(self):
+        plan = (
+            PlanBuilder.read("t", WIDE)
+            .project([("c7", "a"), (col("c0") + lit(1), "b")])
+            .build()
+        )
+        pruned = prune_columns(plan.root)
+        assert Plan(pruned).output_schema().names() == ["a", "b"]
+
+    def test_join_prunes_both_sides(self):
+        left = PlanBuilder.read("t", WIDE)
+        right = PlanBuilder.read("u", OTHER)
+        plan = (
+            left.join(right, "inner", [("c0", "k")])
+            .project([("c2", "x"), ("v", "y")])
+            .build()
+        )
+        pruned = prune_columns(plan.root)
+        projections = {r.table_name: set(r.projection) for r in reads(pruned)}
+        assert projections["t"] == {"c0", "c2"}
+        assert projections["u"] == {"k", "v"}
+        Plan(pruned).validate()
+
+    def test_aggregate_keeps_group_and_measure_inputs(self):
+        plan = (
+            PlanBuilder.read("u", OTHER)
+            .aggregate(groups=["s"], aggs=[("sum", "v", "total")])
+            .build()
+        )
+        pruned = prune_columns(plan.root)
+        (read,) = reads(pruned)
+        assert set(read.projection) == {"s", "v"}
+
+    def test_sort_keys_survive_pruning(self):
+        plan = (
+            PlanBuilder.read("u", OTHER)
+            .project([("k", "k"), ("v", "v")])
+            .sort([("v", False)])
+            .build()
+        )
+        pruned = prune_columns(plan.root)
+        Plan(pruned).validate()
+
+    def test_semi_join_right_side_keeps_keys_only(self):
+        left = PlanBuilder.read("t", WIDE)
+        right = PlanBuilder.read("u", OTHER)
+        plan = left.join(right, "semi", [("c0", "k")]).select(["c1"]).build()
+        pruned = prune_columns(plan.root)
+        projections = {r.table_name: set(r.projection) for r in reads(pruned)}
+        assert projections["u"] == {"k"}
+
+
+class TestBuildSideSwap:
+    def make_join(self, left_name, right_name):
+        left = PlanBuilder.read(left_name, WIDE)
+        right = PlanBuilder.read(right_name, OTHER)
+        return left.join(right, "inner", [("c0", "k")]).build()
+
+    def test_bigger_right_side_swapped(self):
+        plan = self.make_join("small", "big")
+        out = choose_build_sides(plan.root, {"small": 10, "big": 100_000})
+        # Swap inserts a re-ordering projection above the flipped join.
+        assert isinstance(out, ProjectRel)
+        join = next(r for r in walk_relations(out) if isinstance(r, JoinRel))
+        assert join.left.table_name == "big"
+        Plan(out).validate()
+
+    def test_smaller_right_side_untouched(self):
+        plan = self.make_join("big", "small")
+        out = choose_build_sides(plan.root, {"big": 100_000, "small": 10})
+        assert isinstance(out, JoinRel)
+
+    def test_swap_preserves_output_schema(self):
+        plan = self.make_join("small", "big")
+        out = choose_build_sides(plan.root, {"small": 10, "big": 100_000})
+        assert Plan(out).output_schema() == plan.output_schema()
+
+    def test_semi_join_never_swapped(self):
+        left = PlanBuilder.read("small", WIDE)
+        right = PlanBuilder.read("big", OTHER)
+        plan = left.join(right, "semi", [("c0", "k")]).build()
+        out = choose_build_sides(plan.root, {"small": 10, "big": 100_000})
+        assert isinstance(out, JoinRel) and out.join_type == "semi"
+
+
+class TestOptimizePlanEndToEnd:
+    def test_combined_passes_validate(self):
+        left = PlanBuilder.read("small", WIDE)
+        right = PlanBuilder.read("big", OTHER)
+        plan = (
+            left.join(right, "inner", [("c0", "k")])
+            .filter(col("v") > lit(1.0))
+            .aggregate(groups=["s"], aggs=[("count", None, "n")])
+            .sort([("n", False)])
+            .limit(5)
+            .build()
+        )
+        optimized = optimize_plan(plan, {"small": 10, "big": 100_000})
+        assert optimized.output_schema() == plan.output_schema()

@@ -1,0 +1,160 @@
+"""Unit tests for the SQL parser (AST shapes)."""
+
+import pytest
+
+from repro.sql import parse_sql
+from repro.sql.ast_nodes import (
+    AggCall,
+    BetweenExpr,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    DateLit,
+    ExistsExpr,
+    InExpr,
+    IntervalLit,
+    LikeExpr,
+    ScalarSubquery,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sql.lexer import SqlSyntaxError
+from repro.tpch import TPCH_QUERIES
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse_sql("select a, b from t")
+        assert [i.expr.name for i in stmt.items] == ["a", "b"]
+        assert stmt.from_tables == [TableRef("t", None)]
+
+    def test_aliases(self):
+        stmt = parse_sql("select a as x, b y from t1 t, t2 as u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_tables[0].alias == "t"
+        assert stmt.from_tables[1].alias == "u"
+
+    def test_distinct(self):
+        assert parse_sql("select distinct a from t").distinct
+
+    def test_group_having_order_limit(self):
+        stmt = parse_sql(
+            "select a, sum(b) from t group by a having sum(b) > 5 order by 2 desc limit 7"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 7
+
+    def test_trailing_semicolon_ok(self):
+        parse_sql("select a from t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_sql("select a from t where x = 1 42")
+
+
+class TestExpressions:
+    def where(self, cond):
+        return parse_sql(f"select a from t where {cond}").where
+
+    def test_precedence_and_over_or(self):
+        expr = self.where("a = 1 or b = 2 and c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a + b * c = 1").left
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_between(self):
+        expr = self.where("a between 1 and 5")
+        assert isinstance(expr, BetweenExpr) and not expr.negated
+
+    def test_not_between(self):
+        assert self.where("a not between 1 and 5").negated
+
+    def test_like_and_not_like(self):
+        assert isinstance(self.where("a like 'x%'"), LikeExpr)
+        assert self.where("a not like 'x%'").negated
+
+    def test_in_list(self):
+        expr = self.where("a in (1, 2, 3)")
+        assert isinstance(expr, InExpr) and len(expr.values) == 3
+
+    def test_in_subquery(self):
+        expr = self.where("a in (select b from u)")
+        assert isinstance(expr, InExpr) and expr.subquery is not None
+
+    def test_exists(self):
+        expr = self.where("exists (select * from u where u.x = t.a)")
+        assert isinstance(expr, ExistsExpr)
+
+    def test_scalar_subquery_comparison(self):
+        expr = self.where("a < (select max(b) from u)")
+        assert isinstance(expr.right, ScalarSubquery)
+
+    def test_date_and_interval(self):
+        expr = self.where("d >= date '1994-01-01' + interval '1' year")
+        assert isinstance(expr.right.left, DateLit)
+        assert isinstance(expr.right.right, IntervalLit)
+        assert expr.right.right.unit == "year"
+
+    def test_case_expression(self):
+        stmt = parse_sql(
+            "select case when a = 1 then 10 else 0 end from t"
+        )
+        case = stmt.items[0].expr
+        assert isinstance(case, CaseExpr) and len(case.whens) == 1
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("select case else 1 end from t")
+
+    def test_aggregates(self):
+        stmt = parse_sql("select count(*), count(distinct a), avg(b) from t")
+        assert stmt.items[0].expr.arg is None
+        assert stmt.items[1].expr.distinct
+        assert isinstance(stmt.items[2].expr, AggCall)
+
+    def test_extract_and_substring(self):
+        stmt = parse_sql(
+            "select extract(year from d), substring(s from 1 for 2) from t"
+        )
+        assert stmt.items[0].expr.extra["part"] == "year"
+        assert stmt.items[1].expr.name == "substring"
+
+    def test_unary_minus(self):
+        expr = self.where("a = -5")
+        assert expr.right.op == "-"
+
+
+class TestFromClause:
+    def test_comma_join(self):
+        stmt = parse_sql("select 1 from a, b, c")
+        assert len(stmt.from_tables) == 3
+
+    def test_explicit_left_outer_join(self):
+        stmt = parse_sql(
+            "select 1 from a left outer join b on a.x = b.y"
+        )
+        assert stmt.joins[0].kind == "left"
+        assert stmt.joins[0].condition is not None
+
+    def test_derived_table(self):
+        stmt = parse_sql("select 1 from (select a from t) sub")
+        assert isinstance(stmt.from_tables[0], SubqueryRef)
+        assert stmt.from_tables[0].alias == "sub"
+
+    def test_cte(self):
+        stmt = parse_sql("with r as (select a from t) select a from r")
+        assert "r" in stmt.ctes
+
+
+class TestTpchQueriesParse:
+    @pytest.mark.parametrize("q", sorted(TPCH_QUERIES))
+    def test_parses(self, q):
+        stmt = parse_sql(TPCH_QUERIES[q])
+        assert stmt.items

@@ -1,0 +1,235 @@
+"""Unit tests for the SQL planner: binding, join graphs, decorrelation."""
+
+import pytest
+
+from repro.columnar import Schema
+from repro.plan import AggregateRel, FetchRel, FilterRel, JoinRel, ProjectRel, ReadRel, SortRel
+from repro.plan.plan import walk_relations
+from repro.sql import SqlPlanner, SqlPlanningError, TableStats
+from repro.tpch import TPCH_QUERIES, TPCH_SCHEMAS, TABLE_BASE_ROWS
+
+
+@pytest.fixture
+def catalog():
+    return {
+        name: TableStats(schema, max(int(TABLE_BASE_ROWS[name] * 0.01), 1))
+        for name, schema in TPCH_SCHEMAS.items()
+    }
+
+
+@pytest.fixture
+def planner(catalog):
+    return SqlPlanner(catalog)
+
+
+def rels_of(plan, cls):
+    return [r for r in walk_relations(plan.root) if isinstance(r, cls)]
+
+
+class TestBasicPlans:
+    def test_scan_project(self, planner):
+        plan = planner.plan_sql("select n_name from nation")
+        assert plan.output_schema().names() == ["n_name"]
+
+    def test_filter_plan(self, planner):
+        plan = planner.plan_sql("select n_name from nation where n_nationkey = 3")
+        assert rels_of(plan, FilterRel)
+
+    def test_unknown_table_rejected(self, planner):
+        with pytest.raises(SqlPlanningError, match="unknown table"):
+            planner.plan_sql("select 1 from ghosts")
+
+    def test_unknown_column_rejected(self, planner):
+        with pytest.raises(SqlPlanningError, match="unknown column"):
+            planner.plan_sql("select wrong from nation")
+
+    def test_ambiguous_column_rejected(self, planner):
+        with pytest.raises(SqlPlanningError, match="ambiguous"):
+            planner.plan_sql(
+                "select n_name from nation n1, nation n2 where n1.n_nationkey = n2.n_nationkey"
+            )
+
+    def test_qualified_disambiguation(self, planner):
+        plan = planner.plan_sql(
+            "select n1.n_name from nation n1, nation n2 "
+            "where n1.n_nationkey = n2.n_nationkey"
+        )
+        assert plan.output_schema().names() == ["n_name"]
+
+    def test_order_by_alias_and_position(self, planner):
+        plan = planner.plan_sql(
+            "select n_name as x from nation order by x"
+        )
+        assert rels_of(plan, SortRel)
+        plan2 = planner.plan_sql("select n_name from nation order by 1 desc limit 3")
+        assert rels_of(plan2, FetchRel)[0].count == 3
+
+    def test_distinct_becomes_group(self, planner):
+        plan = planner.plan_sql("select distinct n_regionkey from nation")
+        aggs = rels_of(plan, AggregateRel)
+        assert aggs and aggs[0].measures == []
+
+
+class TestJoinGraph:
+    def test_comma_join_produces_equi_join(self, planner):
+        plan = planner.plan_sql(
+            "select n_name, r_name from nation, region where n_regionkey = r_regionkey"
+        )
+        joins = rels_of(plan, JoinRel)
+        assert len(joins) == 1
+        assert joins[0].left_keys and joins[0].join_type == "inner"
+
+    def test_single_table_predicates_pushed_to_scan_side(self, planner):
+        plan = planner.plan_sql(
+            "select n_name from nation, region "
+            "where n_regionkey = r_regionkey and r_name = 'ASIA'"
+        )
+        # The region filter must sit below the join, not above it.
+        join = rels_of(plan, JoinRel)[0]
+        below = [r for side in join.inputs for r in walk_relations(side)]
+        assert any(isinstance(r, FilterRel) for r in below)
+
+    def test_greedy_reorder_starts_from_small_table(self, catalog):
+        greedy = SqlPlanner(catalog, reorder_joins=True)
+        as_written = SqlPlanner(catalog, reorder_joins=False)
+        sql = TPCH_QUERIES[5]
+        # Both must plan, and generally produce different join trees.
+        p1 = greedy.plan_sql(sql)
+        p2 = as_written.plan_sql(sql)
+        assert p1.to_json() != p2.to_json()
+
+    def test_written_order_cross_joins_when_disconnected(self, catalog):
+        as_written = SqlPlanner(catalog, reorder_joins=False)
+        plan = as_written.plan_sql(
+            "select 1 from part, supplier, lineitem "
+            "where p_partkey = l_partkey and s_suppkey = l_suppkey"
+        )
+        joins = rels_of(plan, JoinRel)
+        assert any(not j.left_keys for j in joins)  # the part x supplier cross
+
+    def test_greedy_avoids_the_cross_join(self, planner):
+        plan = planner.plan_sql(
+            "select 1 from part, supplier, lineitem "
+            "where p_partkey = l_partkey and s_suppkey = l_suppkey"
+        )
+        assert all(j.left_keys for j in rels_of(plan, JoinRel))
+
+    def test_left_outer_join(self, planner):
+        plan = planner.plan_sql(
+            "select c_custkey from customer left outer join orders on c_custkey = o_custkey"
+        )
+        assert rels_of(plan, JoinRel)[0].join_type == "left"
+
+
+class TestDecorrelation:
+    def test_exists_becomes_semi_join(self, planner):
+        plan = planner.plan_sql(
+            "select o_orderkey from orders where exists ("
+            "select * from lineitem where l_orderkey = o_orderkey)"
+        )
+        assert any(j.join_type == "semi" for j in rels_of(plan, JoinRel))
+
+    def test_not_exists_becomes_anti_join(self, planner):
+        plan = planner.plan_sql(
+            "select c_custkey from customer where not exists ("
+            "select * from orders where o_custkey = c_custkey)"
+        )
+        assert any(j.join_type == "anti" for j in rels_of(plan, JoinRel))
+
+    def test_exists_with_non_equi_residual(self, planner):
+        # Q21's pattern: equality + inequality correlation.
+        plan = planner.plan_sql(
+            "select l1.l_orderkey from lineitem l1 where exists ("
+            "select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey "
+            "and l2.l_suppkey <> l1.l_suppkey)"
+        )
+        semi = next(j for j in rels_of(plan, JoinRel) if j.join_type == "semi")
+        assert semi.post_filter is not None
+
+    def test_in_subquery_becomes_semi_join(self, planner):
+        plan = planner.plan_sql(
+            "select o_orderpriority from orders where o_orderkey in ("
+            "select l_orderkey from lineitem)"
+        )
+        assert any(j.join_type == "semi" for j in rels_of(plan, JoinRel))
+
+    def test_not_in_becomes_anti_join(self, planner):
+        plan = planner.plan_sql(
+            "select s_suppkey from supplier where s_suppkey not in ("
+            "select ps_suppkey from partsupp)"
+        )
+        assert any(j.join_type == "anti" for j in rels_of(plan, JoinRel))
+
+    def test_correlated_scalar_aggregate(self, planner):
+        # Q17's pattern: grouped subquery joined back on the correlation key.
+        plan = planner.plan_sql(
+            "select sum(l_extendedprice) from lineitem, part "
+            "where p_partkey = l_partkey and l_quantity < ("
+            "select 0.2 * avg(l_quantity) from lineitem where l_partkey = p_partkey)"
+        )
+        aggs = rels_of(plan, AggregateRel)
+        assert len(aggs) >= 2  # the decorrelated group-by + the outer one
+
+    def test_uncorrelated_scalar_becomes_cross_join(self, planner):
+        plan = planner.plan_sql(
+            "select c_custkey from customer where c_acctbal > ("
+            "select avg(c_acctbal) from customer)"
+        )
+        assert any(not j.left_keys for j in rels_of(plan, JoinRel))
+
+    def test_correlation_disabled_raises(self, catalog):
+        planner = SqlPlanner(catalog, allow_correlated_subqueries=False)
+        with pytest.raises(SqlPlanningError, match="correlated"):
+            planner.plan_sql(
+                "select o_orderkey from orders where exists ("
+                "select * from lineitem where l_orderkey = o_orderkey)"
+            )
+
+
+class TestAggregatePlanning:
+    def test_aggregate_with_expression_argument(self, planner):
+        plan = planner.plan_sql(
+            "select sum(l_extendedprice * (1 - l_discount)) as rev from lineitem"
+        )
+        assert plan.output_schema().names() == ["rev"]
+
+    def test_having_filters_after_aggregate(self, planner):
+        plan = planner.plan_sql(
+            "select l_orderkey, sum(l_quantity) from lineitem "
+            "group by l_orderkey having sum(l_quantity) > 100"
+        )
+        # Find a FilterRel above an AggregateRel.
+        found = False
+        for rel in walk_relations(plan.root):
+            if isinstance(rel, FilterRel) and any(
+                isinstance(r, AggregateRel) for r in walk_relations(rel.input_rel)
+            ):
+                found = True
+        assert found
+
+    def test_bare_column_outside_group_by_rejected(self, planner):
+        with pytest.raises(SqlPlanningError, match="GROUP BY"):
+            planner.plan_sql("select n_name, count(*) from nation group by n_regionkey")
+
+    def test_or_factoring_extracts_common_join_predicate(self, planner):
+        # Q19's shape: the shared p_partkey = l_partkey must become a join
+        # edge even though it is written inside an OR.
+        plan = planner.plan_sql(
+            "select sum(l_extendedprice) from lineitem, part where "
+            "(p_partkey = l_partkey and p_size = 1) or (p_partkey = l_partkey and p_size = 2)"
+        )
+        assert all(j.left_keys for j in rels_of(plan, JoinRel))
+
+    def test_interval_folding(self, planner):
+        plan = planner.plan_sql(
+            "select count(*) from orders where o_orderdate < date '1995-01-01' + interval '3' month"
+        )
+        assert "1995-04-01" in plan.to_json()
+
+
+class TestAll22Plan:
+    @pytest.mark.parametrize("q", sorted(TPCH_QUERIES))
+    def test_plans_and_validates(self, planner, q):
+        plan = planner.plan_sql(TPCH_QUERIES[q])
+        plan.validate()
+        assert len(plan.output_schema()) >= 1

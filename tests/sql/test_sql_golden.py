@@ -1,0 +1,192 @@
+"""Golden-result SQL tests: hand-computed answers on a tiny catalog.
+
+These validate end-to-end SQL semantics (parser -> planner -> engine)
+against values checked by hand, independently of the engine-vs-engine
+differential tests.
+"""
+
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.hosts import MiniDuck
+
+
+@pytest.fixture(scope="module")
+def db():
+    duck = MiniDuck()
+    duck.create_table(
+        "emp",
+        Table.from_pydict(
+            {
+                "id": [1, 2, 3, 4, 5],
+                "dept": ["eng", "eng", "sales", "sales", "hr"],
+                "salary": [100.0, 120.0, 80.0, 90.0, 70.0],
+                "hired": ["2020-01-15", "2019-06-01", "2021-03-20", "2020-11-11", "2022-02-02"],
+                "manager": [None, 1, 1, 3, 1],
+            },
+            Schema(
+                [
+                    ("id", "int64"),
+                    ("dept", "string"),
+                    ("salary", "float64"),
+                    ("hired", "date"),
+                    ("manager", "int64"),
+                ]
+            ),
+        ),
+    )
+    duck.create_table(
+        "dept",
+        Table.from_pydict(
+            {"name": ["eng", "sales", "hr", "legal"], "budget": [500, 300, 100, 50]},
+            Schema([("name", "string"), ("budget", "int64")]),
+        ),
+    )
+    return duck
+
+
+def rows(db, sql):
+    return db.execute(sql).table.to_rows()
+
+
+class TestProjectionAndFilter:
+    def test_select_constant_expression(self, db):
+        assert rows(db, "select 1 + 2 * 3 as x from dept limit 1") == [(7,)]
+
+    def test_where_and_or_precedence(self, db):
+        got = rows(db, "select id from emp where dept = 'eng' or dept = 'hr' and salary > 75")
+        assert sorted(r[0] for r in got) == [1, 2]  # hr filtered out by AND
+
+    def test_between_inclusive(self, db):
+        got = rows(db, "select id from emp where salary between 80 and 100 order by id")
+        assert [r[0] for r in got] == [1, 3, 4]
+
+    def test_like_case_sensitivity(self, db):
+        assert rows(db, "select count(*) as n from emp where dept like 'ENG'") == [(0,)]
+        assert rows(db, "select count(*) as n from emp where dept like 'e%'") == [(2,)]
+
+    def test_date_comparison(self, db):
+        got = rows(db, "select id from emp where hired >= date '2021-01-01' order by id")
+        assert [r[0] for r in got] == [3, 5]
+
+    def test_is_null(self, db):
+        assert rows(db, "select id from emp where manager is null") == [(1,)]
+        assert rows(db, "select count(*) as n from emp where manager is not null") == [(4,)]
+
+
+class TestAggregates:
+    def test_group_by_with_having(self, db):
+        got = rows(
+            db,
+            "select dept, avg(salary) as a from emp group by dept "
+            "having avg(salary) > 75 order by dept",
+        )
+        assert got == [("eng", 110.0), ("sales", 85.0)]
+
+    def test_count_star_vs_count_column(self, db):
+        assert rows(db, "select count(*) as a, count(manager) as b from emp") == [(5, 4)]
+
+    def test_min_max_on_strings_and_dates(self, db):
+        import datetime
+
+        got = rows(db, "select min(dept) as a, max(hired) as b from emp")
+        assert got == [("eng", datetime.date(2022, 2, 2))]
+
+    def test_distinct(self, db):
+        got = rows(db, "select distinct dept from emp order by dept")
+        assert got == [("eng",), ("hr",), ("sales",)]
+
+    def test_case_in_aggregate(self, db):
+        got = rows(
+            db,
+            "select sum(case when dept = 'eng' then salary else 0 end) as eng_total from emp",
+        )
+        assert got == [(220.0,)]
+
+
+class TestJoinsAndSubqueries:
+    def test_inner_join_with_filter(self, db):
+        got = rows(
+            db,
+            "select e.id, d.budget from emp e, dept d "
+            "where e.dept = d.name and d.budget >= 300 order by e.id",
+        )
+        assert got == [(1, 500), (2, 500), (3, 300), (4, 300)]
+
+    def test_self_join(self, db):
+        got = rows(
+            db,
+            "select e.id, m.id from emp e, emp m "
+            "where e.manager = m.id and m.dept = 'eng' order by e.id",
+        )
+        assert got == [(2, 1), (3, 1), (5, 1)]
+
+    def test_left_join_counts_unmatched(self, db):
+        got = rows(
+            db,
+            "select d.name, count(e.id) as n from dept d "
+            "left outer join emp e on d.name = e.dept "
+            "group by d.name order by d.name",
+        )
+        assert got == [("eng", 2), ("hr", 1), ("legal", 0), ("sales", 2)]
+
+    def test_in_subquery(self, db):
+        got = rows(
+            db,
+            "select name from dept where name in (select dept from emp) order by name",
+        )
+        assert got == [("eng",), ("hr",), ("sales",)]
+
+    def test_not_exists(self, db):
+        got = rows(
+            db,
+            "select name from dept where not exists ("
+            "select * from emp where emp.dept = dept.name)",
+        )
+        assert got == [("legal",)]
+
+    def test_correlated_scalar_subquery(self, db):
+        # Employees earning above their department's average.
+        got = rows(
+            db,
+            "select id from emp e where salary > ("
+            "select avg(salary) from emp where dept = e.dept) order by id",
+        )
+        assert [r[0] for r in got] == [2, 4]
+
+    def test_uncorrelated_scalar_subquery(self, db):
+        got = rows(
+            db,
+            "select id from emp where salary > (select avg(salary) from emp) order by id",
+        )
+        assert [r[0] for r in got] == [1, 2]
+
+    def test_derived_table(self, db):
+        got = rows(
+            db,
+            "select t.d, t.total from (select dept as d, sum(salary) as total "
+            "from emp group by dept) t where t.total > 100 order by t.d",
+        )
+        assert got == [("eng", 220.0), ("sales", 170.0)]
+
+    def test_cte(self, db):
+        got = rows(
+            db,
+            "with totals as (select dept as d, sum(salary) as s from emp group by dept) "
+            "select d from totals where s = (select max(s) from totals)",
+        )
+        assert got == [("eng",)]
+
+
+class TestOrderLimit:
+    def test_order_by_two_keys(self, db):
+        got = rows(db, "select dept, id from emp order by dept, id desc")
+        assert got[0] == ("eng", 2) and got[-1] == ("sales", 3)
+
+    def test_limit_after_sort(self, db):
+        got = rows(db, "select id from emp order by salary desc limit 2")
+        assert [r[0] for r in got] == [2, 1]
+
+    def test_order_by_position(self, db):
+        got = rows(db, "select id, salary from emp order by 2 limit 1")
+        assert got == [(5, 70.0)]

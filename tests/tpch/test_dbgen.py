@@ -1,0 +1,138 @@
+"""Tests for the TPC-H data generator: determinism, spec shapes, integrity."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.columnar import date_to_days
+from repro.tpch import TABLE_BASE_ROWS, TPCH_SCHEMAS, generate_table, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(sf=0.01)
+
+
+class TestShapesAndDeterminism:
+    def test_all_tables_present_with_schemas(self, db):
+        assert set(db) == set(TPCH_SCHEMAS)
+        for name, table in db.items():
+            assert table.schema == TPCH_SCHEMAS[name]
+
+    def test_row_counts_scale(self, db):
+        assert db["region"].num_rows == 5
+        assert db["nation"].num_rows == 25
+        assert db["supplier"].num_rows == int(TABLE_BASE_ROWS["supplier"] * 0.01)
+        assert db["partsupp"].num_rows == 4 * db["part"].num_rows
+
+    def test_deterministic(self):
+        a = generate_table("orders", sf=0.005)
+        b = generate_table("orders", sf=0.005)
+        assert a.to_pydict() == b.to_pydict()
+
+    def test_seed_changes_data(self):
+        a = generate_table("orders", sf=0.005, seed=1)
+        b = generate_table("orders", sf=0.005, seed=2)
+        assert a.to_pydict() != b.to_pydict()
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            generate_table("fact_sales", 0.01)
+
+    def test_lineitem_orders_consistent(self):
+        orders = generate_table("orders", sf=0.005)
+        lineitem = generate_table("lineitem", sf=0.005)
+        assert set(lineitem["l_orderkey"].to_pylist()) <= set(orders["o_orderkey"].to_pylist())
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_keys(self, db):
+        assert set(db["nation"]["n_regionkey"].to_pylist()) <= set(
+            db["region"]["r_regionkey"].to_pylist()
+        )
+
+    def test_customer_nation_keys(self, db):
+        assert set(db["customer"]["c_nationkey"].to_pylist()) <= set(range(25))
+
+    def test_orders_reference_customers(self, db):
+        custkeys = set(db["customer"]["c_custkey"].to_pylist())
+        assert set(db["orders"]["o_custkey"].to_pylist()) <= custkeys
+
+    def test_lineitem_partsupp_pairs_exist(self, db):
+        """Every (l_partkey, l_suppkey) must exist in partsupp - Q9 joins
+        on the pair."""
+        ps = set(
+            zip(db["partsupp"]["ps_partkey"].to_pylist(), db["partsupp"]["ps_suppkey"].to_pylist())
+        )
+        li = set(
+            zip(db["lineitem"]["l_partkey"].to_pylist(), db["lineitem"]["l_suppkey"].to_pylist())
+        )
+        assert li <= ps
+
+    def test_each_part_has_four_suppliers(self, db):
+        pk = np.asarray(db["partsupp"]["ps_partkey"].to_pylist())
+        __, counts = np.unique(pk, return_counts=True)
+        assert (counts == 4).all()
+
+
+class TestValueDistributions:
+    def test_order_dates_in_spec_range(self, db):
+        dates = db["orders"]["o_orderdate"].to_pylist()
+        assert min(dates) >= datetime.date(1992, 1, 1)
+        assert max(dates) <= datetime.date(1998, 8, 2)
+
+    def test_lineitem_date_ordering(self, db):
+        ship = db["lineitem"]["l_shipdate"].to_pylist()
+        receipt = db["lineitem"]["l_receiptdate"].to_pylist()
+        assert all(r > s for s, r in zip(ship, receipt))
+
+    def test_discounts_and_taxes(self, db):
+        d = db["lineitem"]["l_discount"].to_pylist()
+        assert 0.0 <= min(d) and max(d) <= 0.10
+        t = db["lineitem"]["l_tax"].to_pylist()
+        assert max(t) <= 0.08
+
+    def test_quantity_range(self, db):
+        q = db["lineitem"]["l_quantity"].to_pylist()
+        assert min(q) >= 1 and max(q) <= 50
+
+    def test_returnflag_consistent_with_receipt(self, db):
+        cutoff = datetime.date(1995, 6, 17)
+        flags = db["lineitem"]["l_returnflag"].to_pylist()
+        receipts = db["lineitem"]["l_receiptdate"].to_pylist()
+        for f, r in zip(flags[:500], receipts[:500]):
+            if r > cutoff:
+                assert f == "N"
+            else:
+                assert f in ("R", "A")
+
+    def test_query_pattern_selectivities(self, db):
+        """The comment/name seeds the filter-heavy queries need exist."""
+        p_names = db["part"]["p_name"].to_pylist()
+        assert any("green" in n for n in p_names)  # Q9
+        o_comments = db["orders"]["o_comment"].to_pylist()
+        assert any("special" in c and "requests" in c for c in o_comments)  # Q13
+        s_comments = db["supplier"]["s_comment"].to_pylist()
+        assert any("Customer" in c and "Complaints" in c for c in s_comments)  # Q16
+
+    def test_market_segments(self, db):
+        segments = set(db["customer"]["c_mktsegment"].to_pylist())
+        assert "BUILDING" in segments and len(segments) == 5
+
+    def test_totalprice_matches_lineitems(self, db):
+        """o_totalprice must equal the sum over the order's lineitems."""
+        li = db["lineitem"]
+        key = np.asarray(li["l_orderkey"].to_pylist())
+        price = np.asarray(li["l_extendedprice"].to_pylist())
+        tax = np.asarray(li["l_tax"].to_pylist())
+        disc = np.asarray(li["l_discount"].to_pylist())
+        per_line = price * (1 + tax) * (1 - disc)
+        orders = db["orders"]
+        expected = {}
+        for k, v in zip(key, per_line):
+            expected[k] = expected.get(k, 0.0) + v
+        for okey, total in list(
+            zip(orders["o_orderkey"].to_pylist(), orders["o_totalprice"].to_pylist())
+        )[:200]:
+            assert total == pytest.approx(expected[okey], abs=0.02)

@@ -1,0 +1,45 @@
+"""Tests for the TPC-H query catalog."""
+
+import pytest
+
+from repro.tpch import (
+    CLICKHOUSE_REWRITES,
+    CLICKHOUSE_UNSUPPORTED,
+    TPCH_QUERIES,
+    tpch_query,
+)
+
+
+class TestCatalog:
+    def test_all_22_present(self):
+        assert sorted(TPCH_QUERIES) == list(range(1, 23))
+
+    def test_unknown_number_rejected(self):
+        with pytest.raises(KeyError):
+            tpch_query(23)
+
+    def test_clickhouse_unsupported_raises(self):
+        with pytest.raises(ValueError, match="not supported"):
+            tpch_query(21, for_clickhouse=True)
+
+    def test_rewrites_cover_correlated_queries(self):
+        # Every correlated query except Q21 (unsupported outright) has a
+        # decorrelated rewrite.
+        assert set(CLICKHOUSE_REWRITES) == {2, 4, 17, 20, 22}
+
+    def test_rewrites_substituted(self):
+        assert tpch_query(17, for_clickhouse=True) == CLICKHOUSE_REWRITES[17]
+        assert tpch_query(1, for_clickhouse=True) == TPCH_QUERIES[1]
+
+    @pytest.mark.parametrize("q", sorted(CLICKHOUSE_REWRITES))
+    def test_rewrites_have_no_correlation_keywords(self, q):
+        text = CLICKHOUSE_REWRITES[q].lower()
+        assert "exists" not in text
+
+    def test_validation_parameters_match_spec(self):
+        assert "BUILDING" in TPCH_QUERIES[3]
+        assert "date '1995-03-15'" in TPCH_QUERIES[3]
+        assert "0.05 and 0.07" in TPCH_QUERIES[6]
+        assert "'%green%'" in TPCH_QUERIES[9]
+        assert "Brand#23" in TPCH_QUERIES[17]
+        assert "SAUDI ARABIA" in TPCH_QUERIES[21]
