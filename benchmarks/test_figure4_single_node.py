@@ -69,6 +69,21 @@ def test_clickhouse_q9_does_not_finish(figure4, benchmark):
     benchmark.pedantic(check, rounds=1, iterations=1)
 
 
+def test_figure4_byte_identical_to_seed(figure4, results_dir, bench_sf, benchmark):
+    """The deadline envelope replaced the ad-hoc DNF guard without moving a
+    single simulated nanosecond: rendered output must match the seed
+    snapshot byte for byte (Q9 DNF / Q21 unsupported rendering included)."""
+
+    def check():
+        if bench_sf != 0.1:
+            pytest.skip("seed snapshot was rendered at SF 0.1")
+        generated = (results_dir / "figure4.txt").read_text()
+        seed = (results_dir / "figure4_seed.txt").read_text()
+        assert generated == seed
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
 def test_big_scan_queries_show_large_speedup(figure4, benchmark):
     def check():
         # Q1 and Q6 stream the full lineitem table - the bandwidth-ratio

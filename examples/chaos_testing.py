@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Chaos testing the distributed warehouse with seeded fault injection.
+
+Walks the fault model end to end on a 4-node Sirius cluster:
+
+1. a node crash mid-query — heartbeat-timeout detection, eviction,
+   re-partitioning, fragment re-execution on the survivors;
+2. NCCL link drops — exchange retry with exponential backoff;
+3. persistent device-OOM spikes — degradation down the tier ladder to
+   the per-pipeline CPU standby engine;
+4. a deadline DNF — the unified resource envelope aborting a query.
+
+Every fault is scheduled on the simulated clock by a seeded FaultPlan,
+so each run replays exactly.
+
+Run:  python examples/chaos_testing.py [sf]
+"""
+
+import sys
+
+from repro.faults import FaultPlan
+from repro.hosts import MiniDoris, MiniDuck, NodeFailureError
+from repro.core import DidNotFinishError
+from repro.tpch import generate_tpch, tpch_query
+
+
+def normalise(table):
+    """Float-tolerant row multiset (summation order differs across
+    cluster sizes, so the last ulp of aggregates may too)."""
+    return sorted(
+        tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in row)
+        for row in table.to_rows()
+    )
+
+
+def fresh_cluster(data, **kwargs):
+    db = MiniDoris(num_nodes=4, mode="sirius", **kwargs)
+    db.load_tables(data)
+    db.warm_caches()
+    return db
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    print(f"TPC-H SF {sf}, 4-node Sirius cluster\n")
+    data = generate_tpch(sf=sf)
+
+    reference = MiniDuck()
+    reference.load_tables(data)
+    want = normalise(reference.execute(tpch_query(3)).table)
+
+    # -- 1. node crash mid-query ------------------------------------------
+    print("=== node crash mid-query ===")
+    db = fresh_cluster(data, heartbeat_timeout_s=0.005)
+    injector = db.install_faults(FaultPlan(seed=42).crash_node(2, at=2e-4))
+    result = db.execute(tpch_query(3))
+    got = normalise(result.table)
+    print(f"Q3 finished on {db.cluster.num_nodes} survivors, "
+          f"results match fault-free: {got == want}")
+    for event in db.event_log:
+        print(f"  {event}")
+    print(f"  faults fired: {injector.summary()}")
+
+    # -- 2. link drops on the exchange fabric -----------------------------
+    print("\n=== transient link drops ===")
+    db = fresh_cluster(data)
+    db.install_faults(FaultPlan(seed=7).drop_links(at=0.0, count=3))
+    result = db.execute(tpch_query(3))
+    print(f"Q3 completed; {result.exchange_retries} collectives retried "
+          f"(backoff charged to the clock):")
+    for retry in result.retry_events:
+        print(f"  retry {retry.attempt} of {retry.kind} after "
+              f"{retry.backoff_s * 1e6:.0f} us backoff at t={retry.sim_time * 1e3:.3f} ms")
+
+    # -- 3. OOM spikes -> tiered degradation ------------------------------
+    print("\n=== persistent device OOM on node 1 ===")
+    db = fresh_cluster(data)
+    db.install_faults(FaultPlan(seed=3).oom_spike(at=0.0, count=8, node_id=1))
+    db.execute(tpch_query(6))
+    print(db._node_engines[1].fallback.summary())
+    for event in db._node_engines[1].fallback.events:
+        print(f"  plan {event.plan_fingerprint}: {event.exception_type} "
+              f"-> tier {event.tier} (tried {', '.join(event.tiers_attempted)})")
+
+    # -- 4. deadline DNF ---------------------------------------------------
+    print("\n=== deadline ===")
+    db = fresh_cluster(data)
+    try:
+        db.execute(tpch_query(1), deadline_s=1e-6)
+    except DidNotFinishError as exc:
+        print(f"Q1 under a 1 us deadline: DNF ({exc})")
+
+    # -- 5. losing the coordinator is fatal --------------------------------
+    print("\n=== coordinator loss ===")
+    db = fresh_cluster(data, heartbeat_timeout_s=0.005)
+    db.install_faults(FaultPlan().crash_node(0, at=2e-4))
+    try:
+        db.execute(tpch_query(1))
+    except (RuntimeError, NodeFailureError) as exc:
+        print(f"unrecoverable, as in Doris: {exc}")
+
+
+if __name__ == "__main__":
+    main()

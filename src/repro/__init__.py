@@ -29,6 +29,7 @@ __all__ = [
     "columnar",
     "core",
     "distributed",
+    "faults",
     "gpu",
     "hosts",
     "kernels",

@@ -1,9 +1,15 @@
 """Sirius - the paper's primary contribution: a GPU-native SQL engine."""
 
 from .buffer_manager import BufferManager
+from .deadline import (
+    Deadline,
+    DeadlineExceededError,
+    DidNotFinishError,
+    MemoryBudgetExceededError,
+)
 from .executor import OperatorTiming, PipelineExecutor, QueryProfile
 from .expr_eval import UnsupportedExpressionError
-from .fallback import FallbackEvent, FallbackHandler
+from .fallback import DegradationTier, FALLBACK_EXCEPTIONS, FallbackEvent, FallbackHandler
 from .operators.base import Category, ExecutionContext, OperatorRegistry, UnsupportedFeatureError
 from .planner import PhysicalPlan, Pipeline, compile_plan
 from .sirius import SiriusEngine
@@ -11,7 +17,13 @@ from .sirius import SiriusEngine
 __all__ = [
     "BufferManager",
     "Category",
+    "Deadline",
+    "DeadlineExceededError",
+    "DegradationTier",
+    "DidNotFinishError",
+    "MemoryBudgetExceededError",
     "ExecutionContext",
+    "FALLBACK_EXCEPTIONS",
     "FallbackEvent",
     "FallbackHandler",
     "OperatorRegistry",

@@ -1,0 +1,144 @@
+"""Unified deadline / DNF mechanism on the simulated clock.
+
+The paper's evaluation reports "DNF" for queries an engine cannot finish
+(ClickHouse on Q9).  The seed reproduction modelled that with an ad-hoc
+row budget inside the CPU engine; this module replaces it with a single
+mechanism every engine shares: a :class:`Deadline` — a per-query resource
+envelope with a time budget anchored on a
+:class:`~repro.gpu.clock.SimClock` and an optional join-memory ceiling —
+checked inside the executors (pipeline executor, CPU engine, distributed
+executor), so that *any* engine can report DNF the same way.
+
+Two check styles exist:
+
+* :meth:`Deadline.check` — reactive: raise once simulated time has passed
+  the deadline (cheap; called at operator/pipeline/fragment boundaries);
+* :meth:`Deadline.check_projected` — proactive: raise when the *projected*
+  cost of the next step would cross the deadline.  This is what lets the
+  simulation abort Q9's written-order cross join without materialising
+  billions of rows, exactly like a production timeout would kill the
+  query long before it completes.
+"""
+
+from __future__ import annotations
+
+from ..gpu.clock import SimClock
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceededError",
+    "DidNotFinishError",
+    "MemoryBudgetExceededError",
+]
+
+
+class DidNotFinishError(RuntimeError):
+    """The query was aborted before producing a result (reported as DNF).
+
+    Base class for every abort reason — deadline expiry and the memory
+    ceiling both derive from it, so harnesses catch one exception type.
+    """
+
+
+class DeadlineExceededError(DidNotFinishError):
+    """Simulated time (or its projection) crossed the query deadline."""
+
+    def __init__(self, message: str, *, budget_s: float, elapsed_s: float):
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class MemoryBudgetExceededError(DidNotFinishError):
+    """An intermediate grew past the deadline's memory ceiling.
+
+    ClickHouse-style engines kill a query whose join intermediates
+    outgrow the join-memory limit long before any wall-clock timeout —
+    the paper's Q9 DNF.  This is the memory dimension of the same
+    resource envelope the time budget belongs to.
+    """
+
+    def __init__(self, message: str, *, rows: int, limit: int):
+        super().__init__(message)
+        self.rows = rows
+        self.limit = limit
+
+
+class Deadline:
+    """A per-query resource envelope on the simulated clock.
+
+    Two dimensions, either optional (but at least one must be set):
+
+    * a **time budget** in simulated seconds.  The deadline is *absolute*:
+      it is anchored at construction time on a reference clock
+      (`expires_at = clock.now + budget_s`), so concurrent executors on
+      different clocks (distributed nodes) all check the same instant;
+    * a **memory ceiling** (``max_intermediate_rows``) on the largest
+      intermediate an operator may materialise, checked by executors
+      before join assembly.
+    """
+
+    def __init__(
+        self,
+        budget_s: float | None,
+        clock: SimClock,
+        max_intermediate_rows: int | None = None,
+    ):
+        if budget_s is None and max_intermediate_rows is None:
+            raise ValueError("deadline needs a time budget or a memory ceiling")
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        if max_intermediate_rows is not None and max_intermediate_rows <= 0:
+            raise ValueError("memory ceiling must be positive")
+        self.budget_s = budget_s
+        self.max_intermediate_rows = max_intermediate_rows
+        self.started_at = clock.now
+        self.expires_at = (
+            clock.now + budget_s if budget_s is not None else float("inf")
+        )
+
+    def remaining(self, now: float) -> float:
+        return self.expires_at - now
+
+    def expired(self, now: float) -> bool:
+        return now > self.expires_at
+
+    def check(self, clock: SimClock) -> None:
+        """Raise :class:`DeadlineExceededError` if the clock passed the
+        deadline."""
+        self.check_at(clock.now)
+
+    def check_at(self, now: float) -> None:
+        if now > self.expires_at:
+            raise DeadlineExceededError(
+                f"query exceeded its {self.budget_s:.6f}s deadline "
+                f"(elapsed {now - self.started_at:.6f}s simulated)",
+                budget_s=self.budget_s,
+                elapsed_s=now - self.started_at,
+            )
+
+    def check_projected(self, clock: SimClock, projected_seconds: float) -> None:
+        """Raise when the next step's projected cost would cross the
+        deadline — the simulation-friendly form of "the timeout would have
+        killed this query", used before materialising pathological
+        intermediates."""
+        projected_now = clock.now + projected_seconds
+        if projected_now > self.expires_at:
+            raise DeadlineExceededError(
+                f"projected cost {projected_seconds:.6f}s would exceed the "
+                f"{self.budget_s:.6f}s deadline "
+                f"(elapsed {clock.now - self.started_at:.6f}s simulated)",
+                budget_s=self.budget_s,
+                elapsed_s=projected_now - self.started_at,
+            )
+
+    def check_rows(self, rows: int) -> None:
+        """Raise :class:`MemoryBudgetExceededError` when an intermediate
+        would outgrow the memory ceiling (no-op if no ceiling is set)."""
+        if self.max_intermediate_rows is not None and rows > self.max_intermediate_rows:
+            raise MemoryBudgetExceededError(
+                f"join intermediate of {rows} rows exceeds the "
+                f"{self.max_intermediate_rows}-row budget (query did not finish)",
+                rows=rows,
+                limit=self.max_intermediate_rows,
+            )

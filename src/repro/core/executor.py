@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..kernels import GTable, slice_table
+from .deadline import Deadline
 from .operators.base import ExecutionContext
 from .operators.scan import IntermediateSource
 from .planner import PhysicalPlan, Pipeline
@@ -80,8 +81,16 @@ class PipelineExecutor:
     def __init__(self, ctx: ExecutionContext):
         self.ctx = ctx
 
-    def run(self, physical: PhysicalPlan) -> tuple[GTable, QueryProfile]:
-        """Execute all pipelines; returns the result table and a profile."""
+    def run(
+        self, physical: PhysicalPlan, deadline: Deadline | None = None
+    ) -> tuple[GTable, QueryProfile]:
+        """Execute all pipelines; returns the result table and a profile.
+
+        A :class:`~repro.core.deadline.Deadline` (simulated-time budget) is
+        enforced at chunk and pipeline boundaries — the executor stops
+        pushing work as soon as the clock passes the deadline, raising
+        :class:`~repro.core.deadline.DeadlineExceededError`.
+        """
         clock = self.ctx.device.clock
         start = clock.now
         buckets_before = clock.buckets()
@@ -98,7 +107,7 @@ class PipelineExecutor:
             for _ in range(len(queue)):
                 pipeline = queue.popleft()
                 if pipeline.dependencies <= done:
-                    self._run_pipeline(pipeline, slots, profile)
+                    self._run_pipeline(pipeline, slots, profile, deadline)
                     done.add(pipeline.pid)
                     self._release_slots(pipeline, slots, consumers, physical.final_slot)
                     progressed = True
@@ -107,6 +116,8 @@ class PipelineExecutor:
             if not progressed:
                 raise RuntimeError("pipeline dependency cycle detected")
 
+        if deadline is not None:
+            deadline.check_at(clock.now)
         result = slots[physical.final_slot]
         profile.sim_seconds = clock.now - start
         buckets_after = clock.buckets()
@@ -121,13 +132,21 @@ class PipelineExecutor:
 
     # -- internals ----------------------------------------------------------
 
-    def _run_pipeline(self, pipeline: Pipeline, slots: dict, profile: QueryProfile) -> None:
+    def _run_pipeline(
+        self,
+        pipeline: Pipeline,
+        slots: dict,
+        profile: QueryProfile,
+        deadline: Deadline | None = None,
+    ) -> None:
         state: dict = {"slots": slots}
         clock = self.ctx.device.clock
         op_seconds = {op: 0.0 for op in pipeline.operators}
         op_rows = {op: 0 for op in pipeline.operators}
         sink_seconds = 0.0
         for chunk in self._source_chunks(pipeline, slots):
+            if deadline is not None:
+                deadline.check_at(clock.now)
             profile.chunks_processed += 1
             for op in pipeline.operators:
                 mark = clock.now

@@ -1,62 +1,171 @@
-"""Graceful CPU fallback (§3.2.2).
+"""Graceful degradation tiers (§3.2.2, extended with a fault model).
 
 Sirius "includes a graceful fallback mechanism to the host database
 systems in the case of an error or missing features".  The engine wraps
-GPU execution; on :class:`UnsupportedFeatureError`,
-:class:`UnsupportedExpressionError`, or device OOM (when spilling is
-disabled) it re-executes the plan through a host-provided callback and
-records the event.
+GPU execution; recoverable failures walk an ordered ladder of
+:class:`DegradationTier`\\ s instead of jumping straight to the host:
+
+1. ``gpu-retry-spill`` — device OOM only: re-run on the GPU with buffer
+   spilling enabled and batched out-of-core execution (§3.4);
+2. ``cpu-pipeline`` — re-run this pipeline/fragment on the node's CPU
+   while the rest of the query stays on the GPU (wired by hosts that
+   execute fragment-at-a-time, e.g. MiniDoris);
+3. ``cpu-plan`` — the seed behaviour: re-execute the whole plan through
+   the registered host executor;
+4. raise — no tier could absorb the failure.
+
+Exactly **one** :class:`FallbackEvent` is recorded per degraded query —
+carrying the original error, the tier that finally absorbed it, and every
+tier attempted along the way — so ``fallback_count`` still counts queries,
+not attempts.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..columnar import Table
+from ..gpu.device import TransientKernelError
 from ..gpu.memory import OutOfDeviceMemory
 from ..plan import Plan
 from .expr_eval import UnsupportedExpressionError
 from .operators.base import UnsupportedFeatureError
 
-__all__ = ["FallbackHandler", "FallbackEvent"]
+__all__ = ["FallbackHandler", "FallbackEvent", "DegradationTier", "FALLBACK_EXCEPTIONS"]
 
-FALLBACK_EXCEPTIONS = (UnsupportedFeatureError, UnsupportedExpressionError, OutOfDeviceMemory)
+FALLBACK_EXCEPTIONS = (
+    UnsupportedFeatureError,
+    UnsupportedExpressionError,
+    OutOfDeviceMemory,
+    TransientKernelError,
+)
+
+
+def plan_fingerprint(plan: Plan) -> str:
+    """Short stable identifier for a plan (sha1 of its JSON form)."""
+    try:
+        return hashlib.sha1(plan.to_json().encode("utf-8")).hexdigest()[:12]
+    except Exception:
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class DegradationTier:
+    """One rung of the degradation ladder.
+
+    Attributes:
+        name: Tier label recorded in events (e.g. ``"gpu-retry-spill"``).
+        handler: ``(plan, original_exception) -> Table``; may itself raise
+            a fallback exception, which passes control to the next tier.
+        triggers: Exception types this tier can absorb; the tier is
+            skipped when the original failure is not an instance.
+        gpu_result: True when the tier still produces its result on the
+            GPU (so the engine's query profile remains valid).
+    """
+
+    name: str
+    handler: Callable[[Plan, BaseException], Table]
+    triggers: tuple = FALLBACK_EXCEPTIONS
+    gpu_result: bool = False
 
 
 @dataclass
 class FallbackEvent:
-    """Record of one query that fell back to the host engine."""
+    """Record of one query that degraded off the happy path."""
 
     reason: str
     exception_type: str
+    tier: str = "cpu-plan"  # tier that absorbed the failure ("raise" = none)
+    tiers_attempted: tuple = ()
+    plan_fingerprint: str = "unknown"
+    sim_time: float | None = None
 
 
 @dataclass
 class FallbackHandler:
-    """Wraps GPU execution with a host-engine escape hatch."""
+    """Wraps GPU execution with the tiered degradation ladder."""
 
     host_executor: Callable[[Plan], Table] | None = None
     events: list[FallbackEvent] = field(default_factory=list)
 
-    def run(self, gpu_execute: Callable[[], Table], plan: Plan) -> tuple[Table, bool]:
-        """Run ``gpu_execute``; fall back to the host on known failures.
+    def run(
+        self,
+        gpu_execute: Callable[[], Table],
+        plan: Plan,
+        tiers: tuple = (),
+        clock=None,
+    ) -> tuple[Table, DegradationTier | None]:
+        """Run ``gpu_execute``; walk the degradation tiers on known failures.
+
+        ``tiers`` are tried in order; the registered ``host_executor`` (if
+        any) is appended as the final ``cpu-plan`` tier.  One event is
+        recorded per degraded query regardless of how many tiers ran.
 
         Returns:
-            ``(result, fell_back)``.
+            ``(result, tier)`` — ``tier`` is ``None`` on the happy path,
+            else the :class:`DegradationTier` that produced the result.
 
         Raises:
-            The original exception if no host executor is registered, or
-            any exception outside the fallback set (bugs must surface).
+            The original exception if no tier absorbed it, or any
+            exception outside the fallback set (bugs must surface).
         """
         try:
-            return gpu_execute(), False
+            return gpu_execute(), None
         except FALLBACK_EXCEPTIONS as exc:
-            self.events.append(FallbackEvent(str(exc), type(exc).__name__))
-            if self.host_executor is None:
-                raise
-            return self.host_executor(plan), True
+            original = exc
+
+        ladder = list(tiers)
+        if self.host_executor is not None:
+            ladder.append(
+                DegradationTier(
+                    "cpu-plan", lambda p, _exc: self.host_executor(p), FALLBACK_EXCEPTIONS
+                )
+            )
+        attempted: list[str] = []
+        for tier in ladder:
+            if not isinstance(original, tier.triggers):
+                continue
+            attempted.append(tier.name)
+            try:
+                result = tier.handler(plan, original)
+            except FALLBACK_EXCEPTIONS:
+                continue  # this tier could not absorb it either; next rung
+            self._record(original, plan, tier.name, attempted, clock)
+            return result, tier
+        self._record(original, plan, "raise", attempted, clock)
+        raise original
+
+    def _record(self, exc, plan, tier: str, attempted: list, clock) -> None:
+        self.events.append(
+            FallbackEvent(
+                reason=str(exc),
+                exception_type=type(exc).__name__,
+                tier=tier,
+                tiers_attempted=tuple(attempted),
+                plan_fingerprint=plan_fingerprint(plan),
+                sim_time=clock.now if clock is not None else None,
+            )
+        )
 
     @property
     def fallback_count(self) -> int:
         return len(self.events)
+
+    def summary(self) -> str:
+        """Human-readable degradation report (one line per tier)."""
+        if not self.events:
+            return "no degraded queries"
+        by_tier: dict[str, list[FallbackEvent]] = {}
+        for event in self.events:
+            by_tier.setdefault(event.tier, []).append(event)
+        lines = [f"{len(self.events)} degraded quer{'y' if len(self.events) == 1 else 'ies'}"]
+        for tier_name in sorted(by_tier):
+            group = by_tier[tier_name]
+            causes: dict[str, int] = {}
+            for event in group:
+                causes[event.exception_type] = causes.get(event.exception_type, 0) + 1
+            cause_str = ", ".join(f"{k} x{v}" for k, v in sorted(causes.items()))
+            lines.append(f"  tier {tier_name}: {len(group)} ({cause_str})")
+        return "\n".join(lines)

@@ -23,17 +23,24 @@ from typing import Callable, Mapping
 
 from ..columnar import Table
 from ..gpu.device import Device
+from ..gpu.memory import OutOfDeviceMemory
 from ..gpu.specs import GH200, DeviceSpec
 from ..kernels import groupby as groupby_kernel
 from ..plan import Plan
 from .buffer_manager import BufferManager
+from .deadline import Deadline
 from .executor import PipelineExecutor, QueryProfile
-from .fallback import FallbackHandler
+from .fallback import FALLBACK_EXCEPTIONS, DegradationTier, FallbackHandler
 from .operators.base import ExecutionContext, OperatorRegistry
 from .operators.join import custom_sort_merge_join, libcudf_join
 from .planner import compile_plan
 
 __all__ = ["SiriusEngine"]
+
+# Batch size used by the out-of-core retry tier when the original run was
+# not batched (or used larger batches): small enough to fit tight
+# processing pools, large enough to keep kernels efficient.
+OOC_RETRY_BATCH_ROWS = 65_536
 
 
 def _libcudf_groupby(keys, specs):
@@ -66,6 +73,7 @@ class SiriusEngine:
         batch_rows: int | None = None,
         host_executor: Callable[[Plan], Table] | None = None,
         compress_cache: bool = False,
+        pipeline_cpu_executor: Callable[[Plan, Mapping[str, Table]], Table] | None = None,
     ):
         """
         Args:
@@ -75,9 +83,14 @@ class SiriusEngine:
             batch_rows: If set, pipelines stream inputs in batches of this
                 many rows instead of whole tables (§3.4 batch execution).
             host_executor: Optional host-engine callback for the graceful
-                CPU fallback path.
+                CPU fallback path (the final ``cpu-plan`` tier).
             compress_cache: FOR+bit-pack integer columns in the caching
                 region (§3.4's lightweight-compression extension).
+            pipeline_cpu_executor: Optional ``(plan, catalog) -> Table``
+                CPU callback for the ``cpu-pipeline`` degradation tier —
+                re-runs just the failed pipeline/fragment plan on the
+                node's CPU (used by hosts that execute fragment-at-a-time,
+                e.g. MiniDoris).
         """
         self.device = device
         self.buffer_manager = BufferManager(
@@ -86,6 +99,7 @@ class SiriusEngine:
         self.registry = default_registry()
         self.batch_rows = batch_rows
         self.fallback = FallbackHandler(host_executor)
+        self.pipeline_cpu_executor = pipeline_cpu_executor
         self.last_profile: QueryProfile | None = None
         self.queries_executed = 0
 
@@ -117,16 +131,31 @@ class SiriusEngine:
     def set_host_executor(self, host_executor: Callable[[Plan], Table]) -> None:
         self.fallback.host_executor = host_executor
 
+    def set_pipeline_cpu_executor(
+        self, executor: Callable[[Plan, Mapping[str, Table]], Table]
+    ) -> None:
+        self.pipeline_cpu_executor = executor
+
     # -- execution --------------------------------------------------------------
 
-    def execute(self, plan: Plan, catalog: Mapping[str, Table]) -> Table:
+    def execute(
+        self, plan: Plan, catalog: Mapping[str, Table], deadline_s: float | None = None
+    ) -> Table:
         """Execute a plan against host ``catalog`` tables; returns a host
         table (device->host copy of the result is charged).
 
-        Falls back to the registered host executor on unsupported features
-        or device OOM.
+        Recoverable failures walk the degradation ladder: device OOM first
+        retries on the GPU with spilling + batched out-of-core execution,
+        then (if wired) the ``cpu-pipeline`` tier, then the registered host
+        executor.  ``deadline_s`` is a simulated-time budget enforced at
+        pipeline boundaries; exceeding it raises
+        :class:`~repro.core.deadline.DeadlineExceededError`, which is *not*
+        absorbed by any tier.
         """
         plan.validate()
+        deadline = (
+            Deadline(deadline_s, self.device.clock) if deadline_s is not None else None
+        )
 
         def gpu_run() -> Table:
             self.device.reset_processing_pool()
@@ -139,15 +168,44 @@ class SiriusEngine:
             )
             physical = compile_plan(plan)
             executor = PipelineExecutor(ctx)
-            gtable, profile = executor.run(physical)
+            gtable, profile = executor.run(physical, deadline=deadline)
             self.last_profile = profile
             result = gtable.to_host()  # deep copy back to the host format
             return result
 
-        result, fell_back = self.fallback.run(gpu_run, plan)
+        def ooc_retry(_plan: Plan, _exc: BaseException) -> Table:
+            # Same query, out-of-core configuration: spill cached tables
+            # under pressure and stream pipelines in small batches.  The
+            # wasted first attempt has already been charged to the clock.
+            saved_spill = self.buffer_manager.enable_spill
+            saved_batch = self.batch_rows
+            self.buffer_manager.enable_spill = True
+            self.batch_rows = min(saved_batch or OOC_RETRY_BATCH_ROWS, OOC_RETRY_BATCH_ROWS)
+            try:
+                return gpu_run()
+            finally:
+                self.buffer_manager.enable_spill = saved_spill
+                self.batch_rows = saved_batch
+
+        tiers = [
+            DegradationTier(
+                "gpu-retry-spill", ooc_retry, (OutOfDeviceMemory,), gpu_result=True
+            )
+        ]
+        if self.pipeline_cpu_executor is not None:
+            tiers.append(
+                DegradationTier(
+                    "cpu-pipeline",
+                    lambda p, _exc: self.pipeline_cpu_executor(p, catalog),
+                    FALLBACK_EXCEPTIONS,
+                )
+            )
+        result, tier = self.fallback.run(
+            gpu_run, plan, tiers=tuple(tiers), clock=self.device.clock
+        )
         self.queries_executed += 1
-        if fell_back:
-            self.last_profile = None
+        if tier is not None and not tier.gpu_result:
+            self.last_profile = None  # GPU profile would be misleading
         return result
 
     def explain_physical(self, plan: Plan) -> str:

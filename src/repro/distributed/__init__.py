@@ -1,7 +1,12 @@
 """Distributed substrate: cluster, fragmentation, exchange, execution."""
 
 from .cluster import Cluster, ClusterNode, PARTITION_KEYS, REPLICATED_TABLES, partition_table
-from .engine import DistributedExecutor, DistributedResult
+from .engine import (
+    DistributedExecutor,
+    DistributedResult,
+    ExchangeRetry,
+    NodeFailureError,
+)
 from .fragments import (
     DistributedPlanner,
     DistributedUnsupportedError,
@@ -16,8 +21,10 @@ __all__ = [
     "DistributedPlanner",
     "DistributedResult",
     "DistributedUnsupportedError",
+    "ExchangeRetry",
     "ExchangeSpec",
     "Fragment",
+    "NodeFailureError",
     "PARTITION_KEYS",
     "REPLICATED_TABLES",
     "partition_table",

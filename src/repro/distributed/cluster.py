@@ -61,6 +61,10 @@ class ClusterNode:
 
     With the multi-GPU extension several ranks share a host (``host_id``);
     they exchange over NVLink peer links instead of the network.
+
+    ``node_id`` is the node's current rank (renumbered when membership
+    changes); ``uid`` is the stable identity assigned at birth, which is
+    what fault plans and the coordinator's event log refer to.
     """
 
     node_id: int
@@ -69,15 +73,31 @@ class ClusterNode:
     alive: bool = True
     last_heartbeat: float = 0.0
     host_id: int = 0
+    uid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            self.uid = self.node_id
 
     @property
     def clock(self) -> SimClock:
         return self.device.clock
 
     def heartbeat(self) -> None:
-        """Refresh liveness (the coordinator's control-plane bookkeeping)."""
+        """The node refreshes its own liveness timestamp.
+
+        Only the node itself beats — a crashed node stays silent, which is
+        what makes it detectable.  (The seed version let the *coordinator*
+        call this on every node, resurrecting the dead.)
+        """
+        if not self.alive:
+            return
         self.last_heartbeat = self.clock.now
-        self.alive = True
+
+    def crash(self) -> None:
+        """The node halts: it stops heartbeating and never executes
+        another fragment.  Its clock freezes at the crash instant."""
+        self.alive = False
 
 
 class Cluster:
@@ -90,6 +110,7 @@ class Cluster:
         fabric: Fabric = INFINIBAND_NDR,
         gpus_per_node: int = 1,
         intra_node_fabric: Fabric | None = None,
+        heartbeat_timeout_s: float = 0.25,
     ):
         """
         Args:
@@ -101,29 +122,43 @@ class Cluster:
                 total execution ranks = ``num_nodes * gpus_per_node``.
             intra_node_fabric: Link between ranks sharing a host (default:
                 NVLink peer-to-peer).
+            heartbeat_timeout_s: Simulated seconds of heartbeat silence
+                after which the coordinator declares a node dead.
         """
         if num_nodes < 1 or gpus_per_node < 1:
             raise ValueError("cluster needs at least one node and one device per node")
+        if heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat timeout must be positive")
         if device_factory is None:
             device_factory = lambda clock: Device(A100_40G, clock=clock)
         self.gpus_per_node = gpus_per_node
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._intra_node_fabric = (
+            intra_node_fabric if intra_node_fabric is not None else NVLINK_P2P
+        )
+        self.fault_injector = None
         self.nodes = []
         for rank in range(num_nodes * gpus_per_node):
             node = ClusterNode(rank, device_factory(SimClock()), host_id=rank // gpus_per_node)
             self.nodes.append(node)
         self.fabric = fabric
-        intra = intra_node_fabric if intra_node_fabric is not None else NVLINK_P2P
+        self._build_communicator()
+
+    def _build_communicator(self) -> None:
+        """(Re)build the collective group over the current membership."""
 
         def fabric_for(i: int, j: int):
             if self.nodes[i].host_id == self.nodes[j].host_id:
-                return intra
+                return self._intra_node_fabric
             return None  # default inter-host fabric
 
         self.communicator = Communicator(
             [n.clock for n in self.nodes],
-            fabric,
-            fabric_for=fabric_for if gpus_per_node > 1 else None,
+            self.fabric,
+            fabric_for=fabric_for if self.gpus_per_node > 1 else None,
         )
+        if self.fault_injector is not None:
+            self.fault_injector.attach_communicator(self.communicator)
 
     @property
     def num_nodes(self) -> int:
@@ -146,11 +181,59 @@ class Cluster:
             return None
         return PARTITION_KEYS.get(table_name)
 
-    def active_nodes(self) -> list[ClusterNode]:
-        """Heartbeat-checked membership (the coordinator's view)."""
+    def beat_all(self) -> None:
+        """Every live node refreshes its own heartbeat (the data-plane
+        side channel: nodes beat whenever they make progress)."""
         for node in self.nodes:
             node.heartbeat()
-        return [n for n in self.nodes if n.alive]
+
+    def active_nodes(self, now: float | None = None) -> list[ClusterNode]:
+        """Heartbeat-checked membership (the coordinator's view).
+
+        A node is live iff its last self-reported heartbeat is within
+        ``heartbeat_timeout_s`` of ``now``.  The coordinator deliberately
+        does *not* read node-internal state: a crashed node is only
+        detectable through heartbeat silence, after the timeout elapses.
+        """
+        if now is None:
+            now = self.max_clock()
+        return [
+            n for n in self.nodes if now - n.last_heartbeat <= self.heartbeat_timeout_s
+        ]
+
+    def apply_due_crashes(self) -> list[int]:
+        """Fire any scheduled node crashes whose time has come; returns
+        the uids of nodes that just died."""
+        if self.fault_injector is None:
+            return []
+        due = self.fault_injector.due_crashes(self.max_clock())
+        crashed = []
+        for node in self.nodes:
+            if node.uid in due and node.alive:
+                node.crash()
+                crashed.append(node.uid)
+        return crashed
+
+    def remove_nodes(self, uids: list[int]) -> None:
+        """Evict dead nodes from membership and renumber the survivors.
+
+        The coordinator (rank 0) is not evictable — losing it is
+        unrecoverable, exactly as in Doris.  Surviving nodes keep their
+        clocks (recovery time stays visible in query totals); the
+        collective group is rebuilt over the survivors.
+        """
+        doomed = set(uids)
+        if self.nodes[0].uid in doomed:
+            raise RuntimeError("cannot remove the coordinator node")
+        survivors = [n for n in self.nodes if n.uid not in doomed]
+        if len(survivors) == len(self.nodes):
+            return
+        if not survivors:
+            raise RuntimeError("cannot remove every node")
+        for rank, node in enumerate(survivors):
+            node.node_id = rank
+        self.nodes = survivors
+        self._build_communicator()
 
     def max_clock(self) -> float:
         return max(n.clock.now for n in self.nodes)

@@ -13,19 +13,49 @@ the consuming fragment finishes** (§3.2.4's runtime registry).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..columnar import Table, concat_tables
+from ..core.deadline import Deadline
+from ..gpu.nccl import LinkDroppedError
 from ..plan import Plan
-from .cluster import Cluster
+from .cluster import Cluster, ClusterNode
 from .fragments import Fragment
 
-__all__ = ["DistributedExecutor", "DistributedResult"]
+__all__ = ["DistributedExecutor", "DistributedResult", "ExchangeRetry", "NodeFailureError"]
 
 COORDINATOR = 0
+
+
+class NodeFailureError(RuntimeError):
+    """The coordinator declared one or more compute nodes dead mid-query.
+
+    Raised out of :meth:`DistributedExecutor.run` so the host layer
+    (MiniDoris) can evict the nodes, re-partition, and re-execute the lost
+    fragments on the survivors.
+    """
+
+    def __init__(self, dead_uids: list[int], detected_at: float, fragments_done: int):
+        super().__init__(
+            f"node(s) {dead_uids} missed heartbeats; "
+            f"declared dead at t={detected_at:.6f}s after {fragments_done} fragment(s)"
+        )
+        self.dead_uids = dead_uids
+        self.detected_at = detected_at
+        self.fragments_done = fragments_done
+
+
+@dataclass
+class ExchangeRetry:
+    """One retried collective (structured record for the event log)."""
+
+    kind: str  # exchange kind being retried
+    attempt: int
+    backoff_s: float
+    sim_time: float
 
 
 @dataclass
@@ -39,6 +69,8 @@ class DistributedResult:
     other_seconds: float
     exchanged_bytes: int
     fragments_run: int
+    exchange_retries: int = 0
+    retry_events: list = field(default_factory=list)
 
     def breakdown(self) -> dict[str, float]:
         return {
@@ -57,6 +89,8 @@ class DistributedExecutor:
         node_executor: Callable[[int, Plan, dict], Table],
         coordinator_overhead_s: float = 0.0006,
         dispatch_overhead_s: float = 0.0001,
+        max_exchange_retries: int = 6,
+        retry_backoff_s: float = 0.0002,
     ):
         """
         Args:
@@ -68,21 +102,36 @@ class DistributedExecutor:
                 the coordinator per query (the paper's dominant "other"
                 time for Q1/Q6, which "does not scale with the data size").
             dispatch_overhead_s: Per-fragment plan-dispatch cost.
+            max_exchange_retries: Collective retries on transient link
+                faults before the failure is treated as permanent.
+            retry_backoff_s: First retry backoff (simulated seconds);
+                doubles per attempt, charged to every node's clock.
         """
         self.cluster = cluster
         self.node_executor = node_executor
         self.coordinator_overhead_s = coordinator_overhead_s
         self.dispatch_overhead_s = dispatch_overhead_s
+        self.max_exchange_retries = max_exchange_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_events: list[ExchangeRetry] = []
 
-    def run(self, fragments: list[Fragment]) -> DistributedResult:
+    def run(
+        self, fragments: list[Fragment], deadline_s: float | None = None
+    ) -> DistributedResult:
         cluster = self.cluster
         comm = cluster.communicator
         start = cluster.max_clock()
         exchange_before = [n.clock.bucket("exchange") for n in cluster.nodes]
         bytes_before = comm.bytes_on_wire
+        retries_before = len(self.retry_events)
+        deadline = (
+            Deadline(deadline_s, cluster.nodes[COORDINATOR].clock)
+            if deadline_s is not None
+            else None
+        )
 
         # Control plane: coordinator checks membership, plans, dispatches.
-        cluster.active_nodes()
+        self._membership_check(fragments_done=0)
         other = self.coordinator_overhead_s + self.dispatch_overhead_s * len(fragments)
         for node in cluster.nodes:
             node.clock.advance(other, category="other")
@@ -91,7 +140,10 @@ class DistributedExecutor:
         consumers = self._consumer_index(fragments)
         result: Table | None = None
 
-        for fragment in fragments:
+        for index, fragment in enumerate(fragments):
+            self._membership_check(fragments_done=index)
+            if deadline is not None:
+                deadline.check_at(cluster.max_clock())
             node_ids = (
                 [COORDINATOR] if fragment.runs_on == "coordinator" else range(cluster.num_nodes)
             )
@@ -102,6 +154,7 @@ class DistributedExecutor:
                 catalog.update(temp_tables[node_id])
                 plan = Plan(fragment.plan)
                 outputs[node_id] = self.node_executor(node_id, plan, catalog)
+                node.heartbeat()  # progress doubles as liveness
 
             # Deregister consumed temporary tables (the runtime registry).
             for ex_id in fragment.consumes:
@@ -119,11 +172,14 @@ class DistributedExecutor:
             raise RuntimeError("fragment list produced no result")
 
         end = cluster.align_clocks()
+        if deadline is not None:
+            deadline.check_at(end)
         total = end - start
         exchange = max(
             n.clock.bucket("exchange") - b for n, b in zip(cluster.nodes, exchange_before)
         )
         compute = max(total - exchange - other, 0.0)
+        query_retries = self.retry_events[retries_before:]
         return DistributedResult(
             table=result,
             total_seconds=total,
@@ -132,7 +188,36 @@ class DistributedExecutor:
             other_seconds=other,
             exchanged_bytes=comm.bytes_on_wire - bytes_before,
             fragments_run=len(fragments),
+            exchange_retries=len(query_retries),
+            retry_events=query_retries,
         )
+
+    # -- failure detection ----------------------------------------------------
+
+    def _membership_check(self, fragments_done: int) -> None:
+        """Coordinator-side liveness sweep at a fragment boundary.
+
+        Scheduled crashes fire first (a crashed node stops beating); then
+        every live node beats.  A silent node is declared dead only after
+        ``heartbeat_timeout_s`` of silence — the coordinator blocks until
+        the timeout elapses (that waiting is real detection latency,
+        charged to every surviving clock), then raises
+        :class:`NodeFailureError` for the host layer to recover from.
+        """
+        cluster = self.cluster
+        cluster.apply_due_crashes()
+        cluster.beat_all()
+        dead = [n for n in cluster.nodes if not n.alive]
+        if not dead:
+            return
+        detect_at = max(
+            cluster.max_clock(),
+            max(n.last_heartbeat + cluster.heartbeat_timeout_s for n in dead),
+        )
+        for node in cluster.nodes:
+            if node.alive:
+                node.clock.advance_to(detect_at, category="other")
+        raise NodeFailureError([n.uid for n in dead], detect_at, fragments_done)
 
     # -- exchange data plane ------------------------------------------------
 
@@ -145,8 +230,11 @@ class DistributedExecutor:
         if spec.kind == "broadcast":
             full = concat_tables([outputs[i] for i in sorted(outputs)])
             per_sender = max((t.nbytes for t in outputs.values()), default=0)
-            comm.all_to_all(
-                [[0 if i == j else outputs[i].nbytes for j in range(n)] for i in range(n)]
+            self._collective(
+                spec.kind,
+                lambda: comm.all_to_all(
+                    [[0 if i == j else outputs[i].nbytes for j in range(n)] for i in range(n)]
+                ),
             )
             for node_id in range(n):
                 temp_tables[node_id][name] = full
@@ -154,7 +242,7 @@ class DistributedExecutor:
 
         if spec.kind == "merge":
             sizes = [outputs.get(i, _empty_like(spec)).nbytes for i in range(n)]
-            comm.gather(COORDINATOR, sizes)
+            self._collective(spec.kind, lambda: comm.gather(COORDINATOR, sizes))
             merged = concat_tables([outputs[i] for i in sorted(outputs)])
             temp_tables[COORDINATOR][name] = merged
             return
@@ -168,12 +256,35 @@ class DistributedExecutor:
                     piece = table.mask(ids == dest)
                     partitions[dest].append(piece)
                     matrix[sender][dest] = piece.nbytes
-            comm.all_to_all(matrix)
+            self._collective(spec.kind, lambda: comm.all_to_all(matrix))
             for dest in range(n):
                 temp_tables[dest][name] = concat_tables(partitions[dest])
             return
 
         raise ValueError(f"unknown exchange kind {spec.kind!r}")
+
+    def _collective(self, kind: str, op: Callable[[], float]) -> float:
+        """Run one collective, retrying with exponential backoff on
+        transient link faults.
+
+        Each retry's backoff is charged to *every* node's clock (the whole
+        group waits on the failed collective), so retry cost shows up in
+        the exchange bucket of the Table-2 breakdown.
+        """
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except LinkDroppedError:
+                attempt += 1
+                if attempt > self.max_exchange_retries:
+                    raise
+                backoff = self.retry_backoff_s * (2 ** (attempt - 1))
+                for node in self.cluster.nodes:
+                    node.clock.advance(backoff, category="exchange")
+                self.retry_events.append(
+                    ExchangeRetry(kind, attempt, backoff, self.cluster.max_clock())
+                )
 
     def _consumer_index(self, fragments: list[Fragment]) -> dict[int, int]:
         counts: dict[int, int] = {}

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the execution stack.
+
+The paper's drop-in story leans on §3.2.2's graceful fallback; Theseus
+(arXiv:2508.05029) and the GPU-Presto work (arXiv:2606.24647) argue a GPU
+query platform must additionally degrade gracefully under memory pressure,
+data-movement stalls, and node loss.  This package provides the fault
+model the engine is *tested against*: a seedable :class:`FaultPlan`
+schedules faults on the simulated clock, and a :class:`FaultInjector`
+fires them inside the device, communicator, and cluster layers.
+"""
+
+from .injector import FaultInjector, InjectedFault
+from .plan import (
+    BandwidthDegradation,
+    FaultPlan,
+    LinkDrop,
+    NodeCrash,
+    OOMSpike,
+    Straggler,
+    TransientKernelFault,
+)
+
+__all__ = [
+    "BandwidthDegradation",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "LinkDrop",
+    "NodeCrash",
+    "OOMSpike",
+    "Straggler",
+    "TransientKernelFault",
+]

@@ -1,0 +1,186 @@
+"""The runtime half of fault injection.
+
+A :class:`FaultInjector` owns one :class:`~repro.faults.plan.FaultPlan`
+and answers the instrumented layers' questions at their injection points:
+
+* ``Device.launch`` asks :meth:`take_kernel_fault` (relaunch on True) and
+  :meth:`compute_slowdown` (straggler windows);
+* ``Device.new_buffer`` asks :meth:`take_oom` (raise device OOM on True);
+* ``Communicator._complete`` asks :meth:`take_link_fault` (drop the
+  collective) and :meth:`bandwidth_factor` (degradation windows);
+* the distributed executor asks :meth:`due_crashes` at fragment
+  boundaries and kills the returned nodes.
+
+Every injected fault is recorded as a structured :class:`InjectedFault`
+event so the chaos suite can assert not only that the system survived but
+that the faults actually fired.  All decisions are pure functions of the
+plan plus simulated time — no wall-clock, no hidden RNG — so a seeded run
+replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import (
+    BandwidthDegradation,
+    FaultPlan,
+    LinkDrop,
+    NodeCrash,
+    OOMSpike,
+    Straggler,
+    TransientKernelFault,
+)
+
+__all__ = ["FaultInjector", "InjectedFault"]
+
+
+@dataclass
+class InjectedFault:
+    """One fault occurrence that actually fired."""
+
+    kind: str  # "node-crash" | "link-drop" | "oom-spike" | "kernel-fault"
+    sim_time: float
+    node_id: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class _Consumable:
+    """A scheduled fault with a remaining-occurrence counter."""
+
+    spec: object
+    remaining: int
+
+
+class FaultInjector:
+    """Runtime fault dispenser for one cluster / device set."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.events: list[InjectedFault] = []
+        self._link_drops = [
+            _Consumable(f, f.count) for f in plan.by_kind(LinkDrop)
+        ]
+        self._oom_spikes = [
+            _Consumable(f, f.count) for f in plan.by_kind(OOMSpike)
+        ]
+        self._kernel_faults = [
+            _Consumable(f, f.count) for f in plan.by_kind(TransientKernelFault)
+        ]
+        self._pending_crashes: list[NodeCrash] = list(plan.by_kind(NodeCrash))
+        self._degradations: list[BandwidthDegradation] = list(
+            plan.by_kind(BandwidthDegradation)
+        )
+        self._stragglers: list[Straggler] = list(plan.by_kind(Straggler))
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach_device(self, device, rank: int = 0) -> None:
+        """Instrument one device; ``rank`` is the stable node uid used by
+        targeted faults."""
+        device.fault_injector = self
+        device.fault_rank = rank
+
+    def attach_communicator(self, communicator) -> None:
+        communicator.fault_injector = self
+
+    def attach_cluster(self, cluster) -> None:
+        """Instrument a whole cluster: every node device, the communicator,
+        and the cluster itself (for crash scheduling)."""
+        cluster.fault_injector = self
+        self.attach_communicator(cluster.communicator)
+        for node in cluster.nodes:
+            self.attach_device(node.device, rank=node.uid)
+
+    # -- consumable faults ----------------------------------------------------
+
+    def _take(self, pool: list[_Consumable], now: float, node_id: int | None) -> object | None:
+        for item in pool:
+            if item.remaining <= 0 or now < item.spec.at:
+                continue
+            target = getattr(item.spec, "node_id", None)
+            if target is not None and node_id is not None and target != node_id:
+                continue
+            item.remaining -= 1
+            return item.spec
+        return None
+
+    def take_link_fault(self, now: float) -> bool:
+        """Consume one scheduled collective failure, if any is due."""
+        spec = self._take(self._link_drops, now, None)
+        if spec is None:
+            return False
+        self.events.append(
+            InjectedFault("link-drop", now, detail=f"scheduled at {spec.at:.6f}s")
+        )
+        return True
+
+    def take_oom(self, node_id: int, now: float) -> bool:
+        """Consume one scheduled allocation failure for this node."""
+        spec = self._take(self._oom_spikes, now, node_id)
+        if spec is None:
+            return False
+        self.events.append(
+            InjectedFault("oom-spike", now, node_id=node_id, detail=f"scheduled at {spec.at:.6f}s")
+        )
+        return True
+
+    def take_kernel_fault(self, node_id: int, now: float) -> bool:
+        """Consume one scheduled kernel-launch failure for this node."""
+        spec = self._take(self._kernel_faults, now, node_id)
+        if spec is None:
+            return False
+        self.events.append(
+            InjectedFault("kernel-fault", now, node_id=node_id, detail=f"scheduled at {spec.at:.6f}s")
+        )
+        return True
+
+    # -- continuous faults ----------------------------------------------------
+
+    def bandwidth_factor(self, now: float) -> float:
+        """Product of all degradation windows active at ``now`` (1.0 when
+        the fabric is healthy)."""
+        factor = 1.0
+        for d in self._degradations:
+            if d.start <= now < d.end:
+                factor *= d.factor
+        return factor
+
+    def compute_slowdown(self, node_id: int, now: float) -> float:
+        """Multiplier on kernel time for stragglers (1.0 = nominal)."""
+        slow = 1.0
+        for s in self._stragglers:
+            if s.node_id == node_id and s.start <= now < s.end:
+                slow *= s.slowdown
+        return slow
+
+    # -- crashes --------------------------------------------------------------
+
+    def due_crashes(self, now: float) -> list[int]:
+        """Node uids whose scheduled crash time has arrived; each crash
+        fires exactly once."""
+        due = [c for c in self._pending_crashes if now >= c.at]
+        if due:
+            self._pending_crashes = [c for c in self._pending_crashes if now < c.at]
+            for crash in due:
+                self.events.append(
+                    InjectedFault(
+                        "node-crash",
+                        now,
+                        node_id=crash.node_id,
+                        detail=f"scheduled at {crash.at:.6f}s",
+                    )
+                )
+        return [c.node_id for c in due]
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.plan!r}, fired={len(self.events)})"

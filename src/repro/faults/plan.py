@@ -1,0 +1,200 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is a declarative schedule of faults on the *simulated*
+clock: every fault names the instant (and, for targeted faults, the node)
+at which it strikes.  Because the whole engine runs on simulated time, a
+plan plus a dataset is perfectly reproducible — the same plan injects the
+same faults at the same points of the same query, which is what makes the
+chaos suite assert exact result equality instead of "usually works".
+
+Fault classes (mirroring the failure modes Theseus and the GPU-Presto work
+call out for production GPU query platforms):
+
+* :class:`NodeCrash` — a node dies and stops heartbeating
+  (``repro.distributed.cluster``);
+* :class:`LinkDrop` — transient NCCL-level collective failures
+  (``repro.gpu.nccl``), survivable by exchange retry;
+* :class:`BandwidthDegradation` — a window where fabric bandwidth drops to
+  a fraction of nominal (data-movement stalls);
+* :class:`OOMSpike` — a device allocation burst that raises device OOM
+  even though steady-state capacity would suffice (memory pressure);
+* :class:`TransientKernelFault` — a kernel launch fails and must be
+  relaunched (ECC hiccup / driver retry class of faults);
+* :class:`Straggler` — a window where one node's compute runs N× slower.
+
+Schedules can be authored explicitly (``plan.crash_node(2, at=0.001)``) or
+sampled through the plan's seeded RNG (``plan.scatter_link_drops(...)``)
+— either way the result is a plain list of frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "BandwidthDegradation",
+    "FaultPlan",
+    "LinkDrop",
+    "NodeCrash",
+    "OOMSpike",
+    "Straggler",
+    "TransientKernelFault",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node_id`` halts at simulated time ``at`` (stops heartbeating,
+    never responds to fragment dispatch again)."""
+
+    node_id: int
+    at: float
+
+
+@dataclass(frozen=True)
+class LinkDrop:
+    """Starting at time ``at``, the next ``count`` collective operations
+    fail with a dropped link; each failure consumes one count."""
+
+    at: float
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class BandwidthDegradation:
+    """Between ``start`` and ``end``, effective fabric bandwidth is
+    multiplied by ``factor`` (0 < factor <= 1)."""
+
+    start: float
+    end: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class OOMSpike:
+    """Starting at time ``at``, the next ``count`` device allocations on
+    ``node_id`` (``None`` = any node) raise device OOM."""
+
+    at: float
+    count: int = 1
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class TransientKernelFault:
+    """Starting at time ``at``, the next ``count`` kernel launches on
+    ``node_id`` (``None`` = any node) fail once each and must be
+    relaunched."""
+
+    at: float
+    count: int = 1
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Between ``start`` and ``end``, node ``node_id`` computes
+    ``slowdown``× slower than nominal."""
+
+    node_id: int
+    start: float
+    end: float
+    slowdown: float
+
+
+class FaultPlan:
+    """An ordered, seedable schedule of faults.
+
+    The seed drives only the *sampling* helpers; explicitly scheduled
+    faults are stored verbatim.  Builder methods return ``self`` so plans
+    chain::
+
+        plan = FaultPlan(seed=7).crash_node(3, at=0.002).drop_links(at=0.001, count=2)
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.faults: list = []
+
+    # -- explicit scheduling --------------------------------------------------
+
+    def crash_node(self, node_id: int, at: float) -> "FaultPlan":
+        self.faults.append(NodeCrash(node_id, at))
+        return self
+
+    def drop_links(self, at: float, count: int = 1) -> "FaultPlan":
+        if count < 1:
+            raise ValueError("link-drop count must be >= 1")
+        self.faults.append(LinkDrop(at, count))
+        return self
+
+    def degrade_bandwidth(self, start: float, end: float, factor: float) -> "FaultPlan":
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("bandwidth factor must be in (0, 1]")
+        if end <= start:
+            raise ValueError("degradation window must have end > start")
+        self.faults.append(BandwidthDegradation(start, end, factor))
+        return self
+
+    def oom_spike(self, at: float, count: int = 1, node_id: int | None = None) -> "FaultPlan":
+        if count < 1:
+            raise ValueError("OOM-spike count must be >= 1")
+        self.faults.append(OOMSpike(at, count, node_id))
+        return self
+
+    def kernel_fault(self, at: float, count: int = 1, node_id: int | None = None) -> "FaultPlan":
+        if count < 1:
+            raise ValueError("kernel-fault count must be >= 1")
+        self.faults.append(TransientKernelFault(at, count, node_id))
+        return self
+
+    def straggler(
+        self, node_id: int, start: float, end: float, slowdown: float
+    ) -> "FaultPlan":
+        if slowdown < 1.0:
+            raise ValueError("straggler slowdown must be >= 1.0")
+        if end <= start:
+            raise ValueError("straggler window must have end > start")
+        self.faults.append(Straggler(node_id, start, end, slowdown))
+        return self
+
+    # -- seeded sampling ------------------------------------------------------
+
+    def scatter_link_drops(self, n: int, horizon_s: float) -> "FaultPlan":
+        """Sample ``n`` independent single-collective link drops uniformly
+        in ``[0, horizon_s)`` from the plan's seeded RNG."""
+        for _ in range(n):
+            self.faults.append(LinkDrop(self.rng.uniform(0.0, horizon_s), 1))
+        return self
+
+    def scatter_kernel_faults(
+        self, n: int, horizon_s: float, node_ids: Iterable[int] | None = None
+    ) -> "FaultPlan":
+        """Sample ``n`` transient kernel faults uniformly in time, each on
+        a node drawn from ``node_ids`` (``None`` = untargeted)."""
+        choices = list(node_ids) if node_ids is not None else [None]
+        for _ in range(n):
+            self.faults.append(
+                TransientKernelFault(
+                    self.rng.uniform(0.0, horizon_s), 1, self.rng.choice(choices)
+                )
+            )
+        return self
+
+    # -- introspection --------------------------------------------------------
+
+    def by_kind(self, kind: type) -> list:
+        return [f for f in self.faults if isinstance(f, kind)]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        kinds = {}
+        for f in self.faults:
+            kinds[type(f).__name__] = kinds.get(type(f).__name__, 0) + 1
+        body = ", ".join(f"{k}x{v}" for k, v in sorted(kinds.items()))
+        return f"FaultPlan(seed={self.seed}, {body or 'empty'})"

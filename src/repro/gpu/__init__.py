@@ -3,9 +3,16 @@
 from .buffer import DeviceBuffer
 from .clock import SimClock
 from .costmodel import CostBreakdown, KernelClass, KernelCostModel
-from .device import Device
+from .device import Device, TransientKernelError
 from .memory import DeviceMemory, OutOfDeviceMemory
-from .nccl import Communicator, Fabric, INFINIBAND_NDR, ETHERNET_100G, NVLINK_P2P
+from .nccl import (
+    Communicator,
+    Fabric,
+    INFINIBAND_NDR,
+    ETHERNET_100G,
+    LinkDroppedError,
+    NVLINK_P2P,
+)
 from .rmm import Allocation, PoolAllocator, PoolStats
 from .specs import (
     A100_40G,
@@ -42,6 +49,7 @@ __all__ = [
     "InstanceSpec",
     "KernelClass",
     "KernelCostModel",
+    "LinkDroppedError",
     "M7I_16XLARGE",
     "M7I_CPU",
     "NVLINK_P2P",
@@ -51,6 +59,7 @@ __all__ = [
     "SimClock",
     "TABLE1_INSTANCES",
     "TRENDS",
+    "TransientKernelError",
     "XEON_6526Y",
     "trend_cagr",
 ]

@@ -29,7 +29,19 @@ from .memory import DeviceMemory, OutOfDeviceMemory
 from .rmm import Allocation, PoolAllocator
 from .specs import GB, DeviceSpec
 
-__all__ = ["Device", "OutOfDeviceMemory"]
+__all__ = ["Device", "OutOfDeviceMemory", "TransientKernelError"]
+
+# A transient kernel fault is relaunched this many times before it is
+# treated as permanent and surfaced to the fallback machinery.
+KERNEL_RELAUNCH_LIMIT = 3
+
+
+class TransientKernelError(RuntimeError):
+    """A kernel launch kept failing past the relaunch limit.
+
+    Individual transient faults (the ECC-hiccup / driver-retry class) are
+    absorbed by relaunching — each wasted attempt still charges the
+    simulated clock — so only a *persistently* failing kernel raises."""
 
 
 class Device:
@@ -67,6 +79,11 @@ class Device:
         self.kernel_count = 0
         self.htod_bytes = 0
         self.dtoh_bytes = 0
+        # Fault-injection hooks (attached by repro.faults.FaultInjector;
+        # None = healthy device, zero overhead on the hot path).
+        self.fault_injector = None
+        self.fault_rank = device_id
+        self.kernel_relaunches = 0
 
     # -- kernel execution -----------------------------------------------------
 
@@ -81,7 +98,24 @@ class Device:
         """Charge one kernel launch to the simulated clock and return its
         cost breakdown.  The caller performs the actual NumPy work."""
         cost = self.cost_model.kernel_cost(kclass, bytes_in, bytes_out, rows, num_groups)
-        self.clock.advance(cost.total)
+        seconds = cost.total
+        injector = self.fault_injector
+        if injector is not None:
+            seconds *= injector.compute_slowdown(self.fault_rank, self.clock.now)
+            relaunches = 0
+            while injector.take_kernel_fault(self.fault_rank, self.clock.now):
+                # The failed attempt ran (and is paid for) before the
+                # error surfaced; the relaunch is charged below.
+                self.clock.advance(seconds)
+                self.kernel_count += 1
+                self.kernel_relaunches += 1
+                relaunches += 1
+                if relaunches >= KERNEL_RELAUNCH_LIMIT:
+                    raise TransientKernelError(
+                        f"kernel {kclass} failed {relaunches} consecutive "
+                        f"relaunches on rank {self.fault_rank}"
+                    )
+        self.clock.advance(seconds)
         self.kernel_count += 1
         return cost
 
@@ -120,6 +154,15 @@ class Device:
         """
         array = np.ascontiguousarray(array)
         size = int(array.nbytes) if account_nbytes is None else int(account_nbytes)
+        if self.fault_injector is not None and self.fault_injector.take_oom(
+            self.fault_rank, self.clock.now
+        ):
+            available = (
+                self.processing_pool.stats().capacity - self.processing_pool.stats().in_use
+                if region == "processing"
+                else self.caching_region.available
+            )
+            raise OutOfDeviceMemory(size, available, f"{region} (injected spike)")
         if region == "processing":
             allocation = self.processing_pool.allocate(size)
             return DeviceBuffer(array, self, region, allocation, size)

@@ -22,7 +22,22 @@ from typing import Sequence
 
 from .clock import SimClock
 
-__all__ = ["Fabric", "Communicator", "INFINIBAND_NDR", "ETHERNET_100G", "NVLINK_P2P"]
+__all__ = [
+    "Fabric",
+    "Communicator",
+    "LinkDroppedError",
+    "INFINIBAND_NDR",
+    "ETHERNET_100G",
+    "NVLINK_P2P",
+]
+
+
+class LinkDroppedError(ConnectionError):
+    """A collective failed because a link dropped mid-operation.
+
+    This is the *transient* NCCL failure class: the caller (the exchange
+    layer) is expected to retry with backoff; the failed handshake's
+    latency has already been charged to every participating clock."""
 
 GB = 1_000_000_000
 
@@ -80,6 +95,10 @@ class Communicator:
         self._fabric_for = fabric_for
         self.bytes_on_wire = 0
         self.collective_count = 0
+        # Fault-injection hook (attached by repro.faults.FaultInjector;
+        # None = healthy fabric).
+        self.fault_injector = None
+        self.dropped_collectives = 0
 
     def link(self, src: int, dst: int) -> Fabric:
         """The fabric used between two ranks."""
@@ -98,6 +117,21 @@ class Communicator:
     def _complete(self, comm_seconds: float, nbytes: int) -> float:
         """Advance all ranks to ``max(arrivals) + comm_seconds``."""
         start = max(c.now for c in self._clocks)
+        injector = self.fault_injector
+        if injector is not None:
+            if injector.take_link_fault(start):
+                # The failed handshake costs every rank one latency round
+                # before the error surfaces to the exchange layer.
+                failed_at = start + self.fabric.latency
+                for clock in self._clocks:
+                    clock.advance_to(failed_at, category=EXCHANGE_CATEGORY)
+                self.dropped_collectives += 1
+                raise LinkDroppedError(
+                    f"collective dropped at t={start:.6f}s (simulated link fault)"
+                )
+            # Bandwidth degradation stretches the whole operation (the
+            # latency share is negligible for the exchanges that matter).
+            comm_seconds /= injector.bandwidth_factor(start)
         end = start + comm_seconds
         for clock in self._clocks:
             clock.advance_to(end, category=EXCHANGE_CATEGORY)

@@ -4,7 +4,7 @@ drop-in extension."""
 
 from .clicklite import CLICKLITE_SPEC, ClickLite, UnsupportedQueryError
 from .cpu_engine import CpuEngine, CpuEvalError, DidNotFinishError
-from .minidoris import DORIS_SPEC, MiniDoris
+from .minidoris import DORIS_SPEC, MiniDoris, NodeFailureError
 from .miniduck import ExecutionExtension, MiniDuck, QueryResult
 from .sirius_extension import SiriusExtension
 
@@ -18,6 +18,7 @@ __all__ = [
     "ExecutionExtension",
     "MiniDoris",
     "MiniDuck",
+    "NodeFailureError",
     "QueryResult",
     "SiriusExtension",
     "UnsupportedQueryError",

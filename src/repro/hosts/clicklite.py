@@ -61,11 +61,22 @@ class UnsupportedQueryError(ValueError):
 class ClickLite:
     """A column-store baseline with ClickHouse-style planning limits."""
 
-    def __init__(self, spec: DeviceSpec = CLICKLITE_SPEC, max_intermediate_rows: int = 4_000_000):
-        """``max_intermediate_rows`` bounds join blow-ups; the written-order
-        cross join in Q9 exceeds any reasonable budget, reproducing the
-        paper's "Q9 does not finish"."""
+    def __init__(
+        self,
+        spec: DeviceSpec = CLICKLITE_SPEC,
+        max_intermediate_rows: int | None = 4_000_000,
+        deadline_s: float | None = None,
+    ):
+        """Both arguments are dimensions of the per-query
+        :class:`~repro.core.deadline.Deadline` envelope, enforced inside
+        the CPU engine: ``deadline_s`` is the simulated execution-time
+        limit (with projected checks before join assembly), and
+        ``max_intermediate_rows`` is the join-memory ceiling.  Q9's
+        written-order cross join outgrows any realistic ceiling (and, at
+        scale, any timeout), reproducing the paper's "Q9 does not
+        finish"."""
         self.device = Device(spec)
+        self.deadline_s = deadline_s
         self.cpu_engine = CpuEngine(
             self.device,
             max_intermediate_rows=max_intermediate_rows,
@@ -94,7 +105,7 @@ class ClickLite:
 
     def execute(self, sql: str) -> QueryResult:
         plan = self.plan(sql)
-        table = self.cpu_engine.execute(plan, self.tables)
+        table = self.cpu_engine.execute(plan, self.tables, deadline_s=self.deadline_s)
         return QueryResult(table, "clicklite", self.cpu_engine.last_sim_seconds)
 
     def supports_tpch(self, query_number: int) -> bool:

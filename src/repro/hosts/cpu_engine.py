@@ -19,6 +19,7 @@ import numpy as np
 
 from ..columnar import BOOL, Column, DATE32, FLOAT64, INT64, STRING, Table
 from ..columnar.dtypes import date_to_days, dtype_from_name
+from ..core.deadline import Deadline, DidNotFinishError
 from ..gpu.costmodel import KernelClass
 from ..gpu.device import Device
 from ..gpu.specs import M7I_CPU, DeviceSpec
@@ -39,20 +40,14 @@ from ..plan import (
 )
 from ..plan.relations import join_output_schema
 
-__all__ = ["CpuEngine", "CpuEvalError"]
+__all__ = ["CpuEngine", "CpuEvalError", "DidNotFinishError"]
+
+# DidNotFinishError moved to repro.core.deadline (the unified DNF
+# mechanism); re-exported here for backward compatibility.
 
 
 class CpuEvalError(NotImplementedError):
     """The CPU engine met a plan construct it cannot execute."""
-
-
-class DidNotFinishError(RuntimeError):
-    """An intermediate exceeded the engine's row budget.
-
-    Models the paper's "Q9 does not finish in ClickHouse": plans whose
-    (cross-)joins explode are aborted rather than ground through, so the
-    harness can report DNF the way the paper does.
-    """
 
 
 class _Vec:
@@ -81,8 +76,10 @@ class CpuEngine:
         Args:
             device: Shared CPU device (a fresh one is made from ``spec``).
             spec: Hardware parameters when no device is given.
-            max_intermediate_rows: Abort (``DidNotFinishError``) when a join
-                would materialise more rows than this; ``None`` disables.
+            max_intermediate_rows: Memory ceiling of the per-query
+                :class:`~repro.core.deadline.Deadline` envelope — abort
+                (``DidNotFinishError``) when a join would materialise more
+                rows than this; ``None`` disables.
             materialize_joins: Charge a full write+read of every join
                 output (no late materialization between operators) — the
                 ClickHouse-style execution behaviour that makes join-heavy
@@ -93,12 +90,37 @@ class CpuEngine:
         self.materialize_joins = materialize_joins
         self.queries_executed = 0
         self.last_sim_seconds = 0.0
+        self._deadline: Deadline | None = None
 
-    def execute(self, plan: Plan, catalog: Mapping[str, Table]) -> Table:
+    def execute(
+        self, plan: Plan, catalog: Mapping[str, Table], deadline_s: float | None = None
+    ) -> Table:
+        """Execute ``plan``; ``deadline_s`` bounds simulated execution time.
+
+        The engine's ``max_intermediate_rows`` ceiling and ``deadline_s``
+        combine into one :class:`~repro.core.deadline.Deadline` envelope.
+        Time is checked after every charged kernel and *projected* before
+        join assembly, so a plan whose written-order joins explode
+        (ClickHouse on Q9) raises
+        :class:`~repro.core.deadline.DidNotFinishError` without the
+        simulation materialising the pathological intermediate.
+        """
         plan.validate()
         start = self.device.clock.now
-        result = self._run(plan.root, catalog)
-        self.last_sim_seconds = self.device.clock.now - start
+        self._deadline = (
+            Deadline(
+                deadline_s,
+                self.device.clock,
+                max_intermediate_rows=self.max_intermediate_rows,
+            )
+            if deadline_s is not None or self.max_intermediate_rows is not None
+            else None
+        )
+        try:
+            result = self._run(plan.root, catalog)
+        finally:
+            self._deadline = None
+            self.last_sim_seconds = self.device.clock.now - start
         self.queries_executed += 1
         return result
 
@@ -135,6 +157,8 @@ class CpuEngine:
 
     def _charge(self, kclass, bytes_in, bytes_out, rows, num_groups=None):
         self.device.launch(kclass, int(bytes_in), int(bytes_out), int(rows), num_groups)
+        if self._deadline is not None:
+            self._deadline.check(self.device.clock)
 
     def _filter(self, table: Table, condition) -> Table:
         vec = self._eval(condition, table)
@@ -204,6 +228,7 @@ class CpuEngine:
 
         total = int(counts.sum())
         self._check_budget(total)
+        self._projected_assembly_check(left, right, total)
         probe_idx = np.repeat(np.arange(left.num_rows), counts)
         starts = np.repeat(lo, counts)
         offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
@@ -264,15 +289,36 @@ class CpuEngine:
         return Table(schema, columns)
 
     def _check_budget(self, rows: int) -> None:
-        if self.max_intermediate_rows is not None and rows > self.max_intermediate_rows:
-            raise DidNotFinishError(
-                f"join intermediate of {rows} rows exceeds the "
-                f"{self.max_intermediate_rows}-row budget (query did not finish)"
-            )
+        if self._deadline is not None:
+            self._deadline.check_rows(rows)
+
+    def _projected_assembly_check(self, left: Table, right: Table, rows: int) -> None:
+        """Abort *before* materialising a join whose assembly alone would
+        blow the deadline — NumPy would otherwise really build the
+        pathological intermediate the timeout is meant to prevent."""
+        if self._deadline is None or rows == 0:
+            return
+        left_row_bytes = left.nbytes / max(left.num_rows, 1)
+        right_row_bytes = right.nbytes / max(right.num_rows, 1)
+        out_bytes = int((left_row_bytes + right_row_bytes) * rows)
+        projected = self.device.cost_model.kernel_cost(
+            KernelClass.GATHER, left.nbytes + right.nbytes, out_bytes, rows
+        ).total
+        if self.materialize_joins:
+            projected += self.device.cost_model.kernel_cost(
+                KernelClass.STREAM, out_bytes, out_bytes, rows
+            ).total
+        self._deadline.check_projected(self.device.clock, projected)
 
     def _cross_join(self, rel, left, right) -> Table:
         n, m = left.num_rows, right.num_rows
         self._check_budget(n * m)
+        if self._deadline is not None:
+            expand = self.device.cost_model.kernel_cost(
+                KernelClass.STREAM, left.nbytes + right.nbytes, n * m * 8, n * m
+            ).total
+            self._deadline.check_projected(self.device.clock, expand)
+        self._projected_assembly_check(left, right, n * m)
         probe_idx = np.repeat(np.arange(n), m)
         build_idx = np.tile(np.arange(m), n)
         self._charge(KernelClass.STREAM, left.nbytes + right.nbytes, n * m * 8, n * m)

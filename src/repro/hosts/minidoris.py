@@ -28,11 +28,12 @@ from ..sql import SqlPlanner, TableStats
 from ..sql.optimizer import optimize_plan
 from .clicklite import CLICKLITE_SPEC
 from ..distributed.cluster import Cluster
-from ..distributed.engine import DistributedExecutor, DistributedResult
+from ..distributed.engine import DistributedExecutor, DistributedResult, NodeFailureError
 from ..distributed.fragments import DistributedPlanner, DistributedUnsupportedError
+from ..faults import FaultInjector, FaultPlan
 from .cpu_engine import CpuEngine
 
-__all__ = ["MiniDoris", "DORIS_SPEC", "DistributedUnsupportedError"]
+__all__ = ["MiniDoris", "DORIS_SPEC", "DistributedUnsupportedError", "NodeFailureError"]
 
 # Doris compute nodes: same Xeon hardware as the paper's cluster, with the
 # engine-efficiency profile of a JVM-based pipeline engine — notably lower
@@ -71,6 +72,9 @@ class MiniDoris:
         coordinator_overhead_s: float = 0.0006,
         gpus_per_node: int = 1,
         predicate_transfer: bool = False,
+        heartbeat_timeout_s: float = 0.25,
+        max_recoveries: int = 2,
+        deadline_s: float | None = None,
     ):
         if mode not in ("doris", "sirius", "clickhouse"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -89,24 +93,50 @@ class MiniDoris:
             spec = DORIS_SPEC if mode == "doris" else CLICKLITE_SPEC
             factory = lambda clock: Device(spec, clock=clock)
         self.cluster = Cluster(
-            num_nodes, device_factory=factory, fabric=fabric, gpus_per_node=gpus_per_node
+            num_nodes,
+            device_factory=factory,
+            fabric=fabric,
+            gpus_per_node=gpus_per_node,
+            heartbeat_timeout_s=heartbeat_timeout_s,
         )
 
         self._global_tables: dict[str, Table] = {}
         self._node_engines: list = []
         for node in self.cluster.nodes:
-            if mode == "sirius":
-                engine = SiriusEngine(node.device)
-            else:
-                engine = CpuEngine(
-                    node.device,
-                    materialize_joins=(mode == "clickhouse"),
-                )
-            self._node_engines.append(engine)
+            self._node_engines.append(self._make_engine(node))
         self.executor = DistributedExecutor(
             self.cluster, self._run_on_node, coordinator_overhead_s=coordinator_overhead_s
         )
         self.queries_executed = 0
+        self.max_recoveries = max_recoveries
+        self.deadline_s = deadline_s
+        self.fault_injector: FaultInjector | None = None
+        # Structured coordinator log: failure detections, re-executions,
+        # per-fragment CPU degradations.
+        self.event_log: list[dict] = []
+
+    def _make_engine(self, node):
+        if self.mode != "sirius":
+            return CpuEngine(node.device, materialize_joins=(self.mode == "clickhouse"))
+        engine = SiriusEngine(node.device)
+        # Standby CPU device on the *same clock* as the node's GPU: the
+        # cpu-pipeline degradation tier re-runs a failed fragment there,
+        # so its (slower) execution time lands in the query total.
+        standby = CpuEngine(Device(DORIS_SPEC, clock=node.device.clock))
+        uid = node.uid
+
+        def run_fragment_on_cpu(plan: Plan, catalog) -> Table:
+            self.event_log.append(
+                {
+                    "event": "pipeline_cpu_fallback",
+                    "node": uid,
+                    "sim_time": standby.device.clock.now,
+                }
+            )
+            return standby.execute(plan, catalog)
+
+        engine.set_pipeline_cpu_executor(run_fragment_on_cpu)
+        return engine
 
     # -- catalog ----------------------------------------------------------
 
@@ -157,13 +187,80 @@ class MiniDoris:
         )
         return fragmenter.plan(plan.root)
 
+    # -- fault injection -------------------------------------------------------
+
+    def install_faults(self, plan_or_injector) -> FaultInjector:
+        """Attach a :class:`~repro.faults.FaultPlan` (or a prebuilt
+        injector) to every layer of the warehouse: node devices, the
+        exchange communicator, and cluster membership."""
+        injector = (
+            plan_or_injector
+            if isinstance(plan_or_injector, FaultInjector)
+            else FaultInjector(plan_or_injector)
+        )
+        self.fault_injector = injector
+        injector.attach_cluster(self.cluster)
+        return injector
+
     # -- execution ------------------------------------------------------------
 
-    def execute(self, sql: str) -> DistributedResult:
-        fragments = self.plan_fragments(sql)
-        result = self.executor.run(fragments)
-        self.queries_executed += 1
-        return result
+    def execute(self, sql: str, deadline_s: float | None = None) -> DistributedResult:
+        """Run a query; on a node failure, recover and re-execute.
+
+        Failure handling follows Doris' coordinator model: a node whose
+        heartbeats go silent is declared dead, evicted from membership,
+        the lost partitions are re-distributed among the survivors, and
+        the query's fragments re-execute from the start.  The failed
+        attempt's time (including detection latency) stays on the clocks,
+        so recovery cost is visible in the query total.
+        """
+        if deadline_s is None:
+            deadline_s = self.deadline_s
+        recoveries = 0
+        while True:
+            fragments = self.plan_fragments(sql)
+            try:
+                result = self.executor.run(fragments, deadline_s=deadline_s)
+            except NodeFailureError as failure:
+                recoveries += 1
+                if recoveries > self.max_recoveries:
+                    raise
+                self._recover(failure)
+                continue
+            self.queries_executed += 1
+            return result
+
+    def _recover(self, failure: NodeFailureError) -> None:
+        self.event_log.append(
+            {
+                "event": "node_failure_detected",
+                "dead_nodes": sorted(failure.dead_uids),
+                "sim_time": failure.detected_at,
+                "fragments_done": failure.fragments_done,
+            }
+        )
+        doomed = set(failure.dead_uids)
+        surviving_engines = [
+            engine
+            for engine, node in zip(self._node_engines, self.cluster.nodes)
+            if node.uid not in doomed
+        ]
+        self.cluster.remove_nodes(sorted(doomed))  # raises if coordinator died
+        self._node_engines = surviving_engines
+        if self.mode == "sirius":
+            # Surviving GPUs hold partitions laid out for the old
+            # membership; evict before re-partitioning (reload is charged
+            # lazily on next access).
+            for engine in self._node_engines:
+                engine.buffer_manager.clear()
+        self.cluster.load_tables(self._global_tables)
+        self.event_log.append(
+            {
+                "event": "fragments_reexecuted",
+                "surviving_nodes": [n.uid for n in self.cluster.nodes],
+                "sim_time": self.cluster.max_clock(),
+            }
+        )
 
     def _run_on_node(self, node_id: int, plan: Plan, catalog: dict) -> Table:
         engine = self._node_engines[node_id]

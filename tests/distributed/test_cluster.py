@@ -73,6 +73,40 @@ class TestCluster:
         assert len(cluster.active_nodes()) == 3
         assert all(n.alive for n in cluster.nodes)
 
+    def test_silent_node_excluded_after_timeout(self):
+        """Liveness is heartbeat *staleness*, not node-internal state: a
+        node that stops beating drops out once the timeout elapses."""
+        cluster = Cluster(num_nodes=3, heartbeat_timeout_s=0.1)
+        cluster.nodes[2].crash()
+        for node in cluster.nodes:
+            node.clock.advance(0.05)
+        cluster.beat_all()  # node 2 is dead and stays silent
+        assert len(cluster.active_nodes()) == 3  # silence not yet stale
+        for node in cluster.nodes:
+            node.clock.advance(0.2)
+        cluster.beat_all()
+        active = cluster.active_nodes()
+        assert [n.uid for n in active] == [0, 1]
+
+    def test_heartbeat_does_not_resurrect(self):
+        cluster = Cluster(num_nodes=2, heartbeat_timeout_s=0.1)
+        cluster.nodes[1].crash()
+        cluster.nodes[1].clock.advance(1.0)
+        cluster.nodes[1].heartbeat()  # must be a no-op once dead
+        assert cluster.nodes[1].last_heartbeat == 0.0
+
+    def test_remove_nodes_renumbers_but_keeps_uids(self):
+        cluster = Cluster(num_nodes=4)
+        cluster.remove_nodes([1])
+        assert [n.node_id for n in cluster.nodes] == [0, 1, 2]
+        assert [n.uid for n in cluster.nodes] == [0, 2, 3]
+        assert cluster.communicator.world_size == 3
+
+    def test_coordinator_not_evictable(self):
+        cluster = Cluster(num_nodes=2)
+        with pytest.raises(RuntimeError, match="coordinator"):
+            cluster.remove_nodes([0])
+
     def test_independent_clocks_align_on_barrier(self):
         cluster = Cluster(num_nodes=2)
         cluster.nodes[0].clock.advance(5.0)

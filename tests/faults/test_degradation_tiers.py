@@ -1,0 +1,189 @@
+"""Tier-ordering tests for the degradation ladder.
+
+The contract under test: OOM first retries on the GPU with spill+batched
+out-of-core execution, then the per-pipeline CPU tier (when wired), then
+the whole-plan host fallback, and only then raises — with exactly one
+enriched event recorded per degraded query.
+"""
+
+import pytest
+
+from repro.columnar import Schema, Table
+from repro.core import SiriusEngine
+from repro.faults import FaultInjector, FaultPlan
+from repro.gpu import OutOfDeviceMemory, TransientKernelError
+from repro.gpu.specs import A100_40G
+from repro.hosts import CpuEngine
+from repro.plan import PlanBuilder, col, lit
+
+SCHEMA = Schema([("k", "int64"), ("v", "float64")])
+
+
+@pytest.fixture
+def data():
+    return {
+        "t": Table.from_pydict(
+            {"k": list(range(2000)), "v": [float(i) for i in range(2000)]}, SCHEMA
+        )
+    }
+
+
+@pytest.fixture
+def plan():
+    return PlanBuilder.read("t", SCHEMA).filter(col("v") > lit(10.0)).build()
+
+
+def inject(engine: SiriusEngine, fault_plan: FaultPlan) -> FaultInjector:
+    injector = FaultInjector(fault_plan)
+    injector.attach_device(engine.device)
+    return injector
+
+
+class TestRetrySpillTier:
+    def test_oom_spike_retried_on_gpu(self, data, plan):
+        """A transient OOM is absorbed by the out-of-core retry; the query
+        never leaves the GPU and the profile stays valid."""
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0, enable_spill=False)
+        inject(engine, FaultPlan().oom_spike(at=0.0, count=1))
+        out = engine.execute(plan, data)
+        assert out.num_rows == 1989
+        assert engine.fallback.fallback_count == 1
+        event = engine.fallback.events[0]
+        assert event.tier == "gpu-retry-spill"
+        assert event.tiers_attempted == ("gpu-retry-spill",)
+        assert event.exception_type == "OutOfDeviceMemory"
+        assert engine.last_profile is not None  # result was produced on GPU
+
+    def test_retry_restores_engine_configuration(self, data, plan):
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0, enable_spill=False)
+        inject(engine, FaultPlan().oom_spike(at=0.0, count=1))
+        engine.execute(plan, data)
+        assert engine.buffer_manager.enable_spill is False
+        assert engine.batch_rows is None
+
+    def test_event_enrichment(self, data, plan):
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0, enable_spill=False)
+        inject(engine, FaultPlan().oom_spike(at=0.0, count=1))
+        engine.execute(plan, data)
+        event = engine.fallback.events[0]
+        assert event.plan_fingerprint not in ("", "unknown")
+        assert len(event.plan_fingerprint) == 12
+        assert event.sim_time is not None and event.sim_time >= 0.0
+        # Same plan -> same fingerprint (it identifies the plan, not the run).
+        inject(engine, FaultPlan().oom_spike(at=0.0, count=1))
+        engine.execute(plan, data)
+        assert engine.fallback.events[1].plan_fingerprint == event.plan_fingerprint
+
+
+class TestTierOrdering:
+    def test_persistent_oom_cascades_to_host(self, data, plan):
+        """Device truly too small: the spill retry fails too, so the query
+        lands on the host — one event, original exception preserved."""
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=0.00003,
+            enable_spill=False,
+            host_executor=lambda p: CpuEngine().execute(p, data),
+        )
+        out = engine.execute(plan, data)
+        assert out.num_rows == 1989
+        assert engine.fallback.fallback_count == 1
+        event = engine.fallback.events[0]
+        assert event.tier == "cpu-plan"
+        assert event.tiers_attempted == ("gpu-retry-spill", "cpu-plan")
+        assert event.exception_type == "OutOfDeviceMemory"
+
+    def test_cpu_pipeline_tier_runs_before_host(self, data, plan):
+        host_calls = []
+
+        def host(p):
+            host_calls.append(p)
+            return CpuEngine().execute(p, data)
+
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=0.00003,
+            enable_spill=False,
+            host_executor=host,
+            pipeline_cpu_executor=lambda p, catalog: CpuEngine().execute(p, catalog),
+        )
+        out = engine.execute(plan, data)
+        assert out.num_rows == 1989
+        assert host_calls == []  # absorbed one tier earlier
+        event = engine.fallback.events[0]
+        assert event.tier == "cpu-pipeline"
+        assert event.tiers_attempted == ("gpu-retry-spill", "cpu-pipeline")
+
+    def test_unsupported_feature_skips_gpu_retry(self, data, plan):
+        """Only OOM triggers the out-of-core retry; feature gaps go
+        straight to the CPU tiers."""
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=1.0,
+            host_executor=lambda p: CpuEngine().execute(p, data),
+        )
+        engine.execute(plan, {})  # table absent on the GPU path
+        event = engine.fallback.events[0]
+        assert event.tiers_attempted == ("cpu-plan",)
+
+    def test_exhausted_ladder_raises_original(self, data, plan):
+        engine = SiriusEngine.for_spec(
+            A100_40G, memory_limit_gb=0.00003, enable_spill=False
+        )
+        with pytest.raises(OutOfDeviceMemory):
+            engine.execute(plan, data)
+        assert engine.fallback.fallback_count == 1
+        event = engine.fallback.events[0]
+        assert event.tier == "raise"
+        assert event.tiers_attempted == ("gpu-retry-spill",)
+
+
+class TestTransientKernelFaults:
+    def test_faults_below_limit_absorbed_by_relaunch(self, data, plan):
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0)
+        inject(engine, FaultPlan().kernel_fault(at=0.0, count=2))
+        out = engine.execute(plan, data)
+        assert out.num_rows == 1989
+        assert engine.device.kernel_relaunches == 2
+        assert engine.fallback.fallback_count == 0
+
+    def test_persistent_kernel_fault_falls_back(self, data, plan):
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=1.0,
+            host_executor=lambda p: CpuEngine().execute(p, data),
+        )
+        inject(engine, FaultPlan().kernel_fault(at=0.0, count=10))
+        out = engine.execute(plan, data)
+        assert out.num_rows == 1989
+        event = engine.fallback.events[0]
+        assert event.exception_type == "TransientKernelError"
+        assert event.tiers_attempted == ("cpu-plan",)
+
+    def test_relaunches_still_charge_the_clock(self, data, plan):
+        clean = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0)
+        clean.execute(plan, data)
+        faulted = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0)
+        inject(faulted, FaultPlan().kernel_fault(at=0.0, count=2))
+        faulted.execute(plan, data)
+        assert faulted.device.clock.now > clean.device.clock.now
+
+
+class TestSummary:
+    def test_summary_groups_by_tier(self, data, plan):
+        engine = SiriusEngine.for_spec(
+            A100_40G,
+            memory_limit_gb=0.00003,
+            enable_spill=False,
+            host_executor=lambda p: CpuEngine().execute(p, data),
+        )
+        engine.execute(plan, data)
+        engine.execute(plan, data)
+        report = engine.fallback.summary()
+        assert "2 degraded queries" in report
+        assert "tier cpu-plan: 2" in report
+        assert "OutOfDeviceMemory x2" in report
+
+    def test_summary_empty(self):
+        engine = SiriusEngine.for_spec(A100_40G, memory_limit_gb=1.0)
+        assert engine.fallback.summary() == "no degraded queries"

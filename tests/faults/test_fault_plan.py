@@ -1,0 +1,110 @@
+"""Unit tests for the declarative fault-plan layer: determinism first."""
+
+import pytest
+
+from repro.faults import (
+    BandwidthDegradation,
+    FaultInjector,
+    FaultPlan,
+    LinkDrop,
+    NodeCrash,
+    OOMSpike,
+    Straggler,
+    TransientKernelFault,
+)
+
+
+class TestBuilders:
+    def test_chaining_collects_all_kinds(self):
+        plan = (
+            FaultPlan(seed=1)
+            .crash_node(2, at=0.001)
+            .drop_links(at=0.002, count=3)
+            .degrade_bandwidth(0.0, 1.0, 0.5)
+            .oom_spike(at=0.003, count=2, node_id=1)
+            .kernel_fault(at=0.004)
+            .straggler(3, 0.0, 1.0, 4.0)
+        )
+        assert len(plan) == 6
+        assert plan.by_kind(NodeCrash) == [NodeCrash(2, 0.001)]
+        assert plan.by_kind(LinkDrop) == [LinkDrop(0.002, 3)]
+        assert plan.by_kind(OOMSpike) == [OOMSpike(0.003, 2, 1)]
+        assert plan.by_kind(Straggler) == [Straggler(3, 0.0, 1.0, 4.0)]
+        assert "NodeCrash" in repr(plan)
+
+    def test_specs_are_frozen(self):
+        crash = NodeCrash(1, 0.5)
+        with pytest.raises(AttributeError):
+            crash.at = 0.9
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda p: p.drop_links(at=0.0, count=0),
+            lambda p: p.oom_spike(at=0.0, count=0),
+            lambda p: p.kernel_fault(at=0.0, count=-1),
+            lambda p: p.degrade_bandwidth(0.0, 1.0, 0.0),
+            lambda p: p.degrade_bandwidth(0.0, 1.0, 1.5),
+            lambda p: p.degrade_bandwidth(1.0, 1.0, 0.5),
+            lambda p: p.straggler(0, 0.0, 1.0, 0.5),
+            lambda p: p.straggler(0, 1.0, 0.5, 2.0),
+        ],
+    )
+    def test_invalid_specs_rejected(self, build):
+        with pytest.raises(ValueError):
+            build(FaultPlan())
+
+
+class TestSeededSampling:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=7).scatter_link_drops(5, 1.0).scatter_kernel_faults(4, 1.0, [0, 1])
+        b = FaultPlan(seed=7).scatter_link_drops(5, 1.0).scatter_kernel_faults(4, 1.0, [0, 1])
+        assert a.faults == b.faults
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan(seed=7).scatter_link_drops(8, 1.0)
+        b = FaultPlan(seed=8).scatter_link_drops(8, 1.0)
+        assert a.faults != b.faults
+
+    def test_scatter_respects_horizon(self):
+        plan = FaultPlan(seed=3).scatter_link_drops(20, 0.25)
+        assert all(0.0 <= f.at < 0.25 for f in plan.by_kind(LinkDrop))
+
+
+class TestInjectorDeterminism:
+    def test_consumable_counters(self):
+        injector = FaultInjector(FaultPlan().drop_links(at=0.0, count=2))
+        assert injector.take_link_fault(0.001)
+        assert injector.take_link_fault(0.002)
+        assert not injector.take_link_fault(0.003)  # exhausted
+        assert injector.summary() == {"link-drop": 2}
+
+    def test_faults_not_due_do_not_fire(self):
+        injector = FaultInjector(FaultPlan().oom_spike(at=0.5, count=1))
+        assert not injector.take_oom(0, now=0.1)
+        assert injector.take_oom(0, now=0.6)
+
+    def test_targeted_fault_skips_other_nodes(self):
+        injector = FaultInjector(FaultPlan().kernel_fault(at=0.0, count=1, node_id=2))
+        assert not injector.take_kernel_fault(0, now=0.1)
+        assert injector.take_kernel_fault(2, now=0.1)
+
+    def test_crashes_fire_once(self):
+        injector = FaultInjector(FaultPlan().crash_node(1, at=0.01))
+        assert injector.due_crashes(0.005) == []
+        assert injector.due_crashes(0.02) == [1]
+        assert injector.due_crashes(0.03) == []
+
+    def test_window_faults_compose(self):
+        plan = (
+            FaultPlan()
+            .degrade_bandwidth(0.0, 1.0, 0.5)
+            .degrade_bandwidth(0.5, 1.0, 0.5)
+            .straggler(1, 0.0, 1.0, 3.0)
+        )
+        injector = FaultInjector(plan)
+        assert injector.bandwidth_factor(0.25) == pytest.approx(0.5)
+        assert injector.bandwidth_factor(0.75) == pytest.approx(0.25)
+        assert injector.bandwidth_factor(2.0) == pytest.approx(1.0)
+        assert injector.compute_slowdown(1, 0.5) == pytest.approx(3.0)
+        assert injector.compute_slowdown(0, 0.5) == pytest.approx(1.0)

@@ -6,6 +6,8 @@ Exercises the full stack — lexer to kernels — under combinations no
 hand-written test enumerates.
 """
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -104,11 +106,33 @@ def engines():
     return cpu_db, gpu_db
 
 
-def normalise(table):
+def canonical_rows(table):
     return sorted(
-        tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in row)
-        for row in table.to_rows()
+        table.to_rows(),
+        key=lambda row: tuple(
+            f"{v:.6g}" if isinstance(v, float) else repr(v) for v in row
+        ),
     )
+
+
+def values_match(x, y) -> bool:
+    # String rounding (".6g") is unstable when two results a few ulps
+    # apart straddle a rounding boundary; compare floats numerically.
+    if isinstance(x, float) and isinstance(y, float):
+        return math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9)
+    return x == y
+
+
+def assert_same_results(a, b, sql):
+    rows_a, rows_b = canonical_rows(a), canonical_rows(b)
+    assert len(rows_a) == len(rows_b), sql
+    for row_a, row_b in zip(rows_a, rows_b):
+        assert len(row_a) == len(row_b), sql
+        assert all(values_match(x, y) for x, y in zip(row_a, row_b)), (
+            sql,
+            row_a,
+            row_b,
+        )
 
 
 class TestSqlDifferential:
@@ -118,5 +142,5 @@ class TestSqlDifferential:
         cpu_db, gpu_db = engines
         cpu = cpu_db.execute(sql)
         gpu = gpu_db.execute(sql)
-        assert normalise(cpu.table) == normalise(gpu.table), sql
+        assert_same_results(cpu.table, gpu.table, sql)
         assert cpu.table.schema.names() == gpu.table.schema.names()
