@@ -77,6 +77,24 @@ def test_gpu_compute_not_the_bottleneck(table2, benchmark):
     benchmark.pedantic(check, rounds=1, iterations=1)
 
 
+def test_rows_are_views_of_query_profiles(table2, benchmark):
+    def check():
+        # The observability layer's QueryProfile is the source of truth;
+        # every Table2Row numeric field must match it exactly.
+        for row in table2.rows:
+            profile = row.sirius_profile
+            assert profile is not None
+            split = profile.table2_split()
+            assert row.sirius_s == profile.sim_seconds
+            assert row.sirius_compute_s == split["compute"]
+            assert row.sirius_exchange_s == split["exchange"]
+            assert row.sirius_other_s == split["other"]
+            assert row.exchanged_bytes == profile.exchanged_bytes
+            assert profile.retries == 0  # fault-free run
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
 def test_clickhouse_degrades_most_on_the_join_query(table2, benchmark):
     def check():
         # Relative to Doris, ClickHouse loses the most ground on Q3 - the

@@ -8,11 +8,19 @@ Usage::
     python -m repro figure5 [--sf 0.1]
     python -m repro table2  [--sf 0.1] [--nodes 4]
     python -m repro all     [--sf 0.05]
+
+``--trace out.json`` additionally runs the Sirius engines under a real
+tracer and writes every executed query's :class:`~repro.obs.QueryProfile`
+(span tree, compute/exchange/transfer breakdown, memory high-water mark)
+as JSON::
+
+    python -m repro table2 --sf 0.02 --queries 3 --trace q3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -31,11 +39,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--queries", type=str, default=None, help="comma-separated TPC-H query numbers"
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write per-query Sirius profiles (spans included) as JSON",
+    )
     args = parser.parse_args(argv)
 
     queries = (
         [int(q) for q in args.queries.split(",")] if args.queries else list(range(1, 23))
     )
+    tracer = None
+    traced_profiles: list = []
+    if args.trace is not None:
+        from .obs import Tracer
+
+        tracer = Tracer()
 
     if args.target in ("table1", "all"):
         from .bench import table1
@@ -54,19 +75,41 @@ def main(argv=None) -> int:
 
         sf = min(args.sf, 0.05) if args.target == "all" else args.sf
         print(f"== Figures 4 & 5: single-node TPC-H (SF {sf}) ==")
-        harness = SingleNodeHarness(sf=sf)
+        harness = SingleNodeHarness(sf=sf, tracer=tracer)
         result = harness.run(queries=queries)
         print(result.figure4_table())
         print()
         print(result.figure5_table())
         print()
+        traced_profiles.extend(
+            t.sirius_profile for t in result.timings if t.sirius_profile is not None
+        )
     if args.target in ("table2", "all"):
-        from .bench import DistributedHarness
+        from .bench import TABLE2_QUERIES, DistributedHarness
 
         sf = min(args.sf, 0.05) if args.target == "all" else args.sf
         print(f"== Table 2: distributed TPC-H (SF {sf}, {args.nodes} nodes) ==")
-        harness = DistributedHarness(sf=sf, num_nodes=args.nodes)
-        print(harness.run().table())
+        harness = DistributedHarness(sf=sf, num_nodes=args.nodes, tracer=tracer)
+        result = harness.run(
+            queries=[q for q in queries if q in TABLE2_QUERIES]
+            if args.queries
+            else TABLE2_QUERIES
+        )
+        print(result.table())
+        traced_profiles.extend(
+            r.sirius_profile for r in result.rows if r.sirius_profile is not None
+        )
+
+    if args.trace is not None:
+        doc = {
+            "target": args.target,
+            "sf": args.sf,
+            "profiles": [p.to_dict() for p in traced_profiles],
+        }
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, indent=2))
+            fh.write("\n")
+        print(f"wrote {len(traced_profiles)} query profile(s) to {args.trace}")
     return 0
 
 

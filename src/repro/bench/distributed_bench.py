@@ -35,6 +35,9 @@ class Table2Row:
     sirius_exchange_s: float
     sirius_other_s: float
     exchanged_bytes: int
+    # Source of truth for the sirius_* fields above; carries the span tree
+    # when the harness was built with a real tracer.
+    sirius_profile: object = None
 
     @property
     def speedup_vs_doris(self) -> float:
@@ -81,13 +84,17 @@ class Table2Result:
 class DistributedHarness:
     """Owns the three 4-node clusters over one generated dataset."""
 
-    def __init__(self, sf: float = 0.1, num_nodes: int = 4, seed: int = 19920101):
+    def __init__(
+        self, sf: float = 0.1, num_nodes: int = 4, seed: int = 19920101, tracer=None
+    ):
+        """``tracer`` instruments the Sirius cluster (the baselines stay
+        untraced); each :class:`Table2Row` then carries a full profile."""
         self.sf = sf
         self.num_nodes = num_nodes
         self.data = generate_tpch(sf=sf, seed=seed)
         self.doris = MiniDoris(num_nodes=num_nodes, mode="doris")
         self.clickhouse = MiniDoris(num_nodes=num_nodes, mode="clickhouse")
-        self.sirius = MiniDoris(num_nodes=num_nodes, mode="sirius")
+        self.sirius = MiniDoris(num_nodes=num_nodes, mode="sirius", tracer=tracer)
         for db in (self.doris, self.clickhouse, self.sirius):
             db.load_tables(self.data)
         self.sirius.warm_caches()
@@ -96,15 +103,22 @@ class DistributedHarness:
         doris_res = self.doris.execute(tpch_query(query))
         ch_res = self.clickhouse.execute(tpch_query(query, for_clickhouse=True))
         sirius_res = self.sirius.execute(tpch_query(query))
+        # The row is a view of the query profile — the one aggregation
+        # structure the observability layer produces (Table 2's split).
+        profile = sirius_res.profile
+        if not profile.label:
+            profile.label = f"Q{query}"
+        split = profile.table2_split()
         return Table2Row(
             query=query,
             doris_s=doris_res.total_seconds,
             clickhouse_s=ch_res.total_seconds,
-            sirius_s=sirius_res.total_seconds,
-            sirius_compute_s=sirius_res.compute_seconds,
-            sirius_exchange_s=sirius_res.exchange_seconds,
-            sirius_other_s=sirius_res.other_seconds,
-            exchanged_bytes=sirius_res.exchanged_bytes,
+            sirius_s=profile.sim_seconds,
+            sirius_compute_s=split["compute"],
+            sirius_exchange_s=split["exchange"],
+            sirius_other_s=split["other"],
+            exchanged_bytes=profile.exchanged_bytes,
+            sirius_profile=profile,
         )
 
     def run(self, queries=TABLE2_QUERIES) -> Table2Result:

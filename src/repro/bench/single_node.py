@@ -38,6 +38,9 @@ class QueryTiming:
     sirius_s: float
     sirius_breakdown: dict[str, float]
     rows: int
+    # The full per-query profile (spans included when the harness was
+    # built with a real tracer); the fields above are views of it.
+    sirius_profile: object = None
 
 
 @dataclass
@@ -95,7 +98,11 @@ class Figure4Result:
 class SingleNodeHarness:
     """Owns the three engines and runs query sets against them."""
 
-    def __init__(self, sf: float = DEFAULT_SF, seed: int = 19920101):
+    def __init__(self, sf: float = DEFAULT_SF, seed: int = 19920101, tracer=None):
+        """``tracer`` (a :class:`~repro.obs.Tracer`) instruments the Sirius
+        engine; each :class:`QueryTiming` then carries a profile with the
+        query's span tree.  Null by default — benchmark output is
+        byte-identical with or without it."""
         self.sf = sf
         self.data = generate_tpch(sf=sf, seed=seed)
 
@@ -104,7 +111,7 @@ class SingleNodeHarness:
 
         self.accelerated = MiniDuck()
         self.accelerated.load_tables(self.data)
-        self.sirius = SiriusEngine.for_spec(GH200)
+        self.sirius = SiriusEngine.for_spec(GH200, tracer=tracer)
         self.accelerated.install_extension(
             SiriusExtension(self.sirius, fallback_engine=CpuEngine())
         )
@@ -142,6 +149,8 @@ class SingleNodeHarness:
                 status = "unsupported"
 
         profile = sirius_res.profile
+        if profile is not None and not profile.label:
+            profile.label = f"Q{query}"
         return QueryTiming(
             query=query,
             duckdb_s=duck_res.sim_seconds,
@@ -150,6 +159,7 @@ class SingleNodeHarness:
             sirius_s=sirius_res.sim_seconds,
             sirius_breakdown=dict(profile.breakdown) if profile else {},
             rows=sirius_res.table.num_rows,
+            sirius_profile=profile,
         )
 
     def run(self, queries=range(1, 23)) -> Figure4Result:

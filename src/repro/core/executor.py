@@ -11,68 +11,30 @@ Reproduces §3.2.2's model:
   pushes chunks into stateless operators;
 * every operator's simulated time is attributed to its Figure-5 category,
   producing the per-query breakdown the paper reports.
+
+When the execution context carries a real tracer the executor also emits
+the span hierarchy query → pipeline → operator.  Operator work inside a
+pipeline interleaves chunk by chunk, so operator spans are recorded
+retroactively: their interval covers first to last activity and their
+``busy_s`` attribute carries the accumulated active time (the intervals
+of sibling operators overlap; ``busy_s`` values are disjoint and sum to
+the pipeline's — and hence the query's — elapsed simulated time).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 from ..kernels import GTable, slice_table
+from ..obs import OperatorTiming, QueryProfile
 from .deadline import Deadline
 from .operators.base import ExecutionContext
 from .operators.scan import IntermediateSource
 from .planner import PhysicalPlan, Pipeline
 
-__all__ = ["PipelineExecutor", "QueryProfile"]
+__all__ = ["PipelineExecutor", "QueryProfile", "OperatorTiming"]
 
-
-@dataclass
-class OperatorTiming:
-    """Simulated time spent in one operator of one pipeline."""
-
-    pipeline: int
-    operator: str
-    category: str
-    seconds: float
-    rows_out: int
-
-
-@dataclass
-class QueryProfile:
-    """Timing and counters for one query execution."""
-
-    sim_seconds: float = 0.0
-    breakdown: dict = field(default_factory=dict)  # category -> seconds
-    kernel_count: int = 0
-    pipelines_run: int = 0
-    chunks_processed: int = 0
-    output_rows: int = 0
-    operator_timings: list = field(default_factory=list)
-
-    def breakdown_fractions(self) -> dict:
-        total = sum(self.breakdown.values())
-        if total == 0:
-            return {k: 0.0 for k in self.breakdown}
-        return {k: v / total for k, v in self.breakdown.items()}
-
-    def explain_analyze(self) -> str:
-        """EXPLAIN ANALYZE-style report: per-operator simulated time."""
-        lines = [
-            f"total {self.sim_seconds * 1000:.3f} ms, "
-            f"{self.kernel_count} kernels, {self.pipelines_run} pipelines, "
-            f"{self.output_rows} rows out"
-        ]
-        current = None
-        for t in self.operator_timings:
-            if t.pipeline != current:
-                lines.append(f"Pipeline {t.pipeline}:")
-                current = t.pipeline
-            lines.append(
-                f"  {t.operator:<50s} {t.seconds * 1e6:10.1f} us"
-                f"  [{t.category}]  rows={t.rows_out}"
-            )
-        return "\n".join(lines)
+_DONE = object()
 
 
 class PipelineExecutor:
@@ -92,42 +54,60 @@ class PipelineExecutor:
         :class:`~repro.core.deadline.DeadlineExceededError`.
         """
         clock = self.ctx.device.clock
+        tracer = self.ctx.tracer
+        pool = self.ctx.device.processing_pool
         start = clock.now
         buckets_before = clock.buckets()
         kernels_before = self.ctx.device.kernel_count
+        trace_mark = tracer.mark()
+        pool.begin_watermark()
 
         slots: dict[str, GTable] = {}
         consumers = physical.slot_consumers()
         profile = QueryProfile()
 
-        queue = deque(physical.pipelines)
-        done: set[int] = set()
-        while queue:
-            progressed = False
-            for _ in range(len(queue)):
-                pipeline = queue.popleft()
-                if pipeline.dependencies <= done:
-                    self._run_pipeline(pipeline, slots, profile, deadline)
-                    done.add(pipeline.pid)
-                    self._release_slots(pipeline, slots, consumers, physical.final_slot)
-                    progressed = True
-                else:
-                    queue.append(pipeline)
-            if not progressed:
-                raise RuntimeError("pipeline dependency cycle detected")
+        with tracer.span(
+            "query", kind="query", clock=clock, device=self.ctx.device.spec.name
+        ) as qspan:
+            queue = deque(physical.pipelines)
+            done: set[int] = set()
+            while queue:
+                progressed = False
+                for _ in range(len(queue)):
+                    pipeline = queue.popleft()
+                    if pipeline.dependencies <= done:
+                        self._run_pipeline(pipeline, slots, profile, deadline)
+                        done.add(pipeline.pid)
+                        self._release_slots(
+                            pipeline, slots, consumers, physical.final_slot
+                        )
+                        progressed = True
+                    else:
+                        queue.append(pipeline)
+                if not progressed:
+                    raise RuntimeError("pipeline dependency cycle detected")
 
-        if deadline is not None:
-            deadline.check_at(clock.now)
-        result = slots[physical.final_slot]
-        profile.sim_seconds = clock.now - start
-        buckets_after = clock.buckets()
-        profile.breakdown = {
-            k: buckets_after.get(k, 0.0) - buckets_before.get(k, 0.0)
-            for k in set(buckets_after) | set(buckets_before)
-        }
-        profile.breakdown = {k: v for k, v in profile.breakdown.items() if v > 0}
-        profile.kernel_count = self.ctx.device.kernel_count - kernels_before
-        profile.output_rows = result.num_rows
+            if deadline is not None:
+                deadline.check_at(clock.now)
+            result = slots[physical.final_slot]
+            profile.sim_seconds = clock.now - start
+            buckets_after = clock.buckets()
+            profile.breakdown = {
+                k: buckets_after.get(k, 0.0) - buckets_before.get(k, 0.0)
+                for k in set(buckets_after) | set(buckets_before)
+            }
+            profile.breakdown = {k: v for k, v in profile.breakdown.items() if v > 0}
+            profile.kernel_count = self.ctx.device.kernel_count - kernels_before
+            profile.output_rows = result.num_rows
+            profile.device_mem_peak = pool.watermark
+            qspan.set(
+                rows_out=profile.output_rows,
+                kernel_count=profile.kernel_count,
+                pipelines_run=profile.pipelines_run,
+                chunks_processed=profile.chunks_processed,
+                device_mem_peak=profile.device_mem_peak,
+            )
+        profile.spans = list(tracer.spans_since(trace_mark))
         return result, profile
 
     # -- internals ----------------------------------------------------------
@@ -141,49 +121,111 @@ class PipelineExecutor:
     ) -> None:
         state: dict = {"slots": slots}
         clock = self.ctx.device.clock
-        op_seconds = {op: 0.0 for op in pipeline.operators}
-        op_rows = {op: 0 for op in pipeline.operators}
-        sink_seconds = 0.0
-        for chunk in self._source_chunks(pipeline, slots):
-            if deadline is not None:
-                deadline.check_at(clock.now)
-            profile.chunks_processed += 1
-            for op in pipeline.operators:
+        tracer = self.ctx.tracer
+        with tracer.span(
+            f"pipeline-{pipeline.pid}", kind="pipeline", clock=clock, pid=pipeline.pid
+        ) as pspan:
+            p_start = clock.now
+            op_seconds = {op: 0.0 for op in pipeline.operators}
+            op_rows = {op: 0 for op in pipeline.operators}
+            op_first = {}
+            op_last = {}
+            source_seconds = 0.0
+            source_rows = 0
+            source_last = p_start
+            sink_seconds = 0.0
+            sink_first = None
+            chunk_iter = self._source_chunks(pipeline, slots)
+            while True:
                 mark = clock.now
-                with clock.attributed(op.category):
-                    chunk = op.process(self.ctx, chunk, state)
-                op_seconds[op] += clock.now - mark
-                if chunk is None:
+                chunk = next(chunk_iter, _DONE)
+                source_seconds += clock.now - mark
+                source_last = clock.now
+                if chunk is _DONE:
                     break
-                op_rows[op] += chunk.num_rows
-            if chunk is None:
-                continue
+                source_rows += chunk.num_rows
+                if deadline is not None:
+                    deadline.check_at(clock.now)
+                profile.chunks_processed += 1
+                for op in pipeline.operators:
+                    mark = clock.now
+                    op_first.setdefault(op, mark)
+                    with clock.attributed(op.category):
+                        chunk = op.process(self.ctx, chunk, state)
+                    op_seconds[op] += clock.now - mark
+                    op_last[op] = clock.now
+                    if chunk is None:
+                        break
+                    op_rows[op] += chunk.num_rows
+                if chunk is None:
+                    continue
+                mark = clock.now
+                if sink_first is None:
+                    sink_first = mark
+                with clock.attributed(pipeline.sink.category):
+                    pipeline.sink.consume(self.ctx, chunk, state)
+                sink_seconds += clock.now - mark
             mark = clock.now
+            if sink_first is None:
+                sink_first = mark
             with clock.attributed(pipeline.sink.category):
-                pipeline.sink.consume(self.ctx, chunk, state)
+                output = pipeline.sink.finalize(self.ctx, state)
             sink_seconds += clock.now - mark
-        mark = clock.now
-        with clock.attributed(pipeline.sink.category):
-            output = pipeline.sink.finalize(self.ctx, state)
-        sink_seconds += clock.now - mark
-        if output is not None:
-            slots[pipeline.output_slot] = output
-        for op in pipeline.operators:
+            if output is not None:
+                slots[pipeline.output_slot] = output
+            for op in pipeline.operators:
+                profile.operator_timings.append(
+                    OperatorTiming(
+                        pipeline.pid, op.describe(), op.category, op_seconds[op], op_rows[op]
+                    )
+                )
+            output_rows = output.num_rows if output is not None else 0
             profile.operator_timings.append(
                 OperatorTiming(
-                    pipeline.pid, op.describe(), op.category, op_seconds[op], op_rows[op]
+                    pipeline.pid,
+                    pipeline.sink.describe(),
+                    pipeline.sink.category,
+                    sink_seconds,
+                    output_rows,
                 )
             )
-        profile.operator_timings.append(
-            OperatorTiming(
-                pipeline.pid,
-                pipeline.sink.describe(),
-                pipeline.sink.category,
-                sink_seconds,
-                output.num_rows if output is not None else 0,
-            )
-        )
-        profile.pipelines_run += 1
+            profile.pipelines_run += 1
+            if tracer.enabled:
+                tracer.record_span(
+                    pipeline.source.describe(),
+                    "operator",
+                    start=p_start,
+                    end=source_last,
+                    parent=pspan,
+                    busy_s=source_seconds,
+                    rows_out=source_rows,
+                    category=pipeline.source.category,
+                    role="source",
+                )
+                for op in pipeline.operators:
+                    tracer.record_span(
+                        op.describe(),
+                        "operator",
+                        start=op_first.get(op, p_start),
+                        end=op_last.get(op, p_start),
+                        parent=pspan,
+                        busy_s=op_seconds[op],
+                        rows_out=op_rows[op],
+                        category=op.category,
+                        role="streaming",
+                    )
+                tracer.record_span(
+                    pipeline.sink.describe(),
+                    "operator",
+                    start=sink_first,
+                    end=clock.now,
+                    parent=pspan,
+                    busy_s=sink_seconds,
+                    rows_out=output_rows,
+                    category=pipeline.sink.category,
+                    role="sink",
+                )
+                pspan.set(rows_out=output_rows, source_rows=source_rows)
 
     def _source_chunks(self, pipeline: Pipeline, slots: dict):
         source = pipeline.source

@@ -29,6 +29,7 @@ from typing import Callable
 from ..columnar import Table
 from ..gpu.device import TransientKernelError
 from ..gpu.memory import OutOfDeviceMemory
+from ..obs import NULL_TRACER
 from ..plan import Plan
 from .expr_eval import UnsupportedExpressionError
 from .operators.base import UnsupportedFeatureError
@@ -89,6 +90,9 @@ class FallbackHandler:
 
     host_executor: Callable[[Plan], Table] | None = None
     events: list[FallbackEvent] = field(default_factory=list)
+    # Observability sink; every recorded FallbackEvent is mirrored as a
+    # span event carrying the tier label and the ladder walked.
+    tracer: object = NULL_TRACER
 
     def run(
         self,
@@ -147,6 +151,13 @@ class FallbackHandler:
                 plan_fingerprint=plan_fingerprint(plan),
                 sim_time=clock.now if clock is not None else None,
             )
+        )
+        self.tracer.event(
+            "fallback",
+            sim_time=clock.now if clock is not None else 0.0,
+            tier=tier,
+            tiers_attempted=tuple(attempted),
+            exception=type(exc).__name__,
         )
 
     @property

@@ -19,6 +19,7 @@ from typing import Mapping
 from ...columnar import Schema, Table
 from ...gpu.device import Device
 from ...kernels import GTable
+from ...obs import NULL_TRACER
 from ..buffer_manager import BufferManager
 
 __all__ = [
@@ -66,6 +67,9 @@ class ExecutionContext:
         batch_rows: If set, sources push data in batches of this many rows
             (the out-of-core/pipelined execution extension of §3.4).
         node_id: This node's rank in a distributed run.
+        tracer: Observability sink for spans/metrics; the no-op
+            :data:`~repro.obs.NULL_TRACER` by default, so fault-free
+            untraced execution is byte-identical.
     """
 
     device: Device
@@ -75,6 +79,7 @@ class ExecutionContext:
     exchange: object | None = None
     batch_rows: int | None = None
     node_id: int = 0
+    tracer: object = NULL_TRACER
 
 
 class PhysicalOperator:

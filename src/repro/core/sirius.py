@@ -25,6 +25,7 @@ from ..columnar import Table
 from ..gpu.device import Device
 from ..gpu.memory import OutOfDeviceMemory
 from ..gpu.specs import GH200, DeviceSpec
+from ..obs import NULL_TRACER
 from ..kernels import groupby as groupby_kernel
 from ..plan import Plan
 from .buffer_manager import BufferManager
@@ -74,6 +75,7 @@ class SiriusEngine:
         host_executor: Callable[[Plan], Table] | None = None,
         compress_cache: bool = False,
         pipeline_cpu_executor: Callable[[Plan, Mapping[str, Table]], Table] | None = None,
+        tracer=None,
     ):
         """
         Args:
@@ -91,14 +93,19 @@ class SiriusEngine:
                 re-runs just the failed pipeline/fragment plan on the
                 node's CPU (used by hosts that execute fragment-at-a-time,
                 e.g. MiniDoris).
+            tracer: Observability sink (:class:`repro.obs.Tracer`); the
+                no-op null tracer by default, keeping untraced execution
+                byte-identical.
         """
         self.device = device
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        device.tracer = self.tracer
         self.buffer_manager = BufferManager(
             device, enable_spill=enable_spill, compress_cache=compress_cache
         )
         self.registry = default_registry()
         self.batch_rows = batch_rows
-        self.fallback = FallbackHandler(host_executor)
+        self.fallback = FallbackHandler(host_executor, tracer=self.tracer)
         self.pipeline_cpu_executor = pipeline_cpu_executor
         self.last_profile: QueryProfile | None = None
         self.queries_executed = 0
@@ -156,6 +163,7 @@ class SiriusEngine:
         deadline = (
             Deadline(deadline_s, self.device.clock) if deadline_s is not None else None
         )
+        relaunches_before = self.device.kernel_relaunches
 
         def gpu_run() -> Table:
             self.device.reset_processing_pool()
@@ -165,6 +173,7 @@ class SiriusEngine:
                 catalog=catalog,
                 registry=self.registry,
                 batch_rows=self.batch_rows,
+                tracer=self.tracer,
             )
             physical = compile_plan(plan)
             executor = PipelineExecutor(ctx)
@@ -206,6 +215,10 @@ class SiriusEngine:
         self.queries_executed += 1
         if tier is not None and not tier.gpu_result:
             self.last_profile = None  # GPU profile would be misleading
+        if self.last_profile is not None:
+            self.last_profile.retries = self.device.kernel_relaunches - relaunches_before
+            if tier is not None:
+                self.last_profile.fallback_tier = tier.name
         return result
 
     def explain_physical(self, plan: Plan) -> str:

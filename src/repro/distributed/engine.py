@@ -21,6 +21,7 @@ import numpy as np
 from ..columnar import Table, concat_tables
 from ..core.deadline import Deadline
 from ..gpu.nccl import LinkDroppedError
+from ..obs import NULL_TRACER, QueryProfile
 from ..plan import Plan
 from .cluster import Cluster, ClusterNode
 from .fragments import Fragment
@@ -28,6 +29,18 @@ from .fragments import Fragment
 __all__ = ["DistributedExecutor", "DistributedResult", "ExchangeRetry", "NodeFailureError"]
 
 COORDINATOR = 0
+
+
+class _ClusterClock:
+    """Clock adapter for cluster-scope spans: ``now`` is the cluster's
+    frontier (max over node clocks), the time the coordinator observes."""
+
+    def __init__(self, cluster: Cluster):
+        self._cluster = cluster
+
+    @property
+    def now(self) -> float:
+        return self._cluster.max_clock()
 
 
 class NodeFailureError(RuntimeError):
@@ -60,7 +73,12 @@ class ExchangeRetry:
 
 @dataclass
 class DistributedResult:
-    """Result plus Table-2-style accounting."""
+    """Result plus Table-2-style accounting.
+
+    The numeric fields are views of :attr:`profile` — the per-query
+    :class:`~repro.obs.QueryProfile` is the source of truth the bench
+    harnesses consume; these fields remain for existing callers.
+    """
 
     table: Table
     total_seconds: float
@@ -71,6 +89,7 @@ class DistributedResult:
     fragments_run: int
     exchange_retries: int = 0
     retry_events: list = field(default_factory=list)
+    profile: QueryProfile | None = None
 
     def breakdown(self) -> dict[str, float]:
         return {
@@ -91,6 +110,7 @@ class DistributedExecutor:
         dispatch_overhead_s: float = 0.0001,
         max_exchange_retries: int = 6,
         retry_backoff_s: float = 0.0002,
+        tracer=None,
     ):
         """
         Args:
@@ -106,6 +126,9 @@ class DistributedExecutor:
                 faults before the failure is treated as permanent.
             retry_backoff_s: First retry backoff (simulated seconds);
                 doubles per attempt, charged to every node's clock.
+            tracer: Observability sink; spans are recorded as
+                query -> fragment -> exchange -> collective, with retry
+                events on the exchange spans.  Null (free) by default.
         """
         self.cluster = cluster
         self.node_executor = node_executor
@@ -114,82 +137,130 @@ class DistributedExecutor:
         self.max_exchange_retries = max_exchange_retries
         self.retry_backoff_s = retry_backoff_s
         self.retry_events: list[ExchangeRetry] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cluster.communicator.tracer = self.tracer
+        self._cluster_clock = _ClusterClock(cluster)
 
     def run(
-        self, fragments: list[Fragment], deadline_s: float | None = None
+        self,
+        fragments: list[Fragment],
+        deadline_s: float | None = None,
+        label: str = "",
     ) -> DistributedResult:
         cluster = self.cluster
         comm = cluster.communicator
+        tracer = self.tracer
         start = cluster.max_clock()
         exchange_before = [n.clock.bucket("exchange") for n in cluster.nodes]
         bytes_before = comm.bytes_on_wire
         retries_before = len(self.retry_events)
+        trace_mark = tracer.mark()
+        mem_peak = 0
         deadline = (
             Deadline(deadline_s, cluster.nodes[COORDINATOR].clock)
             if deadline_s is not None
             else None
         )
 
-        # Control plane: coordinator checks membership, plans, dispatches.
-        self._membership_check(fragments_done=0)
-        other = self.coordinator_overhead_s + self.dispatch_overhead_s * len(fragments)
-        for node in cluster.nodes:
-            node.clock.advance(other, category="other")
+        with tracer.span(
+            label or "distributed-query",
+            kind="query",
+            clock=self._cluster_clock,
+            num_nodes=cluster.num_nodes,
+            fragments=len(fragments),
+        ) as qspan:
+            # Control plane: coordinator checks membership, plans, dispatches.
+            self._membership_check(fragments_done=0)
+            other = self.coordinator_overhead_s + self.dispatch_overhead_s * len(fragments)
+            for node in cluster.nodes:
+                node.clock.advance(other, category="other")
 
-        temp_tables: list[dict[str, Table]] = [dict() for _ in cluster.nodes]
-        consumers = self._consumer_index(fragments)
-        result: Table | None = None
+            temp_tables: list[dict[str, Table]] = [dict() for _ in cluster.nodes]
+            consumers = self._consumer_index(fragments)
+            result: Table | None = None
 
-        for index, fragment in enumerate(fragments):
-            self._membership_check(fragments_done=index)
+            for index, fragment in enumerate(fragments):
+                self._membership_check(fragments_done=index)
+                if deadline is not None:
+                    deadline.check_at(cluster.max_clock())
+                node_ids = (
+                    [COORDINATOR]
+                    if fragment.runs_on == "coordinator"
+                    else range(cluster.num_nodes)
+                )
+                with tracer.span(
+                    f"fragment-{index}",
+                    kind="fragment",
+                    clock=self._cluster_clock,
+                    index=index,
+                    runs_on=fragment.runs_on,
+                ) as fspan:
+                    outputs: dict[int, Table] = {}
+                    rows_out = 0
+                    for node_id in node_ids:
+                        node = cluster.nodes[node_id]
+                        catalog = dict(node.catalog)
+                        catalog.update(temp_tables[node_id])
+                        plan = Plan(fragment.plan)
+                        outputs[node_id] = self.node_executor(node_id, plan, catalog)
+                        rows_out += outputs[node_id].num_rows
+                        mem_peak = max(mem_peak, node.device.processing_pool.watermark)
+                        node.heartbeat()  # progress doubles as liveness
+                    fspan.set(rows_out=rows_out)
+
+                    # Deregister consumed temporary tables (the runtime registry).
+                    for ex_id in fragment.consumes:
+                        consumers[ex_id] -= 1
+                        if consumers[ex_id] == 0:
+                            for per_node in temp_tables:
+                                per_node.pop(f"__ex{ex_id}", None)
+
+                    if fragment.output is None:
+                        result = outputs[
+                            COORDINATOR if fragment.runs_on == "coordinator" else 0
+                        ]
+                        continue
+                    self._exchange(fragment, outputs, temp_tables)
+
+            if result is None:
+                raise RuntimeError("fragment list produced no result")
+
+            end = cluster.align_clocks()
             if deadline is not None:
-                deadline.check_at(cluster.max_clock())
-            node_ids = (
-                [COORDINATOR] if fragment.runs_on == "coordinator" else range(cluster.num_nodes)
-            )
-            outputs: dict[int, Table] = {}
-            for node_id in node_ids:
-                node = cluster.nodes[node_id]
-                catalog = dict(node.catalog)
-                catalog.update(temp_tables[node_id])
-                plan = Plan(fragment.plan)
-                outputs[node_id] = self.node_executor(node_id, plan, catalog)
-                node.heartbeat()  # progress doubles as liveness
+                deadline.check_at(end)
+            qspan.set(rows_out=result.num_rows)
 
-            # Deregister consumed temporary tables (the runtime registry).
-            for ex_id in fragment.consumes:
-                consumers[ex_id] -= 1
-                if consumers[ex_id] == 0:
-                    for per_node in temp_tables:
-                        per_node.pop(f"__ex{ex_id}", None)
-
-            if fragment.output is None:
-                result = outputs[COORDINATOR if fragment.runs_on == "coordinator" else 0]
-                continue
-            self._exchange(fragment, outputs, temp_tables)
-
-        if result is None:
-            raise RuntimeError("fragment list produced no result")
-
-        end = cluster.align_clocks()
-        if deadline is not None:
-            deadline.check_at(end)
         total = end - start
         exchange = max(
             n.clock.bucket("exchange") - b for n, b in zip(cluster.nodes, exchange_before)
         )
         compute = max(total - exchange - other, 0.0)
         query_retries = self.retry_events[retries_before:]
-        return DistributedResult(
-            table=result,
-            total_seconds=total,
+        profile = QueryProfile(
+            label=label,
+            sim_seconds=total,
+            breakdown={"compute": compute, "exchange": exchange, "other": other},
             compute_seconds=compute,
             exchange_seconds=exchange,
             other_seconds=other,
             exchanged_bytes=comm.bytes_on_wire - bytes_before,
+            retries=len(query_retries),
+            pipelines_run=len(fragments),
+            output_rows=result.num_rows,
+            device_mem_peak=mem_peak,
+            spans=list(tracer.spans_since(trace_mark)),
+        )
+        return DistributedResult(
+            table=result,
+            total_seconds=profile.sim_seconds,
+            compute_seconds=profile.compute_seconds,
+            exchange_seconds=profile.exchange_seconds,
+            other_seconds=profile.other_seconds,
+            exchanged_bytes=profile.exchanged_bytes,
             fragments_run=len(fragments),
             exchange_retries=len(query_retries),
             retry_events=query_retries,
+            profile=profile,
         )
 
     # -- failure detection ----------------------------------------------------
@@ -222,6 +293,21 @@ class DistributedExecutor:
     # -- exchange data plane ------------------------------------------------
 
     def _exchange(self, fragment: Fragment, outputs: dict[int, Table], temp_tables) -> None:
+        spec = fragment.output
+        comm = self.cluster.communicator
+        bytes_before = comm.bytes_on_wire
+        with self.tracer.span(
+            f"exchange.{spec.kind}",
+            kind="exchange",
+            clock=self._cluster_clock,
+            table=spec.table_name,
+        ) as xspan:
+            self._exchange_inner(fragment, outputs, temp_tables)
+            xspan.set(bytes=comm.bytes_on_wire - bytes_before)
+
+    def _exchange_inner(
+        self, fragment: Fragment, outputs: dict[int, Table], temp_tables
+    ) -> None:
         spec = fragment.output
         comm = self.cluster.communicator
         n = self.cluster.num_nodes
@@ -284,6 +370,13 @@ class DistributedExecutor:
                     node.clock.advance(backoff, category="exchange")
                 self.retry_events.append(
                     ExchangeRetry(kind, attempt, backoff, self.cluster.max_clock())
+                )
+                self.tracer.event(
+                    "exchange-retry",
+                    sim_time=self.cluster.max_clock(),
+                    kind=kind,
+                    attempt=attempt,
+                    backoff_s=backoff,
                 )
 
     def _consumer_index(self, fragments: list[Fragment]) -> dict[int, int]:

@@ -61,6 +61,7 @@ class DeviceBuffer:
             return
         self._freed = True
         self.device.release_buffer(self, self._allocation)
+        self.device.tracer.count("device.freed_bytes", self._account_nbytes)
 
     def __len__(self) -> int:
         return int(self.array.shape[0])

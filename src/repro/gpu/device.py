@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import NULL_TRACER
 from .buffer import DeviceBuffer
 from .clock import SimClock
 from .costmodel import CostBreakdown, KernelCostModel
@@ -84,6 +85,9 @@ class Device:
         self.fault_injector = None
         self.fault_rank = device_id
         self.kernel_relaunches = 0
+        # Observability sink (swapped for a real Tracer by the engine that
+        # owns this device; the null default records nothing).
+        self.tracer = NULL_TRACER
 
     # -- kernel execution -----------------------------------------------------
 
@@ -110,6 +114,13 @@ class Device:
                 self.kernel_count += 1
                 self.kernel_relaunches += 1
                 relaunches += 1
+                self.tracer.event(
+                    "kernel-relaunch",
+                    sim_time=self.clock.now,
+                    kclass=kclass,
+                    rank=self.fault_rank,
+                    attempt=relaunches,
+                )
                 if relaunches >= KERNEL_RELAUNCH_LIMIT:
                     raise TransientKernelError(
                         f"kernel {kclass} failed {relaunches} consecutive "
@@ -165,9 +176,13 @@ class Device:
             raise OutOfDeviceMemory(size, available, f"{region} (injected spike)")
         if region == "processing":
             allocation = self.processing_pool.allocate(size)
+            self.tracer.count("device.alloc_bytes", size)
+            self.tracer.gauge("device.pool_in_use", self.processing_pool.in_use)
             return DeviceBuffer(array, self, region, allocation, size)
         if region == "caching":
             self.caching_region.allocate(size)
+            self.tracer.count("device.cache_bytes", size)
+            self.tracer.gauge("device.cache_in_use", self.caching_region.used)
             return DeviceBuffer(array, self, region, None, size)
         raise ValueError(f"unknown memory region {region!r}")
 

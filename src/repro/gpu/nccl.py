@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs import NULL_TRACER
 from .clock import SimClock
 
 __all__ = [
@@ -99,6 +100,9 @@ class Communicator:
         # None = healthy fabric).
         self.fault_injector = None
         self.dropped_collectives = 0
+        # Observability sink: each collective becomes a span (with per-link
+        # byte counts for all-to-all) and each dropped handshake an event.
+        self.tracer = NULL_TRACER
 
     def link(self, src: int, dst: int) -> Fabric:
         """The fabric used between two ranks."""
@@ -114,7 +118,9 @@ class Communicator:
 
     # -- internals ----------------------------------------------------------
 
-    def _complete(self, comm_seconds: float, nbytes: int) -> float:
+    def _complete(
+        self, comm_seconds: float, nbytes: int, kind: str = "collective", links=None
+    ) -> float:
         """Advance all ranks to ``max(arrivals) + comm_seconds``."""
         start = max(c.now for c in self._clocks)
         injector = self.fault_injector
@@ -126,6 +132,9 @@ class Communicator:
                 for clock in self._clocks:
                     clock.advance_to(failed_at, category=EXCHANGE_CATEGORY)
                 self.dropped_collectives += 1
+                self.tracer.event(
+                    "link-drop", sim_time=failed_at, kind=kind, dropped_at=start
+                )
                 raise LinkDroppedError(
                     f"collective dropped at t={start:.6f}s (simulated link fault)"
                 )
@@ -137,13 +146,27 @@ class Communicator:
             clock.advance_to(end, category=EXCHANGE_CATEGORY)
         self.bytes_on_wire += nbytes
         self.collective_count += 1
+        if self.tracer.enabled:
+            attrs = {
+                "bytes": nbytes,
+                "world_size": self.world_size,
+                "fabric": self.fabric.name,
+            }
+            if links:
+                attrs["link_bytes"] = [
+                    {"src": i, "dst": j, "bytes": b} for i, j, b in links
+                ]
+            self.tracer.record_span(
+                f"nccl.{kind}", "collective", start=start, end=end, **attrs
+            )
+            self.tracer.count("nccl.bytes_on_wire", nbytes)
         return comm_seconds
 
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> float:
         """Synchronise all ranks with a latency-only round."""
-        return self._complete(self.fabric.latency, 0)
+        return self._complete(self.fabric.latency, 0, kind="barrier")
 
     def broadcast(self, root: int, nbytes: int) -> float:
         """Pipelined broadcast of ``nbytes`` from ``root`` to all ranks.
@@ -152,12 +175,17 @@ class Communicator:
         """
         self._check_rank(root)
         if self.world_size == 1:
-            return self._complete(0.0, 0)
+            return self._complete(0.0, 0, kind="broadcast")
         links = [self.link(root, r) for r in range(self.world_size) if r != root]
         slowest = min(l.bandwidth for l in links)
         latency = max(l.latency for l in links)
         seconds = latency + nbytes / slowest
-        return self._complete(seconds, nbytes * (self.world_size - 1))
+        return self._complete(
+            seconds,
+            nbytes * (self.world_size - 1),
+            kind="broadcast",
+            links=[(root, r, nbytes) for r in range(self.world_size) if r != root],
+        )
 
     def all_to_all(self, bytes_matrix: Sequence[Sequence[int]]) -> float:
         """Full shuffle: rank ``i`` sends ``bytes_matrix[i][j]`` to rank ``j``.
@@ -184,7 +212,13 @@ class Communicator:
                 wire_bytes += bytes_matrix[i][j]
         bottleneck = max(max(send_time, default=0.0), max(recv_time, default=0.0))
         seconds = self.fabric.latency * max(n - 1, 1) + bottleneck
-        return self._complete(seconds, wire_bytes)
+        links = [
+            (i, j, bytes_matrix[i][j])
+            for i in range(n)
+            for j in range(n)
+            if i != j and bytes_matrix[i][j]
+        ]
+        return self._complete(seconds, wire_bytes, kind="all_to_all", links=links)
 
     def gather(self, root: int, nbytes_per_rank: Sequence[int]) -> float:
         """Gather (merge pattern): every rank sends its bytes to ``root``."""
@@ -193,7 +227,12 @@ class Communicator:
             raise ValueError("need one byte count per rank")
         incoming = sum(b for r, b in enumerate(nbytes_per_rank) if r != root)
         seconds = self.fabric.latency + incoming / self.fabric.bandwidth
-        return self._complete(seconds, incoming)
+        return self._complete(
+            seconds,
+            incoming,
+            kind="gather",
+            links=[(r, root, b) for r, b in enumerate(nbytes_per_rank) if r != root and b],
+        )
 
     def multicast(self, root: int, targets: Sequence[int], nbytes: int) -> float:
         """Send ``nbytes`` from ``root`` to a subset of ranks."""
@@ -202,10 +241,15 @@ class Communicator:
         for t in remote:
             self._check_rank(t)
         if not remote:
-            return self._complete(0.0, 0)
+            return self._complete(0.0, 0, kind="multicast")
         # Root's egress link serialises distinct destinations.
         seconds = self.fabric.latency + nbytes * len(remote) / self.fabric.bandwidth
-        return self._complete(seconds, nbytes * len(remote))
+        return self._complete(
+            seconds,
+            nbytes * len(remote),
+            kind="multicast",
+            links=[(root, t, nbytes) for t in remote],
+        )
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:

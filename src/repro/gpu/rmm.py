@@ -66,6 +66,7 @@ class PoolAllocator:
         self._live: dict[int, int] = {}  # offset -> size
         self._in_use = 0
         self._peak = 0
+        self._watermark = 0  # high-water mark since begin_watermark()
         self._num_allocs = 0
         self._num_frees = 0
         self.generation = 0
@@ -91,6 +92,7 @@ class PoolAllocator:
                 self._live[offset] = size
                 self._in_use += size
                 self._peak = max(self._peak, self._in_use)
+                self._watermark = max(self._watermark, self._in_use)
                 self._num_allocs += 1
                 return Allocation(offset, size, self.generation)
         raise OutOfDeviceMemory(size, self.capacity - self._in_use, "processing pool")
@@ -151,6 +153,20 @@ class PoolAllocator:
                 del self._free[lo]
 
     # -- introspection --------------------------------------------------------
+
+    def begin_watermark(self) -> None:
+        """Start a fresh high-water window (one query's device-memory peak).
+
+        Unlike :attr:`PoolStats.peak_in_use`, which is monotone over the
+        pool's lifetime, the watermark is rebaselined per query so the
+        observability layer can report each query's own memory peak.
+        """
+        self._watermark = self._in_use
+
+    @property
+    def watermark(self) -> int:
+        """High-water mark of bytes in use since :meth:`begin_watermark`."""
+        return self._watermark
 
     @property
     def in_use(self) -> int:

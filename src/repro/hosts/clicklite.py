@@ -66,6 +66,7 @@ class ClickLite:
         spec: DeviceSpec = CLICKLITE_SPEC,
         max_intermediate_rows: int | None = 4_000_000,
         deadline_s: float | None = None,
+        tracer=None,
     ):
         """Both arguments are dimensions of the per-query
         :class:`~repro.core.deadline.Deadline` envelope, enforced inside
@@ -75,6 +76,8 @@ class ClickLite:
         written-order cross join outgrows any realistic ceiling (and, at
         scale, any timeout), reproducing the paper's "Q9 does not
         finish"."""
+        from ..obs import NULL_TRACER
+
         self.device = Device(spec)
         self.deadline_s = deadline_s
         self.cpu_engine = CpuEngine(
@@ -83,6 +86,8 @@ class ClickLite:
             materialize_joins=True,
         )
         self.tables: dict[str, Table] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.device.tracer = self.tracer
 
     def create_table(self, name: str, table: Table) -> None:
         self.tables[name] = table
@@ -104,8 +109,22 @@ class ClickLite:
         return Plan(prune_columns(plan.root), plan.version)
 
     def execute(self, sql: str) -> QueryResult:
+        from ..core.deadline import DidNotFinishError
+
         plan = self.plan(sql)
-        table = self.cpu_engine.execute(plan, self.tables, deadline_s=self.deadline_s)
+        with self.tracer.span(
+            "query", kind="query", clock=self.device.clock, engine="clicklite"
+        ) as qspan:
+            try:
+                table = self.cpu_engine.execute(
+                    plan, self.tables, deadline_s=self.deadline_s
+                )
+            except DidNotFinishError as exc:
+                self.tracer.event(
+                    "did-not-finish", sim_time=self.device.clock.now, reason=str(exc)
+                )
+                raise
+            qspan.set(rows_out=table.num_rows)
         return QueryResult(table, "clicklite", self.cpu_engine.last_sim_seconds)
 
     def supports_tpch(self, query_number: int) -> bool:

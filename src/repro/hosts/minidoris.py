@@ -75,10 +75,18 @@ class MiniDoris:
         heartbeat_timeout_s: float = 0.25,
         max_recoveries: int = 2,
         deadline_s: float | None = None,
+        tracer=None,
     ):
         if mode not in ("doris", "sirius", "clickhouse"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
+        # One tracer spans the whole warehouse: the distributed executor
+        # records query/fragment/exchange spans on the cluster clock, and
+        # (in sirius mode) each node engine records its pipeline/operator
+        # spans on that node's clock.  Null (zero-cost) by default.
+        from ..obs import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.predicate_transfer = predicate_transfer
         if fabric is None:
             # Sirius exchanges over InfiniBand via NCCL; the CPU hosts'
@@ -105,7 +113,10 @@ class MiniDoris:
         for node in self.cluster.nodes:
             self._node_engines.append(self._make_engine(node))
         self.executor = DistributedExecutor(
-            self.cluster, self._run_on_node, coordinator_overhead_s=coordinator_overhead_s
+            self.cluster,
+            self._run_on_node,
+            coordinator_overhead_s=coordinator_overhead_s,
+            tracer=self.tracer,
         )
         self.queries_executed = 0
         self.max_recoveries = max_recoveries
@@ -118,7 +129,7 @@ class MiniDoris:
     def _make_engine(self, node):
         if self.mode != "sirius":
             return CpuEngine(node.device, materialize_joins=(self.mode == "clickhouse"))
-        engine = SiriusEngine(node.device)
+        engine = SiriusEngine(node.device, tracer=self.tracer)
         # Standby CPU device on the *same clock* as the node's GPU: the
         # cpu-pipeline degradation tier re-runs a failed fragment there,
         # so its (slower) execution time lands in the query total.
@@ -220,7 +231,11 @@ class MiniDoris:
         while True:
             fragments = self.plan_fragments(sql)
             try:
-                result = self.executor.run(fragments, deadline_s=deadline_s)
+                result = self.executor.run(
+                    fragments,
+                    deadline_s=deadline_s,
+                    label=" ".join(sql.split())[:80],
+                )
             except NodeFailureError as failure:
                 recoveries += 1
                 if recoveries > self.max_recoveries:

@@ -55,13 +55,20 @@ class QueryResult:
 class MiniDuck:
     """An embedded analytical database with a swappable execution engine."""
 
-    def __init__(self, spec: DeviceSpec = M7I_CPU, optimize: bool = True):
+    def __init__(self, spec: DeviceSpec = M7I_CPU, optimize: bool = True, tracer=None):
+        from ..obs import NULL_TRACER
+
         self.device = Device(spec)
         self.cpu_engine = CpuEngine(self.device)
         self.tables: dict[str, Table] = {}
         self._extension: ExecutionExtension | None = None
         self.optimize = optimize
         self._distinct_cache: dict[str, tuple[int, dict[str, int]]] = {}
+        # Observability: the host traces its own CPU path; an installed
+        # extension (e.g. Sirius) traces GPU execution with whatever
+        # tracer its engine was built with.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.device.tracer = self.tracer
 
     # -- catalog ----------------------------------------------------------
 
@@ -159,5 +166,9 @@ class MiniDuck:
             profile = getattr(self._extension, "last_profile", None)
             sim = profile.sim_seconds if profile is not None else 0.0
             return QueryResult(table, self._extension.name, sim, profile)
-        table = self.cpu_engine.execute(plan, self.tables)
+        with self.tracer.span(
+            "query", kind="query", clock=self.device.clock, engine="miniduck-cpu"
+        ) as qspan:
+            table = self.cpu_engine.execute(plan, self.tables)
+            qspan.set(rows_out=table.num_rows)
         return QueryResult(table, "miniduck-cpu", self.cpu_engine.last_sim_seconds)

@@ -1,0 +1,32 @@
+"""repro.obs: tracing, metrics, and per-query profiles.
+
+The observability subsystem of the reproduction.  Everything is built on
+the simulated clock and records **without advancing it** — enabling a
+tracer cannot change a single simulated timing, which the golden-profile
+tests pin down.
+
+Entry points:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — span recording (the default
+  null tracer makes all instrumentation free);
+* :class:`MetricSet` (:class:`Counter`, :class:`Gauge`) — aggregates;
+* :class:`QueryProfile` — the per-query report (Figure-5 breakdown,
+  Table-2 compute/exchange/other split, span tree, JSON export).
+"""
+
+from .metrics import Counter, Gauge, MetricSet
+from .profile import OperatorTiming, QueryProfile
+from .tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricSet",
+    "NULL_TRACER",
+    "NullTracer",
+    "OperatorTiming",
+    "QueryProfile",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+]

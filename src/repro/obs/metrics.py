@@ -1,0 +1,81 @@
+"""Counters and gauges for the observability layer.
+
+Counters accumulate (bytes shuffled, buffers freed, chunks pushed);
+gauges track a current value plus its high-water mark (pool bytes in
+use, cached-table count).  Like spans, metrics never touch a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Counter", "Gauge", "MetricSet"]
+
+
+@dataclass
+class Counter:
+    """A monotonically accumulating value."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, delta: float = 1) -> None:
+        self.value += delta
+
+
+@dataclass
+class Gauge:
+    """A current value with a high-water mark."""
+
+    name: str
+    value: float = 0.0
+    high_water: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class MetricSet:
+    """A named collection of counters and gauges."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.add(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        gauge.set(value)
+
+    def counter_value(self, name: str) -> float:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def gauge_value(self, name: str) -> float:
+        gauge = self.gauges.get(name)
+        return gauge.value if gauge is not None else 0.0
+
+    def high_water(self, name: str) -> float:
+        gauge = self.gauges.get(name)
+        return gauge.high_water if gauge is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "high_water": g.high_water}
+                for n, g in sorted(self.gauges.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"MetricSet(counters={len(self.counters)}, gauges={len(self.gauges)})"

@@ -1,0 +1,305 @@
+"""Structured tracing on the simulated clock.
+
+The observability layer records **hierarchical spans** — query → pipeline
+→ operator on a single node; query → fragment → exchange → collective in
+the distributed engine — with attributes (rows, bytes moved, device-memory
+watermarks, fallback tiers) and point-in-time **events** (exchange
+retries, kernel relaunches, degradations).
+
+Two implementations share one duck-typed interface:
+
+* :data:`NULL_TRACER` — the default everywhere.  Every method is a no-op
+  and allocates nothing, so instrumented hot paths cost one attribute
+  lookup plus an empty call when tracing is off; simulated results and
+  rendered benchmark output are byte-identical with or without it.
+* :class:`Tracer` — records spans against :class:`~repro.gpu.clock.SimClock`
+  timestamps.  Tracing never advances any clock: enabling it cannot move
+  a simulated nanosecond (the overhead guarantee the golden tests pin).
+
+Timestamps are read from whichever clock a span is opened against, so a
+distributed trace carries spans from several clock domains.  Parent/child
+nesting is only meaningful *within* one domain (node clocks drift apart
+between collectives, exactly like real distributed tracing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .metrics import MetricSet
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, fallback, fault)."""
+
+    name: str
+    sim_time: float
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "sim_time": self.sim_time, **self.attributes}
+
+
+@dataclass
+class Span:
+    """One traced interval of simulated time."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str  # "query" | "pipeline" | "operator" | "fragment" | "exchange" | "collective" | ...
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def nests_within(self, parent: "Span", tol: float = 1e-12) -> bool:
+        """Interval containment check (used by the property tests)."""
+        if parent.end is None or self.end is None:
+            return False
+        return self.start >= parent.start - tol and self.end <= parent.end + tol
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+class _NullSpan:
+    """Reusable no-op span handle; also the null context manager."""
+
+    __slots__ = ()
+    is_recording = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def event(self, name: str, **attributes) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def span(self, name: str, kind: str = "span", clock=None, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(
+        self, name: str, kind: str, start: float, end: float, parent=None, **attributes
+    ) -> None:
+        pass
+
+    def event(self, name: str, sim_time: float = 0.0, **attributes) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def mark(self) -> int:
+        return 0
+
+    def spans_since(self, mark: int) -> tuple:
+        return ()
+
+    def find_events(self, name: str) -> tuple:
+        return ()
+
+
+NULL_TRACER = NullTracer()
+
+
+class _SpanHandle:
+    """Context manager binding one open :class:`Span` to its clock."""
+
+    __slots__ = ("tracer", "span", "clock")
+    is_recording = True
+
+    def __init__(self, tracer: "Tracer", span: Span, clock):
+        self.tracer = tracer
+        self.span = span
+        self.clock = clock
+
+    def __enter__(self) -> "_SpanHandle":
+        self.span.start = self.clock.now
+        self.tracer._open(self.span)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.span.end = self.clock.now
+        self.tracer._close(self.span)
+        return False
+
+    def set(self, **attributes) -> None:
+        self.span.attributes.update(attributes)
+
+    def event(self, name: str, **attributes) -> None:
+        self.span.events.append(SpanEvent(name, self.clock.now, attributes))
+
+
+class Tracer:
+    """Records spans, events, and metrics for one simulated run.
+
+    A tracer may be shared across layers (engine, exchange, hosts) and
+    across clock domains; spans opened while another span is open become
+    its children (execution is sequential under the simulated clock, so a
+    single stack gives the correct tree).
+
+    Args:
+        clock: Default clock for spans/events that do not pass their own.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self.spans: list[Span] = []
+        self.root_events: list[SpanEvent] = []
+        self.metrics = MetricSet()
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str, kind: str = "span", clock=None, **attributes) -> _SpanHandle:
+        """Open a span as a context manager; closed (end stamped) on exit,
+        including exceptional exit."""
+        clock = clock if clock is not None else self.clock
+        if clock is None:
+            raise ValueError(f"span {name!r} needs a clock (tracer has no default)")
+        span = Span(0, None, name, kind, 0.0, attributes=dict(attributes))
+        return _SpanHandle(self, span, clock)
+
+    def record_span(
+        self, name: str, kind: str, start: float, end: float, parent=None, **attributes
+    ) -> Span:
+        """Insert a completed span retroactively with an explicit interval.
+
+        Used where intervals interleave and cannot bracket a ``with`` block
+        (per-operator time inside a chunked pipeline, collectives whose
+        start is only known as ``max(arrivals)``).  ``parent`` may be a
+        span handle; by default the innermost open span is the parent.
+        """
+        if parent is not None:
+            parent_id = parent.span.span_id if isinstance(parent, _SpanHandle) else parent.span_id
+        else:
+            parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            self._take_id(), parent_id, name, kind, start, end, attributes=dict(attributes)
+        )
+        self.spans.append(span)
+        return span
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._take_id()
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self.spans.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate exception-unwound children left on the stack.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    def _take_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    # -- events & metrics ----------------------------------------------------
+
+    def event(self, name: str, sim_time: float | None = None, **attributes) -> None:
+        """Attach an event to the innermost open span (root list otherwise)."""
+        if sim_time is None:
+            if self.clock is not None:
+                sim_time = self.clock.now
+            else:
+                sim_time = self._stack[-1].start if self._stack else 0.0
+        event = SpanEvent(name, sim_time, attributes)
+        if self._stack:
+            self._stack[-1].events.append(event)
+        else:
+            self.root_events.append(event)
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    # -- queries -------------------------------------------------------------
+
+    def mark(self) -> int:
+        """Bookmark the span list; pair with :meth:`spans_since`."""
+        return len(self.spans)
+
+    def spans_since(self, mark: int) -> list[Span]:
+        return self.spans[mark:]
+
+    def find_events(self, name: str) -> list[SpanEvent]:
+        """All events with the given name, across every span plus roots."""
+        found = [e for s in self.spans for e in s.events if e.name == name]
+        found.extend(e for e in self.root_events if e.name == name)
+        return found
+
+    def span_tree(self, root: Span) -> list[Span]:
+        """``root`` plus every recorded descendant, in recording order."""
+        keep = {root.span_id}
+        out = [root]
+        for span in self.spans:
+            if span.parent_id in keep and span.span_id not in keep:
+                keep.add(span.span_id)
+                out.append(span)
+        return out
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "events": [e.to_dict() for e in self.root_events],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self.spans)}, open={len(self._stack)})"

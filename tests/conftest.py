@@ -1,9 +1,42 @@
-"""Shared fixtures: simulated devices and small canonical tables."""
+"""Shared fixtures: simulated devices and small canonical tables.
+
+Reproducibility: property-based tests (hypothesis) honour the
+``REPRO_TEST_SEED`` environment variable — set it to replay a failing CI
+run locally (``REPRO_TEST_SEED=123 pytest ...``).  The active seed is
+printed in the pytest report header and on failure hypothesis prints the
+reproduction blob (``print_blob`` is on in the registered profile).
+"""
+
+import os
 
 import pytest
 
 from repro.columnar import Schema, Table
 from repro.gpu import A100_40G, Device, GH200, M7I_CPU, SimClock
+
+try:
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("repro", print_blob=True)
+    _hyp_settings.load_profile("repro")
+    _HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    _HAVE_HYPOTHESIS = False
+
+REPRO_TEST_SEED = os.environ.get("REPRO_TEST_SEED")
+
+
+def pytest_configure(config):
+    if _HAVE_HYPOTHESIS and REPRO_TEST_SEED and hasattr(config.option, "hypothesis_seed"):
+        # Only take the env seed when none was passed on the command line.
+        if config.option.hypothesis_seed is None:
+            config.option.hypothesis_seed = REPRO_TEST_SEED
+
+
+def pytest_report_header(config):
+    if REPRO_TEST_SEED:
+        return f"repro: REPRO_TEST_SEED={REPRO_TEST_SEED} (hypothesis seed pinned)"
+    return "repro: REPRO_TEST_SEED unset (hypothesis uses a random seed)"
 
 
 @pytest.fixture

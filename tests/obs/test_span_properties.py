@@ -1,0 +1,92 @@
+"""Property tests: span trees from random plans are well-formed.
+
+Reuses the random table/plan generators of the differential fuzzer
+(:mod:`tests.core.test_random_plans`) and checks the structural invariants
+the tracing layer guarantees on a single node (one clock domain):
+
+* every child span's interval nests within its parent's interval;
+* per-operator *busy* time is a disjoint partition of execution: summed
+  over all operator spans it equals the query span's elapsed simulated
+  time exactly (every clock advance inside a pipeline happens in exactly
+  one measured operator region);
+* pipeline spans tile the query span (nothing advances the clock between
+  pipelines).
+"""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.core import SiriusEngine
+from repro.gpu.specs import GH200
+from repro.obs import Tracer
+from tests.core.test_random_plans import plans, tables
+
+
+def _traced_run(data, plan):
+    tracer = Tracer()
+    engine = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0, tracer=tracer)
+    engine.execute(plan, data)
+    spans = engine.last_profile.spans
+    (query,) = [s for s in spans if s.kind == "query"]
+    return spans, query
+
+
+def _children(spans, parent):
+    return [s for s in spans if s.parent_id == parent.span_id]
+
+
+class TestSpanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_children_nest_within_parents(self, data, plan):
+        spans, query = _traced_run(data, plan)
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert span.nests_within(parent, tol=1e-9), (
+                f"{span.name} [{span.start}, {span.end}] escapes "
+                f"{parent.name} [{parent.start}, {parent.end}]"
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_operator_busy_time_partitions_query_time(self, data, plan):
+        spans, query = _traced_run(data, plan)
+        operators = [s for s in spans if s.kind == "operator"]
+        assert operators, "a traced query must record operator spans"
+        busy = sum(s.attributes["busy_s"] for s in operators)
+        assert math.isclose(busy, query.duration, rel_tol=1e-9, abs_tol=1e-12), (
+            f"operator busy time {busy} != query elapsed {query.duration}"
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_pipelines_tile_the_query_span(self, data, plan):
+        spans, query = _traced_run(data, plan)
+        pipelines = [s for s in spans if s.kind == "pipeline"]
+        assert pipelines
+        total = sum(p.duration for p in pipelines)
+        assert math.isclose(total, query.duration, rel_tol=1e-9, abs_tol=1e-12)
+        # And each pipeline's operators partition that pipeline.
+        for pipeline in pipelines:
+            ops = [s for s in _children(spans, pipeline) if s.kind == "operator"]
+            busy = sum(s.attributes["busy_s"] for s in ops)
+            assert math.isclose(busy, pipeline.duration, rel_tol=1e-9, abs_tol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_tracing_does_not_change_simulated_results(self, data, plan):
+        """The overhead guarantee: identical rows and identical simulated
+        time with and without a tracer installed."""
+        from tests.core.test_random_plans import normalise
+
+        plain = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0)
+        traced = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0, tracer=Tracer())
+        rows_plain = normalise(plain.execute(plan, data))
+        rows_traced = normalise(traced.execute(plan, data))
+        assert rows_plain == rows_traced
+        assert plain.last_profile.sim_seconds == traced.last_profile.sim_seconds
+        assert plain.device.clock.now == traced.device.clock.now

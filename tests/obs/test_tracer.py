@@ -1,0 +1,169 @@
+"""Unit tests for the tracing core: spans, events, metrics, null tracer."""
+
+import json
+
+import pytest
+
+from repro.gpu import SimClock
+from repro.obs import NULL_TRACER, MetricSet, NullTracer, Span, Tracer
+
+
+class TestSpans:
+    def test_span_records_clock_interval(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        clock.advance(1.0)
+        with tracer.span("query", kind="query") as handle:
+            clock.advance(2.5)
+            handle.set(rows_out=7)
+        (span,) = tracer.spans
+        assert span.name == "query"
+        assert span.kind == "query"
+        assert span.start == pytest.approx(1.0)
+        assert span.end == pytest.approx(3.5)
+        assert span.duration == pytest.approx(2.5)
+        assert span.attributes["rows_out"] == 7
+
+    def test_nesting_builds_parent_child_tree(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("query") as _q:
+            clock.advance(0.1)
+            with tracer.span("pipeline-0"):
+                clock.advance(0.2)
+            with tracer.span("pipeline-1"):
+                clock.advance(0.3)
+        query, p0, p1 = tracer.spans
+        assert query.parent_id is None
+        assert p0.parent_id == query.span_id
+        assert p1.parent_id == query.span_id
+        assert p0.nests_within(query)
+        assert p1.nests_within(query)
+        assert not query.nests_within(p0)
+        assert tracer.span_tree(query) == [query, p0, p1]
+
+    def test_span_closed_on_exception(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.end == pytest.approx(1.0)
+        assert not tracer._stack  # stack unwound
+
+    def test_exception_unwinds_open_children(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query") as q:
+                inner = tracer.span("pipeline")
+                inner.__enter__()  # never exited: the exception unwinds it
+                raise RuntimeError("boom")
+        assert not tracer._stack
+
+    def test_record_span_retroactive_with_explicit_parent(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("pipeline") as p:
+            clock.advance(1.0)
+            tracer.record_span("op", "operator", start=0.2, end=0.8, busy_s=0.6)
+        op = next(s for s in tracer.spans if s.kind == "operator")
+        pipeline = next(s for s in tracer.spans if s.name == "pipeline")
+        assert op.parent_id == pipeline.span_id  # innermost open span
+        assert op.attributes["busy_s"] == pytest.approx(0.6)
+        orphan = tracer.record_span("late", "operator", start=0.0, end=0.1)
+        assert orphan.parent_id is None
+
+    def test_span_requires_a_clock(self):
+        tracer = Tracer()  # no default clock
+        with pytest.raises(ValueError, match="needs a clock"):
+            tracer.span("query")
+        # A per-span clock satisfies it.
+        with tracer.span("query", clock=SimClock()):
+            pass
+
+    def test_events_attach_to_innermost_open_span(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        tracer.event("orphan", sim_time=0.0, reason="pre-query")
+        with tracer.span("query"):
+            clock.advance(1.0)
+            tracer.event("retry", attempt=1)
+        (span,) = tracer.spans
+        assert [e.name for e in span.events] == ["retry"]
+        assert span.events[0].sim_time == pytest.approx(1.0)
+        assert span.events[0].attributes["attempt"] == 1
+        assert [e.name for e in tracer.root_events] == ["orphan"]
+        assert {e.name for e in tracer.find_events("retry")} == {"retry"}
+        assert tracer.find_events("orphan")[0].attributes["reason"] == "pre-query"
+
+    def test_mark_and_spans_since(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("q1"):
+            clock.advance(0.1)
+        mark = tracer.mark()
+        with tracer.span("q2"):
+            clock.advance(0.1)
+        assert [s.name for s in tracer.spans_since(mark)] == ["q2"]
+
+    def test_to_json_round_trips(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("query", kind="query", device="GH200"):
+            clock.advance(1.0)
+            tracer.event("retry", attempt=2)
+            tracer.count("bytes", 128)
+            tracer.gauge("in_use", 64)
+        doc = json.loads(tracer.to_json())
+        (span,) = doc["spans"]
+        assert span["name"] == "query"
+        assert span["attributes"] == {"device": "GH200"}
+        assert span["events"][0]["attempt"] == 2
+        assert doc["metrics"]["counters"]["bytes"] == 128
+        assert doc["metrics"]["gauges"]["in_use"]["value"] == 64
+
+
+class TestNullTracer:
+    def test_everything_is_a_no_op(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("query", clock=SimClock()) as handle:
+            handle.set(rows=1)
+            handle.event("retry", attempt=1)
+        tracer.record_span("op", "operator", 0.0, 1.0)
+        tracer.event("retry")
+        tracer.count("bytes", 10)
+        tracer.gauge("in_use", 10)
+        assert tracer.spans_since(tracer.mark()) == ()
+        assert tracer.find_events("retry") == ()
+
+    def test_singleton_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_null_tracer_never_touches_the_clock(self):
+        clock = SimClock()
+        with NULL_TRACER.span("query", clock=clock):
+            pass
+        assert clock.now == 0.0
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = MetricSet()
+        metrics.count("bytes", 10)
+        metrics.count("bytes", 5)
+        metrics.count("calls")
+        assert metrics.counter_value("bytes") == 15
+        assert metrics.counter_value("calls") == 1
+        assert metrics.counter_value("missing") == 0
+
+    def test_gauges_track_high_water(self):
+        metrics = MetricSet()
+        metrics.gauge("in_use", 10)
+        metrics.gauge("in_use", 40)
+        metrics.gauge("in_use", 5)
+        assert metrics.gauge_value("in_use") == 5
+        assert metrics.high_water("in_use") == 40
