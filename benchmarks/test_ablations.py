@@ -66,8 +66,8 @@ def test_interconnect_sweep(harness, results_dir, benchmark):
     """Cold-run time must improve monotonically PCIe4 -> PCIe5 -> NVLink."""
     text = benchmark.pedantic(interconnect_sweep, args=(harness,), rounds=1, iterations=1)
     (results_dir / "ablation_interconnect.txt").write_text(text + "\n")
-    lines = [l for l in text.splitlines() if "ms" in l]
-    times = [float(l.split("|")[-1].strip().split()[0]) for l in lines]
+    lines = [line for line in text.splitlines() if "ms" in line]
+    times = [float(line.split("|")[-1].strip().split()[0]) for line in lines]
     assert times == sorted(times, reverse=True)
 
 

@@ -27,7 +27,6 @@ def main() -> None:
     # and lineitem, making Q3 exchange-bound.
     print("\nQ3 fragment plan (sirius mode):")
     for fragment in harness.sirius.plan_fragments(tpch_query(3)):
-        dest = fragment.output.kind if fragment.output else "result"
         print(f"- {fragment.describe()}")
         for line in Plan(fragment.plan).explain().splitlines():
             print(f"    {line}")

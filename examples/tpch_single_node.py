@@ -26,7 +26,7 @@ def main() -> None:
     harness = SingleNodeHarness(sf=sf)
     result = harness.run(queries=queries)
 
-    print(f"\nFigure 4 (subset) - simulated hot-run times, cost-normalised devices:")
+    print("\nFigure 4 (subset) - simulated hot-run times, cost-normalised devices:")
     print(result.figure4_table())
 
     print(f"\n{result.figure5_table()}")

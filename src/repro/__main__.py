@@ -7,6 +7,7 @@ Usage::
     python -m repro figure4 [--sf 0.1] [--queries 1,3,6]
     python -m repro figure5 [--sf 0.1]
     python -m repro table2  [--sf 0.1] [--nodes 4]
+    python -m repro serve   [--sf 0.1] [--policy sjf] [--streams 4] [--requests 32]
     python -m repro all     [--sf 0.05]
 
 ``--trace out.json`` additionally runs the Sirius engines under a real
@@ -31,11 +32,30 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "figure1", "figure4", "figure5", "table2", "all"],
-        help="which experiment to regenerate",
+        choices=["table1", "figure1", "figure4", "figure5", "table2", "serve", "all"],
+        help="which experiment to regenerate ('serve' runs the multi-query serving demo)",
     )
     parser.add_argument("--sf", type=float, default=0.1, help="TPC-H scale factor")
     parser.add_argument("--nodes", type=int, default=4, help="cluster size for table2")
+    parser.add_argument(
+        "--policy",
+        choices=["fifo", "fair", "sjf"],
+        default="fair",
+        help="serving scheduling policy (serve target)",
+    )
+    parser.add_argument(
+        "--streams", type=int, default=4, help="serving worker streams (serve target)"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=32, help="queries in the serving workload"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate in q/s (serve target; default: closed loop)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=19920101, help="workload seed (serve target)"
+    )
     parser.add_argument(
         "--queries", type=str, default=None, help="comma-separated TPC-H query numbers"
     )
@@ -84,6 +104,47 @@ def main(argv=None) -> int:
         traced_profiles.extend(
             t.sirius_profile for t in result.timings if t.sirius_profile is not None
         )
+    if args.target == "serve":
+        from .core import SiriusEngine
+        from .gpu.specs import GH200
+        from .hosts import MiniDuck
+        from .sched import WorkloadDriver, WorkloadQuery
+        from .tpch import generate_tpch, tpch_query
+
+        sf = min(args.sf, 0.05)
+        mix = [q for q in queries if q in (1, 3, 6)] if args.queries else [1, 3, 6]
+        print(
+            f"== Multi-query serving (SF {sf}, mix {mix}, policy {args.policy}, "
+            f"{args.streams} streams) =="
+        )
+        data = generate_tpch(sf=sf, seed=args.seed)
+        host = MiniDuck()
+        host.load_tables(data)
+        engine = SiriusEngine.for_spec(GH200, tracer=tracer)
+        engine.warm_cache(data)
+        driver = WorkloadDriver(
+            engine,
+            data,
+            [WorkloadQuery(f"q{n}", host.plan(tpch_query(n))) for n in mix],
+            seed=args.seed,
+        )
+        if args.rate is not None:
+            report = driver.open_loop(
+                num_queries=args.requests,
+                rate_qps=args.rate,
+                policy=args.policy,
+                streams=args.streams,
+            )
+        else:
+            clients = max(args.streams, 1)
+            report = driver.closed_loop(
+                clients=clients,
+                requests_per_client=max(args.requests // clients, 1),
+                policy=args.policy,
+                streams=args.streams,
+            )
+        print(report.summary())
+        print()
     if args.target in ("table2", "all"):
         from .bench import TABLE2_QUERIES, DistributedHarness
 

@@ -36,7 +36,16 @@ __all__ = ["BufferManager", "CacheEntry"]
 class CacheEntry:
     """A cached table: either device-resident or spilled to pinned host."""
 
-    __slots__ = ("name", "gtable", "host_table", "nbytes", "location", "compressed", "logical_nbytes")
+    __slots__ = (
+        "name",
+        "gtable",
+        "host_table",
+        "nbytes",
+        "location",
+        "compressed",
+        "logical_nbytes",
+        "last_user",
+    )
 
     def __init__(self, name: str, gtable: GTable, host_table: Table, compressed: bool = False):
         self.name = name
@@ -46,6 +55,9 @@ class CacheEntry:
         self.logical_nbytes = host_table.nbytes
         self.location = "device"
         self.compressed = compressed
+        # Query that touched the entry last (device.query_owner); used by
+        # contention-aware eviction under concurrent serving.
+        self.last_user = None
 
 
 class BufferManager:
@@ -72,6 +84,13 @@ class BufferManager:
         self.unspills = 0
         self.pinned_host_bytes = 0
         self.compressed_saved_bytes = 0
+        # Contention-aware spill (multi-query serving): when the scheduler
+        # installs its live-query set here, eviction prefers LRU entries
+        # whose last user is *not* an in-flight query, so one query's cold
+        # load does not thrash tables another admitted query is actively
+        # scanning.  None (default) = plain LRU, identical to the seed.
+        self.active_queries: set | None = None
+        self.contention_avoided_evictions = 0
 
     # -- caching region -------------------------------------------------------
 
@@ -80,6 +99,7 @@ class BufferManager:
         entry = self._cache.get(name)
         if entry is not None:
             self._cache.move_to_end(name)
+            entry.last_user = self.device.query_owner
             if entry.location == "pinned":
                 self._unspill(entry)
             if entry.compressed:
@@ -94,6 +114,7 @@ class BufferManager:
             return entry.gtable
         gtable = self._load(name, host_table)
         entry = CacheEntry(name, gtable, host_table, compressed=self.compress_cache)
+        entry.last_user = self.device.query_owner
         self._cache[name] = entry
         self.cold_loads += 1
         return gtable
@@ -134,10 +155,26 @@ class BufferManager:
         return GTable(host_table.schema, columns, self.device)
 
     def _evict_one(self) -> bool:
-        """Spill the least-recently-used device-resident entry; False if none."""
+        """Spill one device-resident entry to make room; False if none.
+
+        Plain LRU in single-query mode.  Under concurrent serving
+        (``active_queries`` installed) the first pass prefers LRU entries
+        last touched by a query that is no longer in flight; only when
+        every resident table belongs to a live query does it fall back to
+        plain LRU (progress beats fairness).
+        """
         if not self.enable_spill:
             return False
-        for name, entry in self._cache.items():
+        if self.active_queries is not None:
+            for entry in self._cache.values():
+                if (
+                    entry.location == "device"
+                    and entry.last_user not in self.active_queries
+                ):
+                    self._spill(entry)
+                    self.contention_avoided_evictions += 1
+                    return True
+        for entry in self._cache.values():
             if entry.location == "device":
                 self._spill(entry)
                 return True
@@ -171,6 +208,16 @@ class BufferManager:
         self.unspills += 1
 
     def _evict_other(self, keep: CacheEntry) -> bool:
+        if self.active_queries is not None:
+            for entry in self._cache.values():
+                if (
+                    entry is not keep
+                    and entry.location == "device"
+                    and entry.last_user not in self.active_queries
+                ):
+                    self._spill(entry)
+                    self.contention_avoided_evictions += 1
+                    return True
         for entry in self._cache.values():
             if entry is not keep and entry.location == "device":
                 self._spill(entry)
@@ -239,4 +286,5 @@ class BufferManager:
             "caching_capacity": self.device.caching_region.capacity,
             "pinned_host_bytes": self.pinned_host_bytes,
             "compressed_saved_bytes": self.compressed_saved_bytes,
+            "contention_avoided_evictions": self.contention_avoided_evictions,
         }

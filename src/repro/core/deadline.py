@@ -96,6 +96,27 @@ class Deadline:
         self.expires_at = (
             clock.now + budget_s if budget_s is not None else float("inf")
         )
+        # Simulated seconds spent outside this clock's execution — e.g.
+        # waiting in the serving admission queue — charged against the
+        # budget via charge_wait().  A deadline covers a query's whole
+        # lifetime, not just the part that runs.
+        self.waited_s = 0.0
+
+    def charge_wait(self, seconds: float) -> None:
+        """Charge time spent waiting *before* execution (admission queue).
+
+        The original bug: deadlines were only checked at chunk/pipeline
+        boundaries, so a query could sit in the serving wait queue past its
+        entire budget and still be admitted with a full deadline.  The
+        serving scheduler now charges queue wait here when the query is
+        admitted; the very next boundary check fires if the budget is
+        already gone.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge a negative wait of {seconds}s")
+        self.waited_s += seconds
+        if self.budget_s is not None:
+            self.expires_at -= seconds
 
     def remaining(self, now: float) -> float:
         return self.expires_at - now
@@ -112,9 +133,9 @@ class Deadline:
         if now > self.expires_at:
             raise DeadlineExceededError(
                 f"query exceeded its {self.budget_s:.6f}s deadline "
-                f"(elapsed {now - self.started_at:.6f}s simulated)",
+                f"(elapsed {now - self.started_at + self.waited_s:.6f}s simulated)",
                 budget_s=self.budget_s,
-                elapsed_s=now - self.started_at,
+                elapsed_s=now - self.started_at + self.waited_s,
             )
 
     def check_projected(self, clock: SimClock, projected_seconds: float) -> None:
@@ -127,9 +148,9 @@ class Deadline:
             raise DeadlineExceededError(
                 f"projected cost {projected_seconds:.6f}s would exceed the "
                 f"{self.budget_s:.6f}s deadline "
-                f"(elapsed {clock.now - self.started_at:.6f}s simulated)",
+                f"(elapsed {clock.now - self.started_at + self.waited_s:.6f}s simulated)",
                 budget_s=self.budget_s,
-                elapsed_s=projected_now - self.started_at,
+                elapsed_s=projected_now - self.started_at + self.waited_s,
             )
 
     def check_rows(self, rows: int) -> None:

@@ -12,13 +12,22 @@ Reproduces §3.2.2's model:
 * every operator's simulated time is attributed to its Figure-5 category,
   producing the per-query breakdown the paper reports.
 
+Execution is **task-granular**: a :class:`QueryRun` advances one chunk at
+a time through :meth:`QueryRun.step`, which is what lets the serving
+scheduler (:mod:`repro.sched`) interleave many concurrent queries on one
+device at chunk granularity.  :meth:`PipelineExecutor.run` simply steps a
+run to completion, so single-query execution is unchanged (same pipeline
+order, same clock charges, same profiles).
+
 When the execution context carries a real tracer the executor also emits
 the span hierarchy query → pipeline → operator.  Operator work inside a
 pipeline interleaves chunk by chunk, so operator spans are recorded
 retroactively: their interval covers first to last activity and their
 ``busy_s`` attribute carries the accumulated active time (the intervals
 of sibling operators overlap; ``busy_s`` values are disjoint and sum to
-the pipeline's — and hence the query's — elapsed simulated time).
+the query's accumulated *service* time — which equals elapsed simulated
+time when the query runs alone, and excludes other queries' interleaved
+work when it does not).
 """
 
 from __future__ import annotations
@@ -32,54 +41,113 @@ from .operators.base import ExecutionContext
 from .operators.scan import IntermediateSource
 from .planner import PhysicalPlan, Pipeline
 
-__all__ = ["PipelineExecutor", "QueryProfile", "OperatorTiming"]
+__all__ = ["PipelineExecutor", "QueryRun", "QueryProfile", "OperatorTiming"]
 
 _DONE = object()
 
 
-class PipelineExecutor:
-    """Runs a :class:`PhysicalPlan` on one device."""
+class QueryRun:
+    """Task-granular execution of one :class:`PhysicalPlan`.
 
-    def __init__(self, ctx: ExecutionContext):
+    A run is a resumable coroutine over the query's pipelines: every call
+    to :meth:`step` performs one task — pushing one source chunk through a
+    pipeline's operators into its sink (plus any adjacent bookkeeping such
+    as finalising a finished pipeline or opening the next one).  Pipelines
+    are served from the global queue in dependency order, exactly as
+    :meth:`PipelineExecutor.run` always did, so stepping a run to
+    completion is byte-identical to the old monolithic loop.
+
+    Attributes:
+        service_seconds: Accumulated simulated time this run's own steps
+            advanced the clock — under concurrent serving this is the
+            query's *service time*, excluding other queries' interleaved
+            work (and equal to ``profile.sim_seconds`` when run alone).
+        result: The final :class:`GTable` once the run finishes.
+        profile: The :class:`QueryProfile`, complete once finished.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        physical: PhysicalPlan,
+        deadline: Deadline | None = None,
+    ):
         self.ctx = ctx
+        self.physical = physical
+        self.deadline = deadline
+        self.profile = QueryProfile()
+        self.result: GTable | None = None
+        self.service_seconds = 0.0
+        self.steps_taken = 0
+        self.done = False
+        self._gen = self._drive()
 
-    def run(
-        self, physical: PhysicalPlan, deadline: Deadline | None = None
-    ) -> tuple[GTable, QueryProfile]:
-        """Execute all pipelines; returns the result table and a profile.
+    # -- stepping ------------------------------------------------------------
 
-        A :class:`~repro.core.deadline.Deadline` (simulated-time budget) is
-        enforced at chunk and pipeline boundaries — the executor stops
-        pushing work as soon as the clock passes the deadline, raising
-        :class:`~repro.core.deadline.DeadlineExceededError`.
+    def step(self) -> bool:
+        """Advance by one task (≈ one chunk); ``False`` once finished.
+
+        Simulated time consumed by the step is added to
+        :attr:`service_seconds`.  Exceptions (deadline expiry, device OOM,
+        injected faults) propagate to the caller; the run is closed —
+        open spans unwound — and cannot be resumed.
         """
+        if self.done:
+            return False
         clock = self.ctx.device.clock
-        tracer = self.ctx.tracer
-        pool = self.ctx.device.processing_pool
+        mark = clock.now
+        try:
+            next(self._gen)
+        except StopIteration:
+            self.done = True
+        except BaseException:
+            self.done = True
+            raise
+        finally:
+            self.service_seconds += clock.now - mark
+            self.steps_taken += 1
+        return not self.done
+
+    def abort(self) -> None:
+        """Terminate an unfinished run, unwinding its open trace spans."""
+        if not self.done:
+            self._gen.close()
+            self.done = True
+
+    # -- the coroutine -------------------------------------------------------
+
+    def _drive(self):
+        ctx = self.ctx
+        clock = ctx.device.clock
+        tracer = ctx.tracer
+        pool = ctx.device.processing_pool
         start = clock.now
         buckets_before = clock.buckets()
-        kernels_before = self.ctx.device.kernel_count
+        kernels_before = ctx.device.kernel_count
         trace_mark = tracer.mark()
         pool.begin_watermark()
 
         slots: dict[str, GTable] = {}
-        consumers = physical.slot_consumers()
-        profile = QueryProfile()
+        consumers = self.physical.slot_consumers()
+        profile = self.profile
+        deadline = self.deadline
 
         with tracer.span(
-            "query", kind="query", clock=clock, device=self.ctx.device.spec.name
+            "query", kind="query", clock=clock, device=ctx.device.spec.name
         ) as qspan:
-            queue = deque(physical.pipelines)
+            queue = deque(self.physical.pipelines)
             done: set[int] = set()
             while queue:
                 progressed = False
                 for _ in range(len(queue)):
                     pipeline = queue.popleft()
                     if pipeline.dependencies <= done:
-                        self._run_pipeline(pipeline, slots, profile, deadline)
+                        yield from self._pipeline_steps(
+                            pipeline, slots, profile, deadline
+                        )
                         done.add(pipeline.pid)
                         self._release_slots(
-                            pipeline, slots, consumers, physical.final_slot
+                            pipeline, slots, consumers, self.physical.final_slot
                         )
                         progressed = True
                     else:
@@ -89,7 +157,7 @@ class PipelineExecutor:
 
             if deadline is not None:
                 deadline.check_at(clock.now)
-            result = slots[physical.final_slot]
+            result = slots[self.physical.final_slot]
             profile.sim_seconds = clock.now - start
             buckets_after = clock.buckets()
             profile.breakdown = {
@@ -97,7 +165,7 @@ class PipelineExecutor:
                 for k in set(buckets_after) | set(buckets_before)
             }
             profile.breakdown = {k: v for k, v in profile.breakdown.items() if v > 0}
-            profile.kernel_count = self.ctx.device.kernel_count - kernels_before
+            profile.kernel_count = ctx.device.kernel_count - kernels_before
             profile.output_rows = result.num_rows
             profile.device_mem_peak = pool.watermark
             qspan.set(
@@ -108,17 +176,15 @@ class PipelineExecutor:
                 device_mem_peak=profile.device_mem_peak,
             )
         profile.spans = list(tracer.spans_since(trace_mark))
-        return result, profile
+        self.result = result
 
-    # -- internals ----------------------------------------------------------
-
-    def _run_pipeline(
+    def _pipeline_steps(
         self,
         pipeline: Pipeline,
         slots: dict,
         profile: QueryProfile,
         deadline: Deadline | None = None,
-    ) -> None:
+    ):
         state: dict = {"slots": slots}
         clock = self.ctx.device.clock
         tracer = self.ctx.tracer
@@ -158,6 +224,7 @@ class PipelineExecutor:
                         break
                     op_rows[op] += chunk.num_rows
                 if chunk is None:
+                    yield
                     continue
                 mark = clock.now
                 if sink_first is None:
@@ -165,6 +232,7 @@ class PipelineExecutor:
                 with clock.attributed(pipeline.sink.category):
                     pipeline.sink.consume(self.ctx, chunk, state)
                 sink_seconds += clock.now - mark
+                yield
             mark = clock.now
             if sink_first is None:
                 sink_first = mark
@@ -252,3 +320,32 @@ class PipelineExecutor:
             consumers[slot] -= 1
             if consumers[slot] == 0 and slot != final_slot:
                 slots.pop(slot, None)
+
+
+class PipelineExecutor:
+    """Runs a :class:`PhysicalPlan` on one device."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    def start(
+        self, physical: PhysicalPlan, deadline: Deadline | None = None
+    ) -> QueryRun:
+        """Begin task-granular execution; the caller drives the returned
+        :class:`QueryRun` one chunk-task at a time (the serving path)."""
+        return QueryRun(self.ctx, physical, deadline)
+
+    def run(
+        self, physical: PhysicalPlan, deadline: Deadline | None = None
+    ) -> tuple[GTable, QueryProfile]:
+        """Execute all pipelines; returns the result table and a profile.
+
+        A :class:`~repro.core.deadline.Deadline` (simulated-time budget) is
+        enforced at chunk and pipeline boundaries — the executor stops
+        pushing work as soon as the clock passes the deadline, raising
+        :class:`~repro.core.deadline.DeadlineExceededError`.
+        """
+        run = self.start(physical, deadline)
+        while run.step():
+            pass
+        return run.result, run.profile

@@ -54,7 +54,7 @@ class TableScan(SourceOperator):
             return mask_table(chunk, keep)
 
     def describe(self) -> str:
-        extra = f", filter" if self.filter_expr is not None else ""
+        extra = ", filter" if self.filter_expr is not None else ""
         return f"TableScan({self.table_name}{extra})"
 
 

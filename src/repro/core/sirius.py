@@ -30,7 +30,7 @@ from ..kernels import groupby as groupby_kernel
 from ..plan import Plan
 from .buffer_manager import BufferManager
 from .deadline import Deadline
-from .executor import PipelineExecutor, QueryProfile
+from .executor import PipelineExecutor, QueryProfile, QueryRun
 from .fallback import FALLBACK_EXCEPTIONS, DegradationTier, FallbackHandler
 from .operators.base import ExecutionContext, OperatorRegistry
 from .operators.join import custom_sort_merge_join, libcudf_join
@@ -220,6 +220,48 @@ class SiriusEngine:
             if tier is not None:
                 self.last_profile.fallback_tier = tier.name
         return result
+
+    def start_query(
+        self,
+        plan: Plan,
+        catalog: Mapping[str, Table],
+        deadline: Deadline | None = None,
+        tracer=None,
+        batch_rows: int | None = None,
+    ) -> QueryRun:
+        """Begin task-granular execution of a plan (the serving path).
+
+        Unlike :meth:`execute`, this does **not** reset the processing pool
+        (concurrent queries share it; the serving scheduler reclaims each
+        query's intermediates via per-owner release) and does not walk the
+        degradation ladder — the scheduler owns retry policy because a
+        retry must re-enter the admission queue.  The returned
+        :class:`~repro.core.executor.QueryRun` is advanced one chunk-task
+        at a time with :meth:`~repro.core.executor.QueryRun.step`.
+
+        Args:
+            plan: The logical plan to execute.
+            catalog: Host tables by name.
+            deadline: Optional per-query resource envelope; queue wait
+                should already be charged via ``Deadline.charge_wait``.
+            tracer: Per-query observability sink (defaults to the
+                engine's); serving passes one tracer per query so span
+                stacks of interleaved queries never share state.
+            batch_rows: Override the engine's streaming batch size for
+                this query only (serving uses small batches so queries
+                interleave at fine granularity).
+        """
+        plan.validate()
+        ctx = ExecutionContext(
+            device=self.device,
+            buffer_manager=self.buffer_manager,
+            catalog=catalog,
+            registry=self.registry,
+            batch_rows=batch_rows if batch_rows is not None else self.batch_rows,
+            tracer=tracer if tracer is not None else self.tracer,
+        )
+        physical = compile_plan(plan)
+        return PipelineExecutor(ctx).start(physical, deadline=deadline)
 
     def explain_physical(self, plan: Plan) -> str:
         """Render the pipeline decomposition of a plan."""

@@ -130,7 +130,10 @@ class Cluster:
         if heartbeat_timeout_s <= 0:
             raise ValueError("heartbeat timeout must be positive")
         if device_factory is None:
-            device_factory = lambda clock: Device(A100_40G, clock=clock)
+
+            def device_factory(clock):
+                return Device(A100_40G, clock=clock)
+
         self.gpus_per_node = gpus_per_node
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self._intra_node_fabric = (

@@ -23,7 +23,7 @@ from ..core.deadline import Deadline
 from ..gpu.nccl import LinkDroppedError
 from ..obs import NULL_TRACER, QueryProfile
 from ..plan import Plan
-from .cluster import Cluster, ClusterNode
+from .cluster import Cluster
 from .fragments import Fragment
 
 __all__ = ["DistributedExecutor", "DistributedResult", "ExchangeRetry", "NodeFailureError"]
@@ -315,7 +315,6 @@ class DistributedExecutor:
 
         if spec.kind == "broadcast":
             full = concat_tables([outputs[i] for i in sorted(outputs)])
-            per_sender = max((t.nbytes for t in outputs.values()), default=0)
             self._collective(
                 spec.kind,
                 lambda: comm.all_to_all(

@@ -256,7 +256,6 @@ class DistributedPlanner:
             out = JoinRel(left, right, rel.join_type, [], [], rel.post_filter)
             return out, (lpart if lpart != _REPLICATED else _REPLICATED)
 
-        left_ok = rpart == _REPLICATED or lpart == _hash_part(rel.left_keys[:1]) and len(rel.left_keys) >= 1
         co_located = (
             lpart == _hash_part([rel.left_keys[0]]) and rpart == _hash_part([rel.right_keys[0]])
         )

@@ -20,7 +20,7 @@ replays exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .plan import (
     BandwidthDegradation,

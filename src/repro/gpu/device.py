@@ -85,6 +85,11 @@ class Device:
         self.fault_injector = None
         self.fault_rank = device_id
         self.kernel_relaunches = 0
+        # Multi-query serving: the scheduler tags the query whose task is
+        # currently stepping so processing-pool allocations carry an owner
+        # (per-query reclamation) and cached tables record their last user
+        # (contention-aware spill).  None = single-query mode, zero change.
+        self.query_owner = None
         # Observability sink (swapped for a real Tracer by the engine that
         # owns this device; the null default records nothing).
         self.tracer = NULL_TRACER
@@ -175,7 +180,7 @@ class Device:
             )
             raise OutOfDeviceMemory(size, available, f"{region} (injected spike)")
         if region == "processing":
-            allocation = self.processing_pool.allocate(size)
+            allocation = self.processing_pool.allocate(size, owner=self.query_owner)
             self.tracer.count("device.alloc_bytes", size)
             self.tracer.gauge("device.pool_in_use", self.processing_pool.in_use)
             return DeviceBuffer(array, self, region, allocation, size)

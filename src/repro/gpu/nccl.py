@@ -177,8 +177,8 @@ class Communicator:
         if self.world_size == 1:
             return self._complete(0.0, 0, kind="broadcast")
         links = [self.link(root, r) for r in range(self.world_size) if r != root]
-        slowest = min(l.bandwidth for l in links)
-        latency = max(l.latency for l in links)
+        slowest = min(link.bandwidth for link in links)
+        latency = max(link.latency for link in links)
         seconds = latency + nbytes / slowest
         return self._complete(
             seconds,

@@ -26,11 +26,20 @@ _ALIGNMENT = 256  # CUDA allocation alignment
 
 @dataclass(frozen=True)
 class Allocation:
-    """A live sub-allocation: arena offset + rounded size + pool generation."""
+    """A live sub-allocation: arena offset + rounded size + pool generation.
+
+    ``alloc_id`` uniquely identifies the allocation across the pool's
+    lifetime (offsets are recycled, ids are not); ``owner`` tags the query
+    that made it, so the serving scheduler can reclaim one query's
+    intermediates with :meth:`PoolAllocator.release_owner` without
+    resetting the whole (shared) pool.
+    """
 
     offset: int
     size: int
     generation: int = 0
+    alloc_id: int = 0
+    owner: object = None
 
 
 @dataclass
@@ -70,11 +79,27 @@ class PoolAllocator:
         self._num_allocs = 0
         self._num_frees = 0
         self.generation = 0
+        self._next_alloc_id = 1
+        # Per-query (owner) bookkeeping for concurrent serving:
+        #   _owners: offset -> owner tag of the live allocation there;
+        #   _ids: offset -> alloc_id of the live allocation there;
+        #   _reaped: alloc_ids already freed wholesale by release_owner()
+        #     (a later free() of the stale handle is a silent no-op);
+        #   _reserved: owner -> bytes reserved by the admission controller.
+        self._owners: dict[int, object] = {}
+        self._ids: dict[int, int] = {}
+        self._reaped: set[int] = set()
+        self._reserved: dict[object, int] = {}
 
     # -- allocation ---------------------------------------------------------
 
-    def allocate(self, nbytes: int) -> Allocation:
+    def allocate(self, nbytes: int, owner: object = None) -> Allocation:
         """Allocate ``nbytes`` (rounded up to 256-byte alignment).
+
+        Args:
+            nbytes: Requested size.
+            owner: Optional query tag; owned allocations can be reclaimed
+                together with :meth:`release_owner` (multi-query serving).
 
         Raises:
             OutOfDeviceMemory: If no free block can satisfy the request —
@@ -94,7 +119,12 @@ class PoolAllocator:
                 self._peak = max(self._peak, self._in_use)
                 self._watermark = max(self._watermark, self._in_use)
                 self._num_allocs += 1
-                return Allocation(offset, size, self.generation)
+                alloc_id = self._next_alloc_id
+                self._next_alloc_id += 1
+                self._ids[offset] = alloc_id
+                if owner is not None:
+                    self._owners[offset] = owner
+                return Allocation(offset, size, self.generation, alloc_id, owner)
         raise OutOfDeviceMemory(size, self.capacity - self._in_use, "processing pool")
 
     def reset(self) -> None:
@@ -109,24 +139,88 @@ class PoolAllocator:
         self._free = [(0, self.capacity)]
         self._live.clear()
         self._in_use = 0
+        self._owners.clear()
+        self._ids.clear()
+        self._reaped.clear()
         self.generation += 1
 
     def free(self, alloc: Allocation) -> None:
         """Return an allocation to the pool, coalescing with neighbours.
 
         Allocations from before the last :meth:`reset` are stale and are
-        ignored.
+        ignored, as are allocations already reclaimed wholesale by
+        :meth:`release_owner` (the serving scheduler frees a finished
+        query's intermediates before individual handles are dropped).
         """
         if alloc.generation != self.generation:
+            return
+        if alloc.alloc_id and alloc.alloc_id in self._reaped:
+            self._reaped.discard(alloc.alloc_id)
             return
         size = self._live.pop(alloc.offset, None)
         if size is None:
             raise ValueError(f"double free or unknown allocation at offset {alloc.offset}")
         if size != alloc.size:
             raise ValueError("allocation record does not match live table")
+        self._owners.pop(alloc.offset, None)
+        self._ids.pop(alloc.offset, None)
         self._in_use -= size
         self._num_frees += 1
         self._insert_free(alloc.offset, size)
+
+    def release_owner(self, owner: object) -> int:
+        """Free every live allocation tagged with ``owner``; returns the
+        bytes reclaimed.
+
+        This is the serving-mode replacement for :meth:`reset`: with N
+        concurrent queries sharing the pool, a finished query's
+        intermediates are reclaimed without disturbing the others.
+        Outstanding handles to the freed allocations become stale no-ops.
+        """
+        if owner is None:
+            raise ValueError("release_owner needs a non-None owner tag")
+        offsets = [off for off, tag in self._owners.items() if tag == owner]
+        reclaimed = 0
+        for offset in offsets:
+            size = self._live.pop(offset)
+            self._owners.pop(offset, None)
+            alloc_id = self._ids.pop(offset, None)
+            if alloc_id is not None:
+                self._reaped.add(alloc_id)
+            self._in_use -= size
+            self._num_frees += 1
+            reclaimed += size
+            self._insert_free(offset, size)
+        return reclaimed
+
+    # -- admission reservations ----------------------------------------------
+    #
+    # Reservations are *advisory* byte claims made by the admission
+    # controller before a query starts: they never move the free list, but
+    # the controller gates new admissions on capacity minus the sum of
+    # outstanding reservations, which is what bounds concurrent working
+    # sets on the shared pool.
+
+    def reserve(self, owner: object, nbytes: int) -> None:
+        """Record an advisory working-set reservation for ``owner``."""
+        if nbytes < 0:
+            raise ValueError("reservation must be non-negative")
+        self._reserved[owner] = self._reserved.get(owner, 0) + int(nbytes)
+
+    def unreserve(self, owner: object) -> int:
+        """Drop ``owner``'s reservation; returns the bytes released."""
+        return self._reserved.pop(owner, 0)
+
+    @property
+    def reserved_total(self) -> int:
+        """Sum of outstanding advisory reservations."""
+        return sum(self._reserved.values())
+
+    def owner_bytes(self, owner: object) -> int:
+        """Live bytes currently allocated under ``owner``'s tag."""
+        return sum(
+            self._live[off] for off, tag in self._owners.items() if tag == owner
+        )
 
     def _insert_free(self, offset: int, size: int) -> None:
         # Binary insert then coalesce with adjacent blocks.

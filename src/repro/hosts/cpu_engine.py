@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import datetime
 import re
-from typing import Any, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -262,7 +262,7 @@ class CpuEngine:
         for col in left.columns:
             columns.append(col.take(probe_idx))
         for col in right.columns:
-            if col_len := len(col):
+            if len(col):
                 taken = col.take(safe_build)
             else:
                 taken = Column(

@@ -30,7 +30,7 @@ from .clicklite import CLICKLITE_SPEC
 from ..distributed.cluster import Cluster
 from ..distributed.engine import DistributedExecutor, DistributedResult, NodeFailureError
 from ..distributed.fragments import DistributedPlanner, DistributedUnsupportedError
-from ..faults import FaultInjector, FaultPlan
+from ..faults import FaultInjector
 from .cpu_engine import CpuEngine
 
 __all__ = ["MiniDoris", "DORIS_SPEC", "DistributedUnsupportedError", "NodeFailureError"]
@@ -94,12 +94,18 @@ class MiniDoris:
             fabric = INFINIBAND_NDR if mode == "sirius" else ETHERNET_100G
 
         if mode == "sirius":
-            factory = lambda clock: Device(
-                gpu_spec, clock=clock, memory_limit_gb=gpu_memory_limit_gb
-            )
+
+            def factory(clock):
+                return Device(
+                    gpu_spec, clock=clock, memory_limit_gb=gpu_memory_limit_gb
+                )
+
         else:
             spec = DORIS_SPEC if mode == "doris" else CLICKLITE_SPEC
-            factory = lambda clock: Device(spec, clock=clock)
+
+            def factory(clock):
+                return Device(spec, clock=clock)
+
         self.cluster = Cluster(
             num_nodes,
             device_factory=factory,

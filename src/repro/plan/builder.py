@@ -185,7 +185,7 @@ class PlanBuilder:
         """Join with ``on`` = [(left_col, right_col), ...] name pairs."""
         left_schema = self.schema()
         right_schema = other.schema()
-        left_keys = [left_schema.index_of(l) for l, _ in on]
+        left_keys = [left_schema.index_of(name) for name, _ in on]
         right_keys = [right_schema.index_of(r) for _, r in on]
         rel = JoinRel(self._rel, other._rel, join_type, left_keys, right_keys)
         if post_filter is not None:

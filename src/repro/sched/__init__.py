@@ -1,0 +1,46 @@
+"""Multi-query serving on the simulated device (the serving tentpole).
+
+The paper frames Sirius as a serving-capable engine: a global task queue
+drained by worker threads.  This package generalises the reproduction's
+single-query executor to N concurrent queries on one device — a
+:class:`ServingScheduler` interleaving chunk-granular tasks across
+virtual worker streams, an :class:`AdmissionController` gating entry on
+estimated working sets, pluggable scheduling policies, and seeded
+open-/closed-loop :class:`WorkloadDriver` load generators producing
+throughput and latency-percentile :class:`ServingReport`\\ s.
+"""
+
+from .admission import AdmissionController
+from .driver import WorkloadDriver, WorkloadQuery
+from .estimator import PlanEstimate, estimate_plan
+from .job import JobState, QueryJob
+from .policies import (
+    FifoPolicy,
+    POLICIES,
+    RoundRobinFairSharePolicy,
+    SchedulingPolicy,
+    ShortestCostFirstPolicy,
+    make_policy,
+)
+from .report import ServingReport, percentile
+from .scheduler import SERVING_BATCH_ROWS, ServingScheduler
+
+__all__ = [
+    "AdmissionController",
+    "FifoPolicy",
+    "JobState",
+    "POLICIES",
+    "PlanEstimate",
+    "QueryJob",
+    "RoundRobinFairSharePolicy",
+    "SERVING_BATCH_ROWS",
+    "SchedulingPolicy",
+    "ServingReport",
+    "ServingScheduler",
+    "ShortestCostFirstPolicy",
+    "WorkloadDriver",
+    "WorkloadQuery",
+    "estimate_plan",
+    "make_policy",
+    "percentile",
+]

@@ -1,0 +1,89 @@
+"""Admission control for the shared processing pool.
+
+A query is admitted only when its estimated working set fits inside the
+pool's *headroom* — capacity scaled by a safety fraction, minus the
+advisory reservations of every already-admitted query.  Waiting queries
+sit in a **bounded** queue (arrivals past the bound are rejected
+outright, the classic load-shedding knob), and time spent queued is
+accounted and charged against the query's deadline on admission.
+
+Reservations are advisory (see :meth:`~repro.gpu.rmm.PoolAllocator
+.reserve`): they never move the allocator's free list, so an estimate
+that is wrong does not break execution — a genuinely oversized query
+still hits the pool's real OOM and walks the degradation path.
+"""
+
+from __future__ import annotations
+
+from ..gpu.rmm import PoolAllocator
+from .job import QueryJob
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Gates admission on estimated working set vs pool headroom."""
+
+    def __init__(
+        self,
+        pool: PoolAllocator,
+        headroom_fraction: float = 0.9,
+        max_queue_depth: int = 32,
+    ):
+        """
+        Args:
+            pool: The shared processing pool being protected.
+            headroom_fraction: Fraction of pool capacity admissions may
+                collectively reserve (the rest absorbs estimate error).
+            max_queue_depth: Bound on the admission wait queue; arrivals
+                beyond it are rejected.
+        """
+        if not 0.0 < headroom_fraction <= 1.0:
+            raise ValueError("headroom_fraction must be in (0, 1]")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.pool = pool
+        self.headroom_fraction = headroom_fraction
+        self.max_queue_depth = max_queue_depth
+        self.admitted = 0
+        self.rejected = 0
+        self.forced = 0
+
+    @property
+    def headroom_bytes(self) -> int:
+        """Bytes of reservable headroom left in the pool."""
+        budget = int(self.pool.capacity * self.headroom_fraction)
+        return budget - self.pool.reserved_total
+
+    def _demand(self, job: QueryJob) -> int:
+        return job.estimate.working_set_bytes if job.estimate is not None else 0
+
+    def can_admit(self, job: QueryJob) -> bool:
+        """Would admitting ``job`` keep reservations within headroom?"""
+        return self._demand(job) <= self.headroom_bytes
+
+    def admit(self, job: QueryJob, forced: bool = False) -> None:
+        """Reserve the job's estimated working set in the pool.
+
+        ``forced`` marks an admission that overrode the headroom check —
+        the scheduler forces the queue head through when nothing is
+        running and nothing else ever will be (a query estimated larger
+        than the pool must still get its chance to run and degrade).
+        """
+        self.pool.reserve(job.owner_key, self._demand(job))
+        self.admitted += 1
+        if forced:
+            self.forced += 1
+
+    def release(self, job: QueryJob) -> int:
+        """Drop the job's reservation (on completion or failure)."""
+        return self.pool.unreserve(job.owner_key)
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "forced": self.forced,
+            "headroom_bytes": self.headroom_bytes,
+            "reserved_bytes": self.pool.reserved_total,
+        }

@@ -1,0 +1,130 @@
+"""Workload drivers: seeded open- and closed-loop query generators.
+
+* **Open loop** — queries arrive on a Poisson process at a fixed rate,
+  regardless of how the system keeps up (the tail-latency-honest load
+  model: queue wait explodes when the arrival rate crosses capacity).
+* **Closed loop** — N clients each keep exactly one query in flight,
+  submitting the next one on completion after a think time (throughput-
+  oriented; queue wait is bounded by the client count).
+
+Both draw every random choice from one `random.Random` seeded from the
+driver's seed, so a (seed, workload, policy, streams) tuple fully
+determines the schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..columnar import Table
+from ..core.sirius import SiriusEngine
+from .report import ServingReport
+from .scheduler import ServingScheduler
+
+__all__ = ["WorkloadQuery", "WorkloadDriver"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query template in the mix, drawn with the given weight."""
+
+    label: str
+    plan: Any
+    weight: float = 1.0
+
+
+class WorkloadDriver:
+    """Generates seeded workloads and runs them through a scheduler."""
+
+    def __init__(
+        self,
+        engine: SiriusEngine,
+        catalog: Mapping[str, Table],
+        queries: Sequence[WorkloadQuery],
+        seed: int = 0,
+    ):
+        if not queries:
+            raise ValueError("workload needs at least one query template")
+        self.engine = engine
+        self.catalog = catalog
+        self.queries = list(queries)
+        self.seed = seed
+
+    def _scheduler(self, policy, streams, **kwargs) -> ServingScheduler:
+        return ServingScheduler(
+            self.engine, policy=policy, streams=streams, seed=self.seed, **kwargs
+        )
+
+    def _pick(self, rng: random.Random) -> WorkloadQuery:
+        return rng.choices(self.queries, weights=[q.weight for q in self.queries])[0]
+
+    def open_loop(
+        self,
+        num_queries: int,
+        rate_qps: float,
+        policy="fifo",
+        streams: int = 4,
+        deadline_s: float | None = None,
+        **scheduler_kwargs,
+    ) -> ServingReport:
+        """Poisson arrivals at ``rate_qps``; returns the serving report."""
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        sched = self._scheduler(policy, streams, **scheduler_kwargs)
+        rng = random.Random(f"open-loop:{self.seed}")
+        t = 0.0
+        for _ in range(num_queries):
+            t += rng.expovariate(rate_qps)
+            q = self._pick(rng)
+            sched.submit(
+                q.plan, self.catalog, label=q.label, arrival_s=t, deadline_s=deadline_s
+            )
+        return sched.run()
+
+    def closed_loop(
+        self,
+        clients: int,
+        requests_per_client: int,
+        think_time_s: float = 0.0,
+        policy="fifo",
+        streams: int = 4,
+        deadline_s: float | None = None,
+        **scheduler_kwargs,
+    ) -> ServingReport:
+        """``clients`` concurrent clients, one query in flight each."""
+        if clients < 1 or requests_per_client < 1:
+            raise ValueError("need at least one client and one request")
+        sched = self._scheduler(policy, streams, **scheduler_kwargs)
+        rng = random.Random(f"closed-loop:{self.seed}")
+        # Pre-draw every client's request sequence so the schedule depends
+        # only on the seed, not on completion order.
+        sequences = {
+            c: [self._pick(rng) for _ in range(requests_per_client)]
+            for c in range(clients)
+        }
+        sent = {c: 0 for c in range(clients)}
+
+        def submit_next(client: int, arrival_s: float) -> None:
+            q = sequences[client][sent[client]]
+            sent[client] += 1
+            sched.submit(
+                q.plan,
+                self.catalog,
+                label=q.label,
+                arrival_s=arrival_s,
+                deadline_s=deadline_s,
+                meta={"client": client},
+            )
+
+        def on_complete(job) -> None:
+            client = job.meta.get("client")
+            if client is not None and sent[client] < requests_per_client:
+                base = job.completion_s if job.completion_s is not None else 0.0
+                submit_next(client, base + think_time_s)
+
+        sched.on_complete = on_complete
+        for c in range(clients):
+            submit_next(c, 0.0)
+        return sched.run()

@@ -1,0 +1,172 @@
+"""Pre-execution cost estimation for admission control and SJF.
+
+Walks a logical plan bottom-up with textbook cardinality guesses
+(selectivity constants, FK-join output = probe side) and prices the
+operators with the device's own :class:`~repro.gpu.costmodel
+.KernelCostModel`.  The product is a :class:`PlanEstimate`:
+
+* ``working_set_bytes`` — how much of the processing pool the query is
+  expected to hold at once (hash tables, sort buffers, the largest
+  intermediate).  The admission controller gates on this.
+* ``service_s`` — expected simulated device seconds.  The
+  shortest-cost-first policy orders jobs by this.
+
+Estimates only need to *rank* queries correctly and land within an order
+of magnitude for admission; they are never charged to the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..columnar import Table
+from ..gpu.costmodel import KernelClass, KernelCostModel
+from ..gpu.device import Device
+from ..plan import Plan
+from ..plan.relations import (
+    AggregateRel,
+    ExchangeRel,
+    FetchRel,
+    FilterRel,
+    JoinRel,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortRel,
+)
+
+__all__ = ["PlanEstimate", "estimate_plan"]
+
+# Classic System-R style default selectivities.
+FILTER_SELECTIVITY = 0.3
+SEMI_JOIN_SELECTIVITY = 0.5
+# A hash table costs roughly 2x the build side (slots + payload).
+HASH_TABLE_FACTOR = 2.0
+# Sort needs input + output resident simultaneously.
+SORT_BUFFER_FACTOR = 2.0
+DEFAULT_GROUPS = 10_000
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Pre-execution estimate used by admission control and SJF."""
+
+    working_set_bytes: int
+    service_s: float
+    rows: int
+
+    def to_dict(self) -> dict:
+        return {
+            "working_set_bytes": self.working_set_bytes,
+            "service_s": self.service_s,
+            "rows": self.rows,
+        }
+
+
+def estimate_plan(
+    plan: Plan, catalog: Mapping[str, Table], device: Device
+) -> PlanEstimate:
+    """Estimate a plan's processing-pool working set and service time."""
+    est = _Estimator(catalog, device.cost_model)
+    rows, nbytes = est.visit(plan.root)
+    # The final result is materialised in the pool, then copied out.
+    working_set = est.working_set + int(nbytes)
+    service = est.seconds + device.cost_model.transfer_cost(int(nbytes))
+    return PlanEstimate(int(working_set), float(service), int(rows))
+
+
+class _Estimator:
+    def __init__(self, catalog: Mapping[str, Table], model: KernelCostModel):
+        self.catalog = catalog
+        self.model = model
+        self.working_set = 0  # peak concurrent pool bytes (hash/sort state)
+        self.seconds = 0.0
+
+    def _charge(self, kclass: str, bytes_in: float, bytes_out: float, rows: float, groups=None):
+        self.seconds += self.model.kernel_cost(
+            kclass, int(bytes_in), int(bytes_out), int(max(rows, 1)), groups
+        ).total
+
+    def visit(self, rel: Relation) -> tuple[float, float]:
+        """Return (estimated rows, estimated bytes) of the relation."""
+        if isinstance(rel, ReadRel):
+            return self._read(rel)
+        if isinstance(rel, FilterRel):
+            rows, nbytes = self.visit(rel.inputs[0])
+            self._charge(KernelClass.STREAM, nbytes, nbytes, rows)
+            return rows * FILTER_SELECTIVITY, nbytes * FILTER_SELECTIVITY
+        if isinstance(rel, ProjectRel):
+            rows, nbytes = self.visit(rel.inputs[0])
+            self._charge(KernelClass.STREAM, nbytes, nbytes, rows)
+            return rows, nbytes
+        if isinstance(rel, JoinRel):
+            return self._join(rel)
+        if isinstance(rel, AggregateRel):
+            return self._aggregate(rel)
+        if isinstance(rel, SortRel):
+            rows, nbytes = self.visit(rel.inputs[0])
+            self.working_set += int(SORT_BUFFER_FACTOR * nbytes)
+            self._charge(KernelClass.SORT, nbytes, nbytes, rows)
+            return rows, nbytes
+        if isinstance(rel, FetchRel):
+            rows, nbytes = self.visit(rel.inputs[0])
+            if rel.count is not None and rows > 0:
+                keep = min(float(rel.count), rows) / rows
+                return rows * keep, nbytes * keep
+            return rows, nbytes
+        if isinstance(rel, ExchangeRel):
+            return self.visit(rel.inputs[0])
+        if rel.inputs:  # unknown unary relation: pass through
+            return self.visit(rel.inputs[0])
+        return 0.0, 0.0
+
+    def _read(self, rel: ReadRel) -> tuple[float, float]:
+        table = self.catalog.get(rel.table_name)
+        if table is None:
+            return 0.0, 0.0
+        rows = float(table.num_rows)
+        if rel.projection is not None:
+            wanted = set(rel.projection)
+            nbytes = float(
+                sum(
+                    col.nbytes
+                    for f, col in zip(table.schema, table.columns)
+                    if f.name in wanted
+                )
+            )
+        else:
+            nbytes = float(table.nbytes)
+        # Scans read from the caching region; only the filter (if pushed)
+        # is a processing kernel.
+        if rel.filter_expr is not None:
+            self._charge(KernelClass.STREAM, nbytes, nbytes, rows)
+            return rows * FILTER_SELECTIVITY, nbytes * FILTER_SELECTIVITY
+        return rows, nbytes
+
+    def _join(self, rel: JoinRel) -> tuple[float, float]:
+        probe_rows, probe_bytes = self.visit(rel.inputs[0])
+        build_rows, build_bytes = self.visit(rel.inputs[1])
+        self.working_set += int(HASH_TABLE_FACTOR * build_bytes)
+        self._charge(KernelClass.HASH_BUILD, build_bytes, build_bytes, build_rows)
+        self._charge(
+            KernelClass.HASH_PROBE, probe_bytes, probe_bytes + build_bytes, probe_rows
+        )
+        if rel.join_type in ("semi", "anti"):
+            return probe_rows * SEMI_JOIN_SELECTIVITY, probe_bytes * SEMI_JOIN_SELECTIVITY
+        # FK-join assumption: output cardinality ~ probe side, output rows
+        # carry columns from both sides.
+        out_rows = probe_rows
+        per_row = (probe_bytes / probe_rows if probe_rows else 0.0) + (
+            build_bytes / build_rows if build_rows else 0.0
+        )
+        return out_rows, out_rows * per_row
+
+    def _aggregate(self, rel: AggregateRel) -> tuple[float, float]:
+        rows, nbytes = self.visit(rel.inputs[0])
+        groups = float(min(rows, DEFAULT_GROUPS)) if rel.group_indices else 1.0
+        per_row = nbytes / rows if rows else 0.0
+        out_bytes = groups * max(per_row, 8.0 * (len(rel.group_indices) + len(rel.measures)))
+        self.working_set += int(out_bytes)
+        self._charge(KernelClass.GROUPBY_HASH, nbytes, out_bytes, rows, int(groups))
+        return groups, out_bytes

@@ -1,0 +1,105 @@
+"""Serving jobs: one submitted query's lifecycle record.
+
+A :class:`QueryJob` travels ``SUBMITTED -> QUEUED -> RUNNING ->
+COMPLETED`` (or ``FAILED`` / ``REJECTED``).  All of its timestamps live on
+the scheduler's *virtual serving timeline* — the discrete-event timeline
+the scheduler builds by placing measured step durations onto worker
+streams — while ``service_s`` sums the simulated device seconds the job's
+own steps consumed (so per-query service time excludes other queries'
+interleaved work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..columnar import Table
+from ..core.deadline import Deadline
+from ..core.executor import QueryRun
+from ..obs import QueryProfile
+from .estimator import PlanEstimate
+
+__all__ = ["JobState", "QueryJob"]
+
+
+class JobState:
+    """String constants for a job's lifecycle state."""
+
+    SUBMITTED = "submitted"  # known to the scheduler, not yet arrived
+    QUEUED = "queued"  # arrived, waiting in the admission queue
+    RUNNING = "running"  # admitted; tasks interleave on the streams
+    COMPLETED = "completed"
+    FAILED = "failed"  # deadline expiry or exhausted degradation
+    REJECTED = "rejected"  # bounded admission queue was full on arrival
+
+    TERMINAL = (COMPLETED, FAILED, REJECTED)
+
+
+@dataclass
+class QueryJob:
+    """One query submitted to the serving scheduler."""
+
+    seq: int
+    label: str
+    plan: Any = field(repr=False)
+    catalog: Mapping[str, Table] = field(repr=False)
+    arrival_s: float = 0.0
+    deadline_s: float | None = None
+    estimate: PlanEstimate | None = field(default=None, repr=False)
+    meta: dict = field(default_factory=dict, repr=False)
+
+    # -- lifecycle (filled in by the scheduler) --
+    state: str = JobState.SUBMITTED
+    admitted_s: float | None = None
+    completion_s: float | None = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0  # simulated device seconds of this job's own steps
+    steps: int = 0
+    ready_at: float = 0.0  # virtual time its next task may start
+    forced_admission: bool = False
+    degraded_tier: str | None = None
+    error: BaseException | None = field(default=None, repr=False)
+
+    # -- execution state --
+    owner_key: str = ""
+    qrun: QueryRun | None = field(default=None, repr=False)
+    deadline: Deadline | None = field(default=None, repr=False)
+    tracer: Any = field(default=None, repr=False)
+    table: Table | None = field(default=None, repr=False)
+    profile: QueryProfile | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if not self.owner_key:
+            self.owner_key = f"job-{self.seq}"
+
+    @property
+    def latency_s(self) -> float | None:
+        """End-to-end latency on the serving timeline (arrival to done)."""
+        if self.completion_s is None:
+            return None
+        return self.completion_s - self.arrival_s
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "label": self.label,
+            "state": self.state,
+            "arrival_s": self.arrival_s,
+            "admitted_s": self.admitted_s,
+            "completion_s": self.completion_s,
+            "latency_s": self.latency_s,
+            "queue_wait_s": self.queue_wait_s,
+            "service_s": self.service_s,
+            "steps": self.steps,
+            "deadline_s": self.deadline_s,
+            "degraded_tier": self.degraded_tier,
+            "forced_admission": self.forced_admission,
+            "error": type(self.error).__name__ if self.error is not None else None,
+            "estimated_service_s": (
+                self.estimate.service_s if self.estimate is not None else None
+            ),
+            "estimated_working_set_bytes": (
+                self.estimate.working_set_bytes if self.estimate is not None else None
+            ),
+        }

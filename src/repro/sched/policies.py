@@ -1,0 +1,98 @@
+"""Pluggable scheduling policies for the serving task queue.
+
+All policies answer one question: *given the admitted jobs whose next task
+is ready, which job's task does the freed worker stream run?*  They are
+pure functions of job state — deterministic by construction, since
+candidate lists are presented in stable admission order and every key is
+tie-broken by submission sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .job import QueryJob
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "RoundRobinFairSharePolicy",
+    "ShortestCostFirstPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class SchedulingPolicy:
+    """Interface: pick the next job to run a task for."""
+
+    name = "base"
+
+    def select(self, candidates: Sequence[QueryJob], now: float) -> QueryJob:
+        """Return one job from ``candidates`` (never empty)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Run-to-completion in arrival order: the earliest-arrived admitted
+    job gets every free stream slot until it finishes (head-of-line
+    blocking and all — the baseline the fair/SJF policies improve on)."""
+
+    name = "fifo"
+
+    def select(self, candidates: Sequence[QueryJob], now: float) -> QueryJob:
+        return min(candidates, key=lambda j: (j.arrival_s, j.seq))
+
+
+class RoundRobinFairSharePolicy(SchedulingPolicy):
+    """Least-attained-service-first: the task goes to the admitted job
+    that has consumed the least simulated device time so far.
+
+    Because every executed task strictly increases the chosen job's
+    ``service_s`` (each chunk-task advances the clock), a job can only be
+    passed over finitely often before it holds the minimum — no admitted
+    job starves.  With equal-cost tasks this degenerates to classic
+    round-robin interleaving.
+    """
+
+    name = "fair"
+
+    def select(self, candidates: Sequence[QueryJob], now: float) -> QueryJob:
+        return min(candidates, key=lambda j: (j.service_s, j.seq))
+
+
+class ShortestCostFirstPolicy(SchedulingPolicy):
+    """Shortest-expected-cost-first: prioritise the job whose *remaining*
+    estimated cost (cost-model estimate minus service already received) is
+    smallest — SJF on the estimator's numbers, which minimises mean wait
+    when the estimates rank queries correctly."""
+
+    name = "sjf"
+
+    def select(self, candidates: Sequence[QueryJob], now: float) -> QueryJob:
+        def remaining(job: QueryJob) -> float:
+            est = job.estimate.service_s if job.estimate is not None else 0.0
+            return max(est - job.service_s, 0.0)
+
+        return min(candidates, key=lambda j: (remaining(j), j.seq))
+
+
+POLICIES = {
+    p.name: p for p in (FifoPolicy, RoundRobinFairSharePolicy, ShortestCostFirstPolicy)
+}
+
+
+def make_policy(policy: "str | SchedulingPolicy") -> SchedulingPolicy:
+    """Resolve a policy name (``fifo`` / ``fair`` / ``sjf``) or pass an
+    instance through."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; available: {sorted(POLICIES)}"
+        ) from None

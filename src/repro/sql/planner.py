@@ -194,9 +194,6 @@ class SqlPlanner:
             conjuncts.extend(_factor_or(conj))
         plain: list[A.SqlExpr] = []
         subquery_preds: list[A.SqlExpr] = []
-        scope_probe = Scope(
-            [c for node in nodes for c in node.scope_columns], parent=outer_scope
-        )
         for conj in conjuncts:
             if _contains_subquery(conj):
                 subquery_preds.append(conj)

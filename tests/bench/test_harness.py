@@ -18,7 +18,7 @@ class TestReportHelpers:
     def test_ascii_table_alignment(self):
         text = ascii_table(["a", "long_header"], [[1, 2], [333, 4]])
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1  # rectangular
+        assert len({len(line) for line in lines}) == 1  # rectangular
 
     def test_geomean(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.columnar import (
     Column,
-    FLOAT64,
     INT64,
     Schema,
     Table,

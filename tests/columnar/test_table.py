@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro.columnar import (
-    Column,
     Field,
     INT64,
     FLOAT64,
     Schema,
-    STRING,
     Table,
     column_from_pylist,
     concat_tables,

@@ -12,7 +12,7 @@ import os
 import pytest
 
 from repro.columnar import Schema, Table
-from repro.gpu import A100_40G, Device, GH200, M7I_CPU, SimClock
+from repro.gpu import A100_40G, Device, GH200, M7I_CPU
 
 try:
     from hypothesis import settings as _hyp_settings

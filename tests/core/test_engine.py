@@ -6,7 +6,7 @@ import pytest
 
 from repro.columnar import Schema, Table
 from repro.core import SiriusEngine, compile_plan
-from repro.gpu.specs import A100_40G, GH200
+from repro.gpu.specs import GH200
 from repro.plan import PlanBuilder, col, lit
 
 SCHEMA = Schema(

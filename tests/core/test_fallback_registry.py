@@ -4,7 +4,7 @@ import pytest
 
 from repro.columnar import Schema, Table
 from repro.core import SiriusEngine
-from repro.core.operators.base import OperatorRegistry, UnsupportedFeatureError
+from repro.core.operators.base import OperatorRegistry
 from repro.gpu.specs import A100_40G
 from repro.hosts import CpuEngine
 from repro.plan import PlanBuilder, col, lit

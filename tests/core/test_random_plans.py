@@ -7,7 +7,6 @@ combinations no hand-written test covers.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -71,7 +70,7 @@ def plans(draw):
         builder = builder.aggregate(groups=[], aggs=[("sum", "v", "total")])
     elif shape == "distinct":
         builder = builder.project([("g", "g"), ("s", "s")])
-        from repro.plan import AggregateRel, Plan
+        from repro.plan import AggregateRel
 
         builder = PlanBuilder(AggregateRel(builder.relation, [0, 1], []))
         builder = builder.sort([("g", True), ("s", True)])

@@ -6,7 +6,6 @@ must agree on every query, with and without the optimizer passes, and
 under batched execution.
 """
 
-import math
 
 import pytest
 
@@ -65,10 +64,10 @@ def normalise(table):
 
 
 def assert_equivalent(left, right, ordered):
-    l, r = normalise(left), normalise(right)
+    lhs, rhs = normalise(left), normalise(right)
     if not ordered:
-        l, r = sorted(l), sorted(r)
-    assert l == r
+        lhs, rhs = sorted(lhs), sorted(rhs)
+    assert lhs == rhs
 
 
 @pytest.mark.parametrize("q", range(1, 23))

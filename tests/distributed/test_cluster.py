@@ -1,11 +1,10 @@
 """Unit tests for the cluster substrate: partitioning, nodes, clocks."""
 
-import numpy as np
 import pytest
 
 from repro.columnar import Schema, Table
-from repro.distributed import Cluster, PARTITION_KEYS, REPLICATED_TABLES, partition_table
-from repro.gpu import Device, SimClock
+from repro.distributed import Cluster, PARTITION_KEYS, partition_table
+from repro.gpu import Device
 from repro.gpu.specs import A100_40G
 from repro.tpch import generate_tpch
 

@@ -1,17 +1,15 @@
 """Property tests on the exchange data plane: conservation + placement."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.columnar import Schema, Table, concat_tables
+from repro.columnar import Schema, Table
 from repro.distributed import Cluster, DistributedExecutor, ExchangeSpec, Fragment
 from repro.distributed.engine import _partition_ids
 from repro.gpu.specs import M7I_CPU
 from repro.gpu.device import Device
 from repro.hosts import CpuEngine
-from repro.plan import Plan, PlanBuilder, ReadRel
+from repro.plan import ReadRel
 
 SCHEMA = Schema([("k", "int64"), ("v", "float64")])
 

@@ -1,19 +1,9 @@
 """Unit tests for distributed plan fragmentation."""
 
-import pytest
 
 from repro.columnar import Schema
-from repro.distributed import DistributedPlanner, DistributedUnsupportedError
-from repro.plan import (
-    AggregateCall,
-    AggregateRel,
-    FieldRef,
-    JoinRel,
-    PlanBuilder,
-    ReadRel,
-    col,
-    lit,
-)
+from repro.distributed import DistributedPlanner
+from repro.plan import AggregateRel, PlanBuilder, col, lit
 
 FACTS = Schema([("k", "int64"), ("g", "int64"), ("v", "float64")])
 DIMS = Schema([("k", "int64"), ("name", "string")])

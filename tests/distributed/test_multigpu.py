@@ -14,7 +14,9 @@ class TestHeterogeneousCommunicator:
     def make_comm(self):
         clocks = [SimClock() for _ in range(4)]
         # Ranks 0,1 share host A; 2,3 share host B.
-        fabric_for = lambda i, j: NVLINK_P2P if i // 2 == j // 2 else None
+        def fabric_for(i, j):
+            return NVLINK_P2P if i // 2 == j // 2 else None
+
         return clocks, Communicator(clocks, INFINIBAND_NDR, fabric_for=fabric_for)
 
     def test_intra_host_link_selected(self):
@@ -75,10 +77,12 @@ class TestMultiGpuQueries:
         for q in (1, 3, 6):
             dist = db.execute(tpch_query(q))
             single = reference.execute(tpch_query(q))
-            norm = lambda t: sorted(
-                tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in r)
-                for r in t.to_rows()
-            )
+            def norm(t):
+                return sorted(
+                    tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in r)
+                    for r in t.to_rows()
+                )
+
             assert norm(dist.table) == norm(single.table)
 
     def test_more_gpus_reduce_compute_time(self, data):

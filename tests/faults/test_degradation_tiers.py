@@ -11,7 +11,7 @@ import pytest
 from repro.columnar import Schema, Table
 from repro.core import SiriusEngine
 from repro.faults import FaultInjector, FaultPlan
-from repro.gpu import OutOfDeviceMemory, TransientKernelError
+from repro.gpu import OutOfDeviceMemory
 from repro.gpu.specs import A100_40G
 from repro.hosts import CpuEngine
 from repro.plan import PlanBuilder, col, lit

@@ -3,14 +3,12 @@
 import pytest
 
 from repro.faults import (
-    BandwidthDegradation,
     FaultInjector,
     FaultPlan,
     LinkDrop,
     NodeCrash,
     OOMSpike,
     Straggler,
-    TransientKernelFault,
 )
 
 

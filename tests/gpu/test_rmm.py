@@ -118,3 +118,73 @@ class TestPropertyInvariants:
         pool.check_invariants()
         assert pool.in_use == 0
         assert pool.stats().free_blocks == 1
+
+
+class TestOwnerTracking:
+    """Per-query owner tags: the serving scheduler's reclamation path."""
+
+    def test_release_owner_frees_only_that_owner(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(1000, owner="q1")
+        b = pool.allocate(2000, owner="q2")
+        c = pool.allocate(3000, owner="q1")
+        reclaimed = pool.release_owner("q1")
+        assert reclaimed == a.size + c.size
+        assert pool.in_use == b.size
+        assert pool.owner_bytes("q1") == 0
+        assert pool.owner_bytes("q2") == b.size
+        pool.free(b)
+        pool.check_invariants()
+        assert pool.in_use == 0
+
+    def test_stale_handle_free_after_release_is_noop(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(1000, owner="q1")
+        pool.release_owner("q1")
+        pool.free(a)  # stale handle: silent no-op
+        pool.check_invariants()
+        assert pool.in_use == 0
+
+    def test_genuine_double_free_still_raises(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.allocate(1000, owner="q1")
+        pool.free(a)
+        with pytest.raises(ValueError, match="double free"):
+            pool.free(a)
+
+    def test_release_owner_requires_tag(self):
+        pool = PoolAllocator(1 << 20)
+        pool.allocate(1000)  # untagged
+        with pytest.raises(ValueError):
+            pool.release_owner(None)
+
+    def test_reset_clears_owner_maps(self):
+        pool = PoolAllocator(1 << 20)
+        pool.allocate(1000, owner="q1")
+        pool.reset()
+        assert pool.owner_bytes("q1") == 0
+        assert pool.in_use == 0
+
+
+class TestReservations:
+    def test_reserve_is_advisory(self):
+        pool = PoolAllocator(1 << 16)
+        pool.reserve("q1", 1 << 16)
+        # Reservation never blocks real allocation.
+        a = pool.allocate(1 << 15)
+        assert pool.reserved_total == 1 << 16
+        pool.free(a)
+
+    def test_unreserve_returns_bytes(self):
+        pool = PoolAllocator(1 << 16)
+        pool.reserve("q1", 100)
+        pool.reserve("q1", 50)
+        assert pool.reserved_total == 150
+        assert pool.unreserve("q1") == 150
+        assert pool.reserved_total == 0
+        assert pool.unreserve("q1") == 0  # idempotent
+
+    def test_negative_reservation_rejected(self):
+        pool = PoolAllocator(1 << 16)
+        with pytest.raises(ValueError):
+            pool.reserve("q1", -1)

@@ -123,7 +123,6 @@ class TestClickLite:
             strict.execute(tpch_query(9, for_clickhouse=True))
 
     def test_join_order_is_as_written(self, click, data):
-        duck_plan = None
         duck = MiniDuck()
         duck.load_tables(data)
         # Written order puts customer first; MiniDuck reorders, ClickLite not.

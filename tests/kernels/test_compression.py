@@ -1,12 +1,11 @@
 """Tests for FOR + bit-packing compression (unit + property-based)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.columnar import Column, DATE32, FLOAT64, INT64, column_from_pylist
-from repro.kernels import PackedColumn, pack_column, packable, unpack_column
+from repro.columnar import DATE32, FLOAT64, INT64, column_from_pylist
+from repro.kernels import pack_column, packable, unpack_column
 
 
 class TestPackability:

@@ -2,8 +2,6 @@
 
 import datetime
 
-import numpy as np
-import pytest
 
 from repro.columnar import FLOAT64, INT64, STRING
 from repro.kernels import (

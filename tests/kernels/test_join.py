@@ -1,6 +1,5 @@
 """Unit tests for the join kernels (inner/left/semi/anti, nulls, strings)."""
 
-import pytest
 
 
 def pairs(result):

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.gpu import SimClock
-from repro.obs import NULL_TRACER, MetricSet, NullTracer, Span, Tracer
+from repro.obs import NULL_TRACER, MetricSet, NullTracer, Tracer
 
 
 class TestSpans:

@@ -1,0 +1,85 @@
+"""Unit tests for the pluggable scheduling policies."""
+
+import pytest
+
+from repro.sched import (
+    FifoPolicy,
+    PlanEstimate,
+    QueryJob,
+    RoundRobinFairSharePolicy,
+    ShortestCostFirstPolicy,
+    make_policy,
+)
+
+
+def job(seq, arrival=0.0, service=0.0, est_service=0.0):
+    j = QueryJob(
+        seq=seq,
+        label=f"j{seq}",
+        plan=None,
+        catalog={},
+        arrival_s=arrival,
+        estimate=PlanEstimate(0, est_service, 0),
+    )
+    j.service_s = service
+    return j
+
+
+class TestFifo:
+    def test_earliest_arrival_wins(self):
+        jobs = [job(0, arrival=2.0), job(1, arrival=1.0), job(2, arrival=3.0)]
+        assert FifoPolicy().select(jobs, now=5.0).seq == 1
+
+    def test_tie_breaks_by_sequence(self):
+        jobs = [job(1, arrival=1.0), job(0, arrival=1.0)]
+        assert FifoPolicy().select(jobs, now=5.0).seq == 0
+
+
+class TestFairShare:
+    def test_least_attained_service_wins(self):
+        jobs = [job(0, service=0.5), job(1, service=0.1), job(2, service=0.3)]
+        assert RoundRobinFairSharePolicy().select(jobs, now=0.0).seq == 1
+
+    def test_degenerates_to_round_robin_on_equal_costs(self):
+        # Equal-cost tasks: repeatedly selecting and charging a fixed
+        # quantum cycles through every job in order.
+        jobs = [job(i) for i in range(3)]
+        policy = RoundRobinFairSharePolicy()
+        order = []
+        for _ in range(6):
+            chosen = policy.select(jobs, now=0.0)
+            order.append(chosen.seq)
+            chosen.service_s += 1.0
+        assert order == [0, 1, 2, 0, 1, 2]
+
+
+class TestShortestCostFirst:
+    def test_smallest_estimate_wins(self):
+        jobs = [job(0, est_service=3.0), job(1, est_service=1.0), job(2, est_service=2.0)]
+        assert ShortestCostFirstPolicy().select(jobs, now=0.0).seq == 1
+
+    def test_uses_remaining_not_total_cost(self):
+        # Job 0 estimated longer but is nearly done; job 1 untouched.
+        jobs = [job(0, service=2.9, est_service=3.0), job(1, est_service=1.0)]
+        assert ShortestCostFirstPolicy().select(jobs, now=0.0).seq == 0
+
+    def test_missing_estimate_treated_as_zero(self):
+        j0 = job(0, est_service=1.0)
+        j1 = job(1)
+        j1.estimate = None
+        assert ShortestCostFirstPolicy().select([j0, j1], now=0.0).seq == 1
+
+
+class TestFactory:
+    def test_resolves_names(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("fair").name == "fair"
+        assert make_policy("sjf").name == "sjf"
+
+    def test_passes_instances_through(self):
+        policy = FifoPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lottery")

@@ -1,0 +1,88 @@
+"""Property-based serving tests.
+
+* **No starvation** under round-robin fair-share: every admitted job in a
+  random concurrent batch reaches a terminal state, and none is failed by
+  the scheduler itself (no deadlines are set).
+* **busy_s partition**: each query's per-operator ``busy_s`` spans
+  partition that query's *service* time — they sum to the run's own clock
+  advance even when other queries' tasks interleave arbitrarily between
+  its steps.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SiriusEngine
+from repro.gpu.specs import GH200
+from repro.obs import Tracer
+from repro.sched import JobState, ServingScheduler
+
+from tests.core.test_random_plans import plans, tables
+
+
+def serve_batch(data, batch, policy, streams, tracer_factory=None):
+    engine = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0)
+    sched = ServingScheduler(
+        engine,
+        policy=policy,
+        streams=streams,
+        tracer_factory=tracer_factory,
+    )
+    jobs = [
+        sched.submit(plan, data, label=f"q{i}", arrival_s=0.0)
+        for i, plan in enumerate(batch)
+    ]
+    return sched.run(), jobs
+
+
+class TestNoStarvation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=tables(),
+        batch=st.lists(plans(), min_size=2, max_size=4),
+        streams=st.integers(1, 3),
+    )
+    def test_fair_share_completes_every_job(self, data, batch, streams):
+        report, jobs = serve_batch(data, batch, "fair", streams)
+        for job in jobs:
+            assert job.state == JobState.COMPLETED, job.error
+            assert job.completion_s is not None
+        assert report.counters["completed"] == len(jobs)
+        # Conservation: every executed task interval belongs to a job and
+        # service times sum to the total scheduled work.
+        assert report.counters["steps"] == sum(j.steps for j in jobs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=tables(), batch=st.lists(plans(), min_size=2, max_size=3))
+    def test_all_policies_complete_the_same_jobs(self, data, batch):
+        outcomes = {}
+        for policy in ("fifo", "fair", "sjf"):
+            report, jobs = serve_batch(data, batch, policy, streams=2)
+            outcomes[policy] = [j.state for j in jobs]
+        assert outcomes["fifo"] == outcomes["fair"] == outcomes["sjf"]
+
+
+class TestBusySecondsPartition:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=tables(),
+        batch=st.lists(plans(), min_size=2, max_size=3),
+    )
+    def test_operator_busy_partitions_service_time(self, data, batch):
+        report, jobs = serve_batch(
+            data, batch, "fair", streams=2, tracer_factory=Tracer
+        )
+        for job in jobs:
+            assert job.state == JobState.COMPLETED
+            op_spans = [s for s in job.profile.spans if s.kind == "operator"]
+            busy_total = sum(s.attributes.get("busy_s", 0.0) for s in op_spans)
+            # The executor's own service time (profile.sim_seconds is the
+            # query-span elapsed time on the shared clock, which would
+            # include interleaved foreign work; qrun.service_seconds is
+            # the query's own clock advance).
+            assert busy_total == pytest.approx(
+                job.qrun.service_seconds, rel=1e-9, abs=1e-15
+            )
+            # The job's recorded service adds only the result copy-out.
+            assert job.service_s >= job.qrun.service_seconds - 1e-15

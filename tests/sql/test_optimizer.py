@@ -1,6 +1,5 @@
 """Unit tests for the IR optimizer passes: pruning and build-side swap."""
 
-import pytest
 
 from repro.columnar import Schema
 from repro.plan import JoinRel, PlanBuilder, ProjectRel, ReadRel, col, lit

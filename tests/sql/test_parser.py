@@ -8,7 +8,6 @@ from repro.sql.ast_nodes import (
     BetweenExpr,
     BinaryOp,
     CaseExpr,
-    ColumnRef,
     DateLit,
     ExistsExpr,
     InExpr,

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.columnar import Schema
-from repro.plan import AggregateRel, FetchRel, FilterRel, JoinRel, ProjectRel, ReadRel, SortRel
+from repro.plan import AggregateRel, FetchRel, FilterRel, JoinRel, SortRel
 from repro.plan.plan import walk_relations
 from repro.sql import SqlPlanner, SqlPlanningError, TableStats
 from repro.tpch import TPCH_QUERIES, TPCH_SCHEMAS, TABLE_BASE_ROWS

@@ -5,7 +5,6 @@ import datetime
 import numpy as np
 import pytest
 
-from repro.columnar import date_to_days
 from repro.tpch import TABLE_BASE_ROWS, TPCH_SCHEMAS, generate_table, generate_tpch
 
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.tpch import (
-    CLICKHOUSE_REWRITES,
-    CLICKHOUSE_UNSUPPORTED,
-    TPCH_QUERIES,
-    tpch_query,
-)
+from repro.tpch import CLICKHOUSE_REWRITES, TPCH_QUERIES, tpch_query
 
 
 class TestCatalog:
