@@ -8,6 +8,7 @@ Usage::
     python -m repro figure5 [--sf 0.1]
     python -m repro table2  [--sf 0.1] [--nodes 4]
     python -m repro serve   [--sf 0.1] [--policy sjf] [--streams 4] [--requests 32]
+    python -m repro analyze [--sf 0.1] [--queries 1,3,6]
     python -m repro all     [--sf 0.05]
 
 ``--trace out.json`` additionally runs the Sirius engines under a real
@@ -32,8 +33,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "figure1", "figure4", "figure5", "table2", "serve", "all"],
-        help="which experiment to regenerate ('serve' runs the multi-query serving demo)",
+        choices=[
+            "table1", "figure1", "figure4", "figure5", "table2", "serve",
+            "analyze", "all",
+        ],
+        help="which experiment to regenerate ('serve' runs the multi-query "
+        "serving demo; 'analyze' statically analyzes the TPC-H plans)",
     )
     parser.add_argument("--sf", type=float, default=0.1, help="TPC-H scale factor")
     parser.add_argument("--nodes", type=int, default=4, help="cluster size for table2")
@@ -145,6 +150,37 @@ def main(argv=None) -> int:
             )
         print(report.summary())
         print()
+    analysis_reports: list = []
+    if args.target == "analyze":
+        from .analysis import analyze_plan
+        from .gpu.device import Device
+        from .gpu.specs import GH200
+        from .hosts import MiniDuck
+        from .tpch import generate_tpch, tpch_query
+
+        sf = min(args.sf, 0.05)
+        print(f"== Static plan analysis: TPC-H (SF {sf}) ==")
+        host = MiniDuck()
+        host.load_tables(generate_tpch(sf=sf))
+        device = Device(GH200)
+        print(f"{'query':<7}{'tier':<18}{'findings':<10}{'working set':<14}{'est rows':<10}")
+        for n in queries:
+            plan = host.plan(tpch_query(n))
+            report = analyze_plan(plan, host.tables, device)
+            analysis_reports.append({"query": f"q{n}", **report.to_dict()})
+            ws = (
+                f"{report.working_set_bytes / 1e6:.2f} MB"
+                if report.working_set_bytes is not None
+                else "-"
+            )
+            rows = report.estimated_rows if report.estimated_rows is not None else "-"
+            print(
+                f"{'q' + str(n):<7}{report.suggested_tier:<18}"
+                f"{len(report.findings):<10}{ws:<14}{rows:<10}"
+            )
+            for finding in report.findings:
+                print(f"       {finding}")
+        print()
     if args.target in ("table2", "all"):
         from .bench import TABLE2_QUERIES, DistributedHarness
 
@@ -167,6 +203,8 @@ def main(argv=None) -> int:
             "sf": args.sf,
             "profiles": [p.to_dict() for p in traced_profiles],
         }
+        if analysis_reports:
+            doc["analysis_reports"] = analysis_reports
         with open(args.trace, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(doc, indent=2))
             fh.write("\n")

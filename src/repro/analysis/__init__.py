@@ -1,0 +1,38 @@
+"""Static analysis for plans and for the codebase itself.
+
+Two fronts, one vocabulary (:class:`Finding` / :class:`AnalysisReport`):
+
+* :func:`analyze_plan` — a dataflow pass over the plan IR that
+  type-checks every expression, verifies exchange placement, estimates
+  the working set, and predicts the degradation tier *before* any GPU
+  memory is committed.  Admission control consumes the report.
+* :mod:`repro.analysis.lints` — AST lints enforcing the repo's
+  determinism and ownership invariants (``python -m repro.analysis lint``).
+"""
+
+from .plan_analyzer import PLAN_RULES, analyze_plan
+from .report import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    TIER_CPU_PLAN,
+    TIER_GPU,
+    TIER_REJECT,
+    TIER_SPILL,
+    AnalysisReport,
+    Finding,
+)
+
+__all__ = [
+    "analyze_plan",
+    "PLAN_RULES",
+    "AnalysisReport",
+    "Finding",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SEVERITY_INFO",
+    "TIER_GPU",
+    "TIER_SPILL",
+    "TIER_CPU_PLAN",
+    "TIER_REJECT",
+]

@@ -1,0 +1,26 @@
+"""Codebase invariant linter (analysis front 2)."""
+
+from .framework import LintRule, ModuleInfo, lint_paths, lint_tree
+from .rules import (
+    LINT_RULES,
+    RmmOwnerPairingRule,
+    StatelessOperatorRule,
+    TracerGuardRule,
+    UnseededRandomRule,
+    WallClockRule,
+    default_rules,
+)
+
+__all__ = [
+    "LintRule",
+    "ModuleInfo",
+    "lint_paths",
+    "lint_tree",
+    "LINT_RULES",
+    "default_rules",
+    "WallClockRule",
+    "UnseededRandomRule",
+    "RmmOwnerPairingRule",
+    "StatelessOperatorRule",
+    "TracerGuardRule",
+]

@@ -1,0 +1,169 @@
+"""Front 2 scaffolding: an AST-based lint framework for repo invariants.
+
+The rules in :mod:`repro.analysis.lints.rules` enforce conventions the
+scheduler and fault layers *depend on* but that generic linters cannot
+know about (sim-clock only, seeded RNG, paired RMM owner release,
+stateless operators, zero-cost tracing).  The framework keeps each rule
+small: it parses every module once, resolves import aliases to
+canonical dotted names, attaches parent links for ancestor queries, and
+handles ``# lint: allow=<rule-id>`` suppression comments.
+
+Run it as ``python -m repro.analysis lint`` or through the pytest suite
+in ``tests/analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..report import Finding
+
+__all__ = ["LintRule", "ModuleInfo", "lint_paths", "lint_tree", "resolve_dotted"]
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus the lookup tables rules need."""
+
+    path: Path
+    relpath: str  # path relative to the lint root, for finding sites
+    tree: ast.Module
+    source: str
+    aliases: dict[str, str] = field(default_factory=dict)
+    _allowed: dict[int, set[str]] | None = None
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleInfo":
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        _attach_parents(tree)
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        return cls(path, rel, tree, source, _import_aliases(tree))
+
+    def site(self, node: ast.AST) -> str:
+        return f"{self.relpath}:{getattr(node, 'lineno', 0)}"
+
+    def allow_set(self, lineno: int) -> set[str]:
+        """Rule ids suppressed on ``lineno`` via ``# lint: allow=...``."""
+        if self._allowed is None:
+            table: dict[int, set[str]] = {}
+            for n, line in enumerate(self.source.splitlines(), start=1):
+                m = _ALLOW_RE.search(line)
+                if m:
+                    table[n] = {r.strip() for r in m.group(1).split(",")}
+            self._allowed = table
+        return self._allowed.get(lineno, set())
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of the called function, or ``None``."""
+        return resolve_dotted(node.func, self.aliases)
+
+
+class LintRule:
+    """Base class: subclasses set ``rule_id``/``description`` and yield
+    :class:`~repro.analysis.report.Finding` objects from ``check``."""
+
+    rule_id: str = "RR00"
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(self.rule_id, self.severity, message, module.site(node))
+
+
+def lint_paths(
+    root: Path, rules: Sequence[LintRule], paths: Iterable[Path] | None = None
+) -> list[Finding]:
+    """Run ``rules`` over every ``*.py`` under ``root`` (or ``paths``)."""
+    findings: list[Finding] = []
+    targets = sorted(paths) if paths is not None else sorted(root.rglob("*.py"))
+    for path in targets:
+        findings.extend(_check_module(ModuleInfo.parse(path, root), rules))
+    return findings
+
+
+def lint_tree(
+    source: str, rules: Sequence[LintRule], relpath: str = "<memory>"
+) -> list[Finding]:
+    """Lint one in-memory module — the fixture-test entry point."""
+    tree = ast.parse(source)
+    _attach_parents(tree)
+    module = ModuleInfo(Path(relpath), relpath, tree, source, _import_aliases(tree))
+    return _check_module(module, rules)
+
+
+def _check_module(module: ModuleInfo, rules: Sequence[LintRule]) -> list[Finding]:
+    findings = []
+    for rule in rules:
+        for f in rule.check(module):
+            lineno = int(f.site.rsplit(":", 1)[-1] or 0)
+            if rule.rule_id not in module.allow_set(lineno):
+                findings.append(f)
+    return findings
+
+
+# -- AST helpers ---------------------------------------------------------------
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    cur = getattr(node, "_lint_parent", None)
+    while cur is not None:
+        yield cur
+        cur = getattr(cur, "_lint_parent", None)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted paths.
+
+    ``import numpy as np`` -> ``np: numpy``;
+    ``from datetime import datetime as dt`` -> ``dt: datetime.datetime``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a canonical dotted name.
+
+    ``np.random.default_rng`` with ``np -> numpy`` resolves to
+    ``numpy.random.default_rng``.  Chains not rooted at a plain name
+    (method calls on objects) resolve to ``None``.
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    parts.reverse()
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:])

@@ -1,0 +1,323 @@
+"""Repo-specific invariant lints for ``src/repro``.
+
+Each rule encodes a convention other subsystems *depend on*:
+
+======  ======================================================================
+rule    invariant
+======  ======================================================================
+RR01    no wall clock: simulated time comes from ``SimClock`` only —
+        ``time.time()``/``datetime.now()``/``sleep`` break determinism and
+        the two-timeline serving model
+RR02    no unseeded / global-state RNG: every random draw must come from an
+        explicitly seeded ``random.Random(seed)`` or
+        ``numpy.random.default_rng(seed)`` so runs are reproducible
+RR03    RMM owner pairing: a module that acquires owned pool allocations or
+        reservations must also release them (``free`` / ``release_owner`` /
+        ``unreserve``) — leaked owners poison the serving pool
+RR04    stateless operators: classes in ``core/operators`` must not assign
+        mutable instance state outside ``__init__``; per-query state lives
+        in the executor-owned state dict so operators can be re-run and
+        shared across retries
+RR05    zero-cost tracing: every ``record_span`` call must sit under an
+        ``if <tracer>.enabled`` guard, and ``tracer`` parameter defaults
+        must be ``NULL_TRACER`` (or ``None``) so the disabled path costs
+        nothing
+======  ======================================================================
+
+Suppress a deliberate exception with ``# lint: allow=<rule-id>`` on the
+flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..report import Finding
+from .framework import LintRule, ModuleInfo, ancestors
+
+__all__ = [
+    "WallClockRule",
+    "UnseededRandomRule",
+    "RmmOwnerPairingRule",
+    "StatelessOperatorRule",
+    "TracerGuardRule",
+    "LINT_RULES",
+    "default_rules",
+]
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(LintRule):
+    rule_id = "RR01"
+    description = "no wall-clock reads under src/repro (SimClock only)"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node)
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call {name}() — simulated time must come "
+                    "from SimClock",
+                )
+
+
+# numpy.random entry points that are fine *when seeded*.
+_SEEDABLE_RNG = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+    }
+)
+
+
+class UnseededRandomRule(LintRule):
+    rule_id = "RR02"
+    description = "no unseeded or global-state RNG under src/repro"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node)
+            if name is None:
+                continue
+            if name in _SEEDABLE_RNG:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() without a seed — pass an explicit seed "
+                        "for reproducible runs",
+                    )
+            elif name.startswith("random.") or name.startswith("numpy.random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"global-state RNG {name}() — draw from a seeded "
+                    "random.Random / numpy.random.default_rng instance",
+                )
+
+
+_RELEASERS = frozenset({"free", "release_owner", "unreserve"})
+
+
+class RmmOwnerPairingRule(LintRule):
+    rule_id = "RR03"
+    description = "owned rmm allocations/reservations need a release path"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # The allocator implementation itself (defines release_owner) is
+        # where the pairing bottoms out — skip it.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef) and node.name in _RELEASERS:
+                return
+        acquires: list[ast.Call] = []
+        releases = False
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            attr = node.func.attr
+            if attr == "allocate" and any(k.arg == "owner" for k in node.keywords):
+                acquires.append(node)
+            elif attr == "reserve" and (node.args or node.keywords):
+                acquires.append(node)
+            elif attr in _RELEASERS:
+                releases = True
+        if acquires and not releases:
+            for node in acquires:
+                yield self.finding(
+                    module,
+                    node,
+                    "owned pool acquisition with no free()/release_owner()/"
+                    "unreserve() anywhere in this module — leaked owners "
+                    "poison the serving pool",
+                )
+
+
+class StatelessOperatorRule(LintRule):
+    rule_id = "RR04"
+    description = "operators keep no mutable instance state outside __init__"
+
+    # Only operator modules are in scope; plan-time configuration set in
+    # __init__ is fine, anything assigned later is per-query state that
+    # belongs in the executor-owned state dict.
+    scope_fragment = "core/operators"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        rel = module.relpath.replace("\\", "/")
+        if self.scope_fragment not in rel and rel != "<memory>":
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not any(_base_name(b).endswith("Operator") for b in cls.bases):
+                continue
+            for method in cls.body:
+                if (
+                    not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    or method.name == "__init__"
+                ):
+                    continue
+                for node in ast.walk(method):
+                    for target in _assign_targets(node):
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            yield self.finding(
+                                module,
+                                node,
+                                f"{cls.name}.{method.name} assigns "
+                                f"self.{target.attr} — operator state must "
+                                "live in the executor-owned state dict",
+                            )
+
+
+class TracerGuardRule(LintRule):
+    rule_id = "RR05"
+    description = "record_span guarded by .enabled; tracer defaults NULL_TRACER"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        rel = module.relpath.replace("\\", "/")
+        in_obs = "obs/" in rel  # the tracer implementation itself
+        for node in ast.walk(module.tree):
+            if (
+                not in_obs
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "record_span"
+                and not _has_enabled_guard(node)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "record_span() call without an `if <tracer>.enabled` "
+                    "guard — tracing must be zero-cost when disabled",
+                )
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "tracer"
+                and node.value is not None
+                and not _is_null_tracer_default(node.value)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "tracer field default must be NULL_TRACER (or None)",
+                )
+
+    def _check_defaults(
+        self, module: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = fn.args.args + fn.args.kwonlyargs
+        defaults = list(fn.args.defaults) + list(fn.args.kw_defaults)
+        # Positional defaults align to the *tail* of the positional args.
+        pos_offset = len(fn.args.args) - len(fn.args.defaults)
+        for i, arg in enumerate(args):
+            if arg.arg != "tracer":
+                continue
+            if i < len(fn.args.args):
+                j = i - pos_offset
+                default = fn.args.defaults[j] if 0 <= j < len(fn.args.defaults) else None
+            else:
+                default = fn.args.kw_defaults[i - len(fn.args.args)]
+            if default is not None and not _is_null_tracer_default(default):
+                yield self.finding(
+                    module,
+                    default,
+                    f"{fn.name}(tracer=...) default must be NULL_TRACER "
+                    "(or None), so the disabled path costs nothing",
+                )
+
+
+def _has_enabled_guard(node: ast.AST) -> bool:
+    for anc in ancestors(node):
+        if isinstance(anc, ast.If) and any(
+            isinstance(n, ast.Attribute) and n.attr == "enabled"
+            for n in ast.walk(anc.test)
+        ):
+            return True
+    return False
+
+
+def _is_null_tracer_default(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    if isinstance(node, ast.Name) and node.id == "NULL_TRACER":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "NULL_TRACER":
+        return True
+    # dataclasses.field(default=..., repr=False): judge the wrapped default.
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "field"
+    ):
+        for kw in node.keywords:
+            if kw.arg == "default":
+                return _is_null_tracer_default(kw.value)
+            if kw.arg == "default_factory":
+                return (
+                    isinstance(kw.value, ast.Name) and kw.value.id == "NullTracer"
+                )
+        return True  # no default: caller must pass a tracer explicitly
+    return False
+
+
+def _base_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _assign_targets(node: ast.AST):
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+LINT_RULES = {
+    "RR01": WallClockRule,
+    "RR02": UnseededRandomRule,
+    "RR03": RmmOwnerPairingRule,
+    "RR04": StatelessOperatorRule,
+    "RR05": TracerGuardRule,
+}
+
+
+def default_rules() -> list[LintRule]:
+    return [cls() for cls in LINT_RULES.values()]

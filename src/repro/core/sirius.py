@@ -138,6 +138,20 @@ class SiriusEngine:
     def set_host_executor(self, host_executor: Callable[[Plan], Table]) -> None:
         self.fallback.host_executor = host_executor
 
+    # -- static analysis --------------------------------------------------------
+
+    def analyze(self, plan: Plan, catalog: Mapping[str, Table] | None = None):
+        """Statically analyze ``plan`` against this engine's device.
+
+        Advisory: :meth:`execute` never consults the report (runtime
+        behaviour is owned by the degradation ladder); serving admission
+        does, via ``ServingScheduler(static_admission=True)``.  Returns an
+        :class:`~repro.analysis.AnalysisReport`.
+        """
+        from ..analysis import analyze_plan
+
+        return analyze_plan(plan, catalog, self.device)
+
     def set_pipeline_cpu_executor(
         self, executor: Callable[[Plan, Mapping[str, Table]], Table]
     ) -> None:

@@ -52,11 +52,40 @@ class Plan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Plan":
-        return cls(rel_from_dict(data["root"]), data.get("version", PLAN_VERSION))
+        """Deserialize a plan payload.
+
+        Third-party payloads are untrusted: malformed shapes surface as
+        :class:`PlanValidationError` (never ``KeyError``), so consumers
+        can gate on one exception type.
+        """
+        if not isinstance(data, dict):
+            raise PlanValidationError(
+                f"plan payload must be an object, got {type(data).__name__}"
+            )
+        if "version" not in data:
+            raise PlanValidationError("plan payload is missing its 'version' field")
+        if data["version"] != PLAN_VERSION:
+            raise PlanValidationError(
+                f"unsupported plan version {data['version']!r} "
+                f"(expected {PLAN_VERSION!r})"
+            )
+        if "root" not in data:
+            raise PlanValidationError("plan payload is missing its 'root' relation")
+        try:
+            root = rel_from_dict(data["root"])
+        except PlanValidationError:
+            raise
+        except (KeyError, ValueError, TypeError) as exc:
+            raise PlanValidationError(f"malformed plan payload: {exc}") from exc
+        return cls(root, data["version"])
 
     @classmethod
     def from_json(cls, text: str) -> "Plan":
-        return cls.from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanValidationError(f"plan payload is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
 
     def validate(self) -> None:
         validate_relation(self.root)

@@ -29,6 +29,7 @@ class AdmissionController:
         pool: PoolAllocator,
         headroom_fraction: float = 0.9,
         max_queue_depth: int = 32,
+        max_working_set_fraction: float | None = None,
     ):
         """
         Args:
@@ -37,17 +38,27 @@ class AdmissionController:
                 collectively reserve (the rest absorbs estimate error).
             max_queue_depth: Bound on the admission wait queue; arrivals
                 beyond it are rejected.
+            max_working_set_fraction: When set, a query whose *static*
+                working-set estimate exceeds this fraction of pool
+                capacity is rejected outright at arrival — it could only
+                ever run forced-and-degraded, so load-shed it instead of
+                letting it camp in the queue.  ``None`` (default)
+                preserves the pre-analysis behaviour.
         """
         if not 0.0 < headroom_fraction <= 1.0:
             raise ValueError("headroom_fraction must be in (0, 1]")
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be at least 1")
+        if max_working_set_fraction is not None and max_working_set_fraction <= 0.0:
+            raise ValueError("max_working_set_fraction must be positive")
         self.pool = pool
         self.headroom_fraction = headroom_fraction
         self.max_queue_depth = max_queue_depth
+        self.max_working_set_fraction = max_working_set_fraction
         self.admitted = 0
         self.rejected = 0
         self.forced = 0
+        self.static_rejected = 0
 
     @property
     def headroom_bytes(self) -> int:
@@ -61,6 +72,32 @@ class AdmissionController:
     def can_admit(self, job: QueryJob) -> bool:
         """Would admitting ``job`` keep reservations within headroom?"""
         return self._demand(job) <= self.headroom_bytes
+
+    def static_reject_reason(self, job: QueryJob) -> str | None:
+        """Why ``job`` should be rejected from its plan alone, or ``None``.
+
+        Two static gates, both decided before any GPU memory moves:
+
+        * the plan analyzer found errors (``suggested_tier == "reject"``:
+          executing the plan would raise, so don't queue it);
+        * the static working-set estimate exceeds
+          ``max_working_set_fraction`` of pool capacity (the query could
+          only ever run forced-and-degraded).
+        """
+        report = job.meta.get("analysis")
+        if report is not None and getattr(report, "suggested_tier", None) == "reject":
+            n = len(report.errors)
+            return f"plan analysis found {n} error(s): {report.errors[0].message}"
+        if self.max_working_set_fraction is not None:
+            limit = int(self.pool.capacity * self.max_working_set_fraction)
+            demand = self._demand(job)
+            if demand > limit:
+                return (
+                    f"static working set {demand} B exceeds "
+                    f"{self.max_working_set_fraction:.0%} of pool capacity "
+                    f"({limit} B)"
+                )
+        return None
 
     def admit(self, job: QueryJob, forced: bool = False) -> None:
         """Reserve the job's estimated working set in the pool.
@@ -83,6 +120,7 @@ class AdmissionController:
         return {
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "static_rejected": self.static_rejected,
             "forced": self.forced,
             "headroom_bytes": self.headroom_bytes,
             "reserved_bytes": self.pool.reserved_total,

@@ -68,6 +68,7 @@ class ServingScheduler:
         batch_rows: int | None = SERVING_BATCH_ROWS,
         tracer=None,
         tracer_factory: Callable[[], object] | None = None,
+        static_admission: bool = False,
     ):
         """
         Args:
@@ -87,6 +88,14 @@ class ServingScheduler:
                 admission events).
             tracer_factory: Zero-arg callable making one tracer per query;
                 interleaved queries must not share a span stack.
+            static_admission: Run the plan analyzer on every submitted
+                query (report stored in ``job.meta["analysis"]``) and let
+                admission act on it *before* execution: plans the analyzer
+                proves broken are rejected at arrival, and queries whose
+                report predicts the spill tier are admitted pre-degraded
+                (spilling enabled, out-of-core batch size) instead of
+                burning a wasted full-size attempt.  Off by default — the
+                analyzer is advisory at execution time.
         """
         if streams < 1:
             raise ValueError("streams must be at least 1")
@@ -100,6 +109,7 @@ class ServingScheduler:
             else AdmissionController(engine.device.processing_pool)
         )
         self.batch_rows = batch_rows
+        self.static_admission = bool(static_admission)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer_factory = tracer_factory
         # Called with each job reaching a terminal state; closed-loop
@@ -121,6 +131,7 @@ class ServingScheduler:
         self.step_log: list[tuple[int, int, float, float]] = []
         self.expired_in_queue = 0
         self.degraded = 0
+        self.pre_degraded = 0
         self._ran = False
 
     # -- submission ----------------------------------------------------------
@@ -148,6 +159,10 @@ class ServingScheduler:
             estimate=estimate_plan(plan, catalog, self.engine.device),
             meta=meta if meta is not None else {},
         )
+        if self.static_admission and "analysis" not in job.meta:
+            from ..analysis import analyze_plan
+
+            job.meta["analysis"] = analyze_plan(plan, catalog, self.engine.device)
         self._seq += 1
         self.jobs.append(job)
         heapq.heappush(self._arrivals, (job.arrival_s, job.seq, job))
@@ -216,6 +231,25 @@ class ServingScheduler:
     def _drain_arrivals(self, vt: float) -> None:
         while self._arrivals and self._arrivals[0][0] <= vt:
             _, _, job = heapq.heappop(self._arrivals)
+            if self.static_admission:
+                reason = self.admission.static_reject_reason(job)
+                if reason is not None:
+                    job.state = JobState.REJECTED
+                    job.completion_s = job.arrival_s
+                    job.meta["reject_reason"] = reason
+                    self.admission.rejected += 1
+                    self.admission.static_rejected += 1
+                    self.tracer.event(
+                        "sched.rejected_static",
+                        sim_time=vt,
+                        job=job.label,
+                        seq=job.seq,
+                        reason=reason,
+                    )
+                    self.tracer.count("sched.rejected_static")
+                    if self.on_complete is not None:
+                        self.on_complete(job)
+                    continue
             if len(self.queue) >= self.admission.max_queue_depth:
                 job.state = JobState.REJECTED
                 job.completion_s = job.arrival_s
@@ -277,12 +311,35 @@ class ServingScheduler:
             except DeadlineExceededError as exc:
                 self._finish(job, vt, error=exc)
                 return
+        batch_rows = self.batch_rows
+        if self.static_admission:
+            report = job.meta.get("analysis")
+            if report is not None and getattr(report, "suggested_tier", None) == (
+                "gpu-retry-spill"
+            ):
+                # Pre-degrade from the plan alone: start directly in the
+                # out-of-core configuration instead of burning a wasted
+                # full-size attempt that the estimate says will OOM.
+                job.degraded_tier = "gpu-retry-spill"
+                self.pre_degraded += 1
+                self.engine.buffer_manager.enable_spill = True
+                batch_rows = min(
+                    batch_rows or OOC_RETRY_BATCH_ROWS, OOC_RETRY_BATCH_ROWS
+                )
+                self.tracer.event(
+                    "sched.pre_degraded",
+                    sim_time=vt,
+                    job=job.label,
+                    seq=job.seq,
+                    tier=job.degraded_tier,
+                )
+                self.tracer.count("sched.pre_degraded")
         job.qrun = self.engine.start_query(
             job.plan,
             job.catalog,
             deadline=job.deadline,
             tracer=job.tracer,
-            batch_rows=self.batch_rows,
+            batch_rows=batch_rows,
         )
         job.state = JobState.RUNNING
         job.ready_at = vt
@@ -431,6 +488,7 @@ class ServingScheduler:
             "rejected": sum(1 for j in self.jobs if j.state == JobState.REJECTED),
             "expired_in_queue": self.expired_in_queue,
             "degraded": self.degraded,
+            "pre_degraded": self.pre_degraded,
             "forced_admissions": self.admission.forced,
             "steps": len(self.step_log),
             "contention_avoided_evictions": (

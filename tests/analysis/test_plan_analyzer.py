@@ -1,0 +1,245 @@
+"""Defect corpus for the plan analyzer: every PA rule has at least one
+fixture plan it must flag — with the expected rule id — and a minimal
+passing twin that must come back clean.
+
+The fixtures construct relation trees directly (not through PlanBuilder,
+which resolves names and would reject most of these), exactly like a
+buggy or malicious third-party plan payload would arrive.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    TIER_CPU_PLAN,
+    TIER_GPU,
+    TIER_REJECT,
+    TIER_SPILL,
+    analyze_plan,
+)
+from repro.analysis.plan_analyzer import PLAN_RULES
+from repro.columnar import Schema, Table
+from repro.gpu import GH200, Device
+from repro.plan import Plan
+from repro.plan.expressions import AggregateCall, FieldRef, Literal, ScalarCall
+from repro.plan.relations import (
+    AggregateRel,
+    ExchangeRel,
+    FetchRel,
+    FilterRel,
+    JoinRel,
+    ProjectRel,
+    ReadRel,
+    SortRel,
+)
+
+SCHEMA = Schema([("k", "int64"), ("g", "int64"), ("v", "float64"), ("s", "string")])
+DIM_SCHEMA = Schema([("k", "int64"), ("w", "int64")])
+
+
+def read():
+    return ReadRel("fact", SCHEMA)
+
+
+def dim_read():
+    return ReadRel("dim", DIM_SCHEMA)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    fact = Table.from_pydict(
+        {"k": [1, 2, 3], "g": [0, 1, 0], "v": [1.5, -2.0, 3.25], "s": ["a", "b", "c"]},
+        SCHEMA,
+    )
+    dim = Table.from_pydict({"k": [1, 2], "w": [10, 20]}, DIM_SCHEMA)
+    return {"fact": fact, "dim": dim}
+
+
+def agg(op, arg_index=None):
+    arg = FieldRef(arg_index) if arg_index is not None else None
+    return AggregateCall(op if arg is not None else "count_star", arg)
+
+
+def shuffle_without_keys(input_rel):
+    # The constructor refuses this shape; a hand-mutated payload can
+    # still carry it, which is exactly what the analyzer is for.
+    ex = ExchangeRel(input_rel, "shuffle", [0])
+    ex.keys = []
+    return ex
+
+
+# (rule, failing relation factory, passing relation factory)
+CORPUS = [
+    ("PA01", lambda: ReadRel("missing", SCHEMA), read),
+    ("PA02", lambda: ProjectRel(read(), [FieldRef(9)], ["x"]),
+     lambda: ProjectRel(read(), [FieldRef(0)], ["x"])),
+    ("PA02", lambda: SortRel(read(), [(11, True)]),
+     lambda: SortRel(read(), [(0, True)])),
+    ("PA02", lambda: AggregateRel(read(), [7], [(agg("sum", 2), "m")]),
+     lambda: AggregateRel(read(), [1], [(agg("sum", 2), "m")])),
+    ("PA02", lambda: JoinRel(read(), dim_read(), "inner", [0], [5]),
+     lambda: JoinRel(read(), dim_read(), "inner", [0], [0])),
+    ("PA02", lambda: ExchangeRel(read(), "shuffle", [9]),
+     lambda: ExchangeRel(read(), "shuffle", [0])),
+    ("PA03",
+     lambda: ProjectRel(
+         read(), [ScalarCall("add", [FieldRef(3), Literal(1)])], ["x"]),
+     lambda: ProjectRel(
+         read(), [ScalarCall("add", [FieldRef(0), Literal(1)])], ["x"])),
+    ("PA04", lambda: FilterRel(read(), FieldRef(0)),
+     lambda: FilterRel(read(), ScalarCall("gt", [FieldRef(0), Literal(1)]))),
+    ("PA04",
+     lambda: ReadRel("fact", SCHEMA, filter_expr=FieldRef(2)),
+     lambda: ReadRel(
+         "fact", SCHEMA,
+         filter_expr=ScalarCall("gt", [FieldRef(2), Literal(0.0)]))),
+    ("PA05", lambda: AggregateRel(read(), [1], [(FieldRef(2), "m")]),
+     lambda: AggregateRel(read(), [1], [(agg("sum", 2), "m")])),
+    ("PA05",
+     lambda: FilterRel(read(), AggregateCall("sum", FieldRef(2))),
+     lambda: FilterRel(read(), ScalarCall("gt", [FieldRef(2), Literal(0.0)]))),
+    ("PA05",
+     lambda: AggregateRel(
+         read(), [1],
+         [(AggregateCall("sum", AggregateCall("sum", FieldRef(2))), "m")]),
+     lambda: AggregateRel(read(), [1], [(agg("sum", 2), "m")])),
+    ("PA05", lambda: ProjectRel(read(), [FieldRef(0), FieldRef(1)], ["x", "x"]),
+     lambda: ProjectRel(read(), [FieldRef(0), FieldRef(1)], ["x", "y"])),
+    ("PA06", lambda: JoinRel(read(), dim_read(), "inner", [3], [0]),
+     lambda: JoinRel(read(), dim_read(), "inner", [0], [0])),
+    ("PA06", lambda: JoinRel(read(), dim_read(), "left", [], []),
+     lambda: JoinRel(read(), dim_read(), "inner", [], [])),
+    ("PA07", lambda: shuffle_without_keys(read()),
+     lambda: ExchangeRel(read(), "shuffle", [0])),
+    ("PA07", lambda: ExchangeRel(read(), "broadcast", [0]),
+     lambda: ExchangeRel(read(), "broadcast")),
+    ("PA07",
+     lambda: ExchangeRel(ExchangeRel(read(), "shuffle", [0]), "broadcast"),
+     lambda: ExchangeRel(FilterRel(
+         ExchangeRel(read(), "shuffle", [0]),
+         ScalarCall("gt", [FieldRef(0), Literal(1)])), "broadcast")),
+    ("PA08",
+     lambda: FilterRel(read(), ScalarCall("like", [FieldRef(3), FieldRef(3)])),
+     lambda: FilterRel(read(), ScalarCall("like", [FieldRef(3), Literal("a%")]))),
+    ("PA08",
+     lambda: FilterRel(
+         read(), ScalarCall("in", [FieldRef(0), Literal(1), FieldRef(1)])),
+     lambda: FilterRel(
+         read(), ScalarCall("in", [FieldRef(0), Literal(1), Literal(2)]))),
+    ("PA08",
+     lambda: ProjectRel(
+         read(),
+         [ScalarCall("substring", [FieldRef(3), FieldRef(0), Literal(2)])],
+         ["x"]),
+     lambda: ProjectRel(
+         read(),
+         [ScalarCall("substring", [FieldRef(3), Literal(1), Literal(2)])],
+         ["x"])),
+    ("PA10", lambda: FetchRel(read(), -1, None),
+     lambda: FetchRel(read(), 0, 5)),
+    ("PA10", lambda: FetchRel(read(), 0, -3),
+     lambda: FetchRel(read(), 0, 3)),
+]
+
+ERROR_RULES = {r for r, d in PLAN_RULES.items() if r not in ("PA07", "PA08", "PA09")}
+
+
+class TestDefectCorpus:
+    @pytest.mark.parametrize(
+        "rule,bad,good", CORPUS, ids=[f"{r}-{i}" for i, (r, _, _) in enumerate(CORPUS)]
+    )
+    def test_bad_fixture_is_flagged(self, rule, bad, good, catalog):
+        report = analyze_plan(Plan(bad()), catalog)
+        assert rule in report.rules_hit(), report.findings
+
+    @pytest.mark.parametrize(
+        "rule,bad,good", CORPUS, ids=[f"{r}-{i}" for i, (r, _, _) in enumerate(CORPUS)]
+    )
+    def test_good_twin_is_clean(self, rule, bad, good, catalog):
+        report = analyze_plan(Plan(good()), catalog)
+        assert rule not in report.rules_hit(), report.findings
+
+    def test_every_rule_has_a_failing_fixture(self):
+        covered = {rule for rule, _, _ in CORPUS} | {"PA09"}  # PA09 below
+        assert covered == set(PLAN_RULES)
+
+    def test_errors_reject(self, catalog):
+        report = analyze_plan(Plan(FetchRel(read(), -1, None)), catalog)
+        assert not report.ok
+        assert report.suggested_tier == TIER_REJECT
+        assert all(f.severity == SEVERITY_ERROR for f in report.errors)
+
+    def test_gpu_unsupported_suggests_cpu_plan(self, catalog):
+        rel = FilterRel(read(), ScalarCall("like", [FieldRef(3), FieldRef(3)]))
+        report = analyze_plan(Plan(rel), catalog)
+        assert report.ok  # warnings only
+        assert not report.gpu_supported
+        assert report.suggested_tier == TIER_CPU_PLAN
+        assert all(f.severity == SEVERITY_WARNING for f in report.findings)
+
+    def test_exchange_warnings_stay_on_gpu(self, catalog):
+        report = analyze_plan(Plan(ExchangeRel(read(), "broadcast", [0])), catalog)
+        assert report.ok
+        assert report.suggested_tier == TIER_GPU
+
+
+class TestWorkingSetTier:
+    def test_pa09_oversized_working_set_suggests_spill(self):
+        n = 50_000
+        fact = Table.from_pydict(
+            {
+                "k": list(range(n)),
+                "g": [i % 7 for i in range(n)],
+                "v": [float(i) for i in range(n)],
+                "s": ["x"] * n,
+            },
+            SCHEMA,
+        )
+        device = Device(GH200, memory_limit_gb=0.001)  # ~0.5 MB pool
+        report = analyze_plan(Plan(SortRel(read(), [(0, True)])), {"fact": fact}, device)
+        assert report.ok
+        assert "PA09" in report.rules_hit()
+        assert report.suggested_tier == TIER_SPILL
+        assert report.working_set_bytes > device.processing_pool.capacity
+
+    def test_small_working_set_stays_gpu(self, catalog):
+        device = Device(GH200, memory_limit_gb=1.0)
+        report = analyze_plan(Plan(SortRel(read(), [(0, True)])), catalog, device)
+        assert report.suggested_tier == TIER_GPU
+        assert "PA09" not in report.rules_hit()
+
+
+class TestReportShape:
+    def test_multiple_findings_accumulate(self, catalog):
+        # One plan, three independent defects: the analyzer must report
+        # them all, not stop at the first like validate() does.
+        rel = FetchRel(
+            ProjectRel(
+                FilterRel(ReadRel("missing", SCHEMA), FieldRef(0)),
+                [FieldRef(9)],
+                ["x"],
+            ),
+            -1,
+            None,
+        )
+        report = analyze_plan(Plan(rel), catalog)
+        assert {"PA01", "PA02", "PA04", "PA10"} <= report.rules_hit()
+
+    def test_output_schema_and_json(self, catalog):
+        import json
+
+        report = analyze_plan(Plan(read()), catalog)
+        assert report.output_schema == [
+            ("k", "int64"), ("g", "int64"), ("v", "float64"), ("s", "string")
+        ]
+        doc = json.loads(report.to_json())
+        assert doc["ok"] is True
+        assert doc["suggested_tier"] == TIER_GPU
+        assert doc["findings"] == []
+        assert report.summary()
+
+    def test_analyzer_never_raises_on_broken_trees(self):
+        rel = ProjectRel(ReadRel("missing", SCHEMA), [FieldRef(42)], ["x"])
+        report = analyze_plan(Plan(rel))  # no catalog, no device
+        assert not report.ok

@@ -1,0 +1,72 @@
+"""Soundness of the plan analyzer, as a hypothesis property.
+
+Two directions, over the same random-plan generators the differential
+fuzzer uses:
+
+* **No false rejections**: any plan the executor runs successfully must
+  pass the analyzer with zero *errors* (warnings are advisory).
+* **No false acceptances, on the seeded defect family**: a plan the
+  analyzer rejects must not execute cleanly.  Mutations are drawn from
+  the analyzer's own error catalog (out-of-range ordinals, non-boolean
+  filters, negative fetches, malformed measures), applied on top of
+  arbitrary generated plans.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_plan
+from repro.core import SiriusEngine
+from repro.gpu.specs import GH200
+from repro.plan import Plan
+from repro.plan.expressions import AggregateCall, FieldRef, Literal
+from repro.plan.relations import AggregateRel, FetchRel, FilterRel, ProjectRel
+
+from tests.core.test_random_plans import plans, tables
+
+
+def _arity(plan):
+    return len(plan.output_schema())
+
+
+MUTATIONS = [
+    ("field-out-of-range", lambda root: ProjectRel(
+        root, [FieldRef(_arity(Plan(root)) + 3)], ["bad"])),
+    ("non-boolean-filter", lambda root: FilterRel(root, Literal(7))),
+    ("negative-fetch", lambda root: FetchRel(root, -2, None)),
+    ("non-aggregate-measure", lambda root: AggregateRel(
+        root, [0], [(FieldRef(0), "m")])),
+    ("aggregate-in-filter", lambda root: FilterRel(
+        root, AggregateCall("count", FieldRef(0)))),
+]
+
+
+class TestAnalyzerSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_executable_plans_pass_the_analyzer(self, data, plan):
+        engine = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0)
+        engine.execute(plan, data)  # must not raise — generator emits valid plans
+        report = analyze_plan(plan, data, engine.device)
+        assert report.ok, [str(f) for f in report.errors]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=tables(),
+        plan=plans(),
+        mutation=st.sampled_from(MUTATIONS),
+    )
+    def test_rejected_plans_do_not_execute_cleanly(self, data, plan, mutation):
+        _name, mutate = mutation
+        broken = Plan(mutate(plan.root))
+        report = analyze_plan(broken, data)
+        assert not report.ok, f"analyzer missed defect {_name}"
+        engine = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0)
+        try:
+            engine.execute(broken, data)
+        except Exception:
+            pass  # not cleanly: exactly what the analyzer predicted
+        else:
+            raise AssertionError(
+                f"analyzer rejected {_name} but the engine executed it cleanly"
+            )
