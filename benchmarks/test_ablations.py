@@ -1,5 +1,7 @@
 """Ablations over the design choices DESIGN.md calls out."""
 
+import json
+
 import pytest
 
 from repro.bench import (
@@ -103,6 +105,25 @@ def test_multi_gpu_scales_compute(results_dir, benchmark):
     result = benchmark.pedantic(multi_gpu_ablation, rounds=1, iterations=1)
     (results_dir / "ablation_multigpu.txt").write_text(repr(result) + "\n")
     assert result["gpus2_compute_s"] < result["gpus1_compute_s"]
+
+
+def test_overlap_hides_cold_load_and_exchange_time(harness, results_dir, benchmark):
+    """Copy/compute overlap (async copy streams + prefetch): cold runs of
+    Q1/Q3/Q6 must get strictly faster with overlap on, the distributed Q3
+    total must improve, and its Table-2 exchange fraction must not grow."""
+    from repro.bench import overlap_ablation
+
+    result = benchmark.pedantic(
+        overlap_ablation, args=(harness,), rounds=1, iterations=1
+    )
+    (results_dir / "ablation_overlap.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    for q in (1, 3, 6):
+        assert result[f"q{q}_overlap_s"] < result[f"q{q}_baseline_s"]
+        assert result[f"q{q}_hidden_s"] > 0.0
+    assert result["dist_overlap_total_s"] < result["dist_baseline_total_s"]
+    assert result["dist_overlap_exchange_frac"] <= result["dist_baseline_exchange_frac"]
 
 
 def test_predicate_transfer_shrinks_the_q3_shuffle(results_dir, benchmark):

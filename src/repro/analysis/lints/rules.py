@@ -22,6 +22,11 @@ RR05    zero-cost tracing: every ``record_span`` call must sit under an
         ``if <tracer>.enabled`` guard, and ``tracer`` parameter defaults
         must be ``NULL_TRACER`` (or ``None``) so the disabled path costs
         nothing
+RR06    transfers go through the stream API: outside ``gpu/device.py`` and
+        ``gpu/clock.py``, no direct ``clock.advance``/``advance_to`` with a
+        transfer category — copies must use ``Device.htod``/``dtoh``/
+        ``htod_async``/``wait_copies`` so stream accounting (busy vs
+        exposed time, overlap efficiency) stays correct
 ======  ======================================================================
 
 Suppress a deliberate exception with ``# lint: allow=<rule-id>`` on the
@@ -42,6 +47,7 @@ __all__ = [
     "RmmOwnerPairingRule",
     "StatelessOperatorRule",
     "TracerGuardRule",
+    "TransferStreamRule",
     "LINT_RULES",
     "default_rules",
 ]
@@ -260,6 +266,47 @@ class TracerGuardRule(LintRule):
                 )
 
 
+_TRANSFER_CATEGORIES = frozenset({"transfer", "transfer-wait"})
+# The only modules allowed to charge transfer time directly: the clock
+# (stream implementation) and the device (sync/async transfer primitives).
+_TRANSFER_MODULES = ("gpu/device.py", "gpu/clock.py")
+
+
+class TransferStreamRule(LintRule):
+    rule_id = "RR06"
+    description = "transfer time is charged only via the Device/stream API"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        rel = module.relpath.replace("\\", "/")
+        if rel.endswith(_TRANSFER_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in ("advance", "advance_to")
+            ):
+                continue
+            category = None
+            for kw in node.keywords:
+                if kw.arg == "category":
+                    category = kw.value
+            if category is None and len(node.args) >= 2:
+                category = node.args[1]
+            if (
+                isinstance(category, ast.Constant)
+                and category.value in _TRANSFER_CATEGORIES
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct clock advance with category "
+                    f"{category.value!r} — transfers must go through "
+                    "Device.htod/dtoh/htod_async/wait_copies so stream "
+                    "accounting stays correct",
+                )
+
+
 def _has_enabled_guard(node: ast.AST) -> bool:
     for anc in ancestors(node):
         if isinstance(anc, ast.If) and any(
@@ -316,6 +363,7 @@ LINT_RULES = {
     "RR03": RmmOwnerPairingRule,
     "RR04": StatelessOperatorRule,
     "RR05": TracerGuardRule,
+    "RR06": TransferStreamRule,
 }
 
 

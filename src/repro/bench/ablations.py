@@ -27,6 +27,7 @@ __all__ = [
     "impl_swap",
     "interconnect_sweep",
     "batch_execution",
+    "overlap_ablation",
 ]
 
 
@@ -189,6 +190,48 @@ def multi_gpu_ablation(sf: float = 0.02, query: int = 1) -> dict[str, float]:
         result = db.execute(tpch_query(query))
         out[f"gpus{gpus}_total_s"] = result.total_seconds
         out[f"gpus{gpus}_compute_s"] = result.compute_seconds
+    return out
+
+
+def overlap_ablation(
+    harness: AblationHarness,
+    queries: tuple[int, ...] = (1, 3, 6),
+    spec: DeviceSpec = A100_40G,
+    distributed_query: int = 3,
+    num_nodes: int = 4,
+) -> dict[str, float]:
+    """Copy/compute overlap (async streams + prefetch) on and off.
+
+    Single-node: cold runs of the given queries on a PCIe4-attached A100
+    (the configuration where exposed copy time is largest), synchronous
+    loads vs chunked double-buffered loads on the copy stream.
+    Distributed: the Table-2 Q3 shuffle with pipelined exchanges
+    overlapping sends with fragment compute.
+    """
+    from ..hosts import MiniDoris
+
+    out: dict[str, float] = {}
+    for query in queries:
+        plan = harness.plan(query)
+        for enabled in (False, True):
+            engine = SiriusEngine.for_spec(spec, overlap=enabled)
+            engine.execute(plan, harness.data)  # cold: pays the load
+            key = "overlap" if enabled else "baseline"
+            out[f"q{query}_{key}_s"] = engine.last_profile.sim_seconds
+            if enabled:
+                out[f"q{query}_hidden_s"] = engine.last_profile.overlap_hidden_s
+    sql = tpch_query(distributed_query)
+    for enabled in (False, True):
+        db = MiniDoris(num_nodes=num_nodes, mode="sirius", overlap=enabled)
+        db.load_tables(harness.data)
+        db.warm_caches()
+        result = db.execute(sql)
+        key = "overlap" if enabled else "baseline"
+        out[f"dist_{key}_total_s"] = result.total_seconds
+        out[f"dist_{key}_exchange_s"] = result.exchange_seconds
+        out[f"dist_{key}_exchange_frac"] = result.profile.table2_fractions()["exchange"]
+        if enabled:
+            out["dist_hidden_s"] = result.profile.overlap_hidden_s
     return out
 
 

@@ -15,7 +15,17 @@ Responsibilities reproduced here:
 * **Out-of-core extension (§3.4)** — when the caching region cannot hold a
   table, the manager spills the least-recently-used cached tables to
   *pinned host memory*; reading a spilled table later streams it back over
-  the interconnect (slower, but execution proceeds instead of failing).
+  the interconnect at the pinned rate (slower than a hot hit, but
+  execution proceeds instead of failing).
+* **Copy/compute overlap (``overlap=True``)** — cold loads are chunked and
+  double-buffered on the device's copy stream: the first chunk is paid
+  synchronously (the consuming pipeline needs data to start), the
+  remaining chunks stream asynchronously behind the pipeline's kernels,
+  and the host joins the stream at the pipeline-end sync point
+  (:meth:`BufferManager.complete_loads`).  The executor additionally
+  prefetches the *next* pipeline's base table via :meth:`prefetch`, whose
+  copy is issued entirely on the stream.  Off by default — the default
+  path is byte-identical to the synchronous loader.
 """
 
 from __future__ import annotations
@@ -30,7 +40,12 @@ from ..gpu.device import Device
 from ..gpu.memory import OutOfDeviceMemory
 from ..kernels import GTable
 
-__all__ = ["BufferManager", "CacheEntry"]
+__all__ = ["BufferManager", "CacheEntry", "DEFAULT_LOAD_CHUNK_BYTES"]
+
+# Double-buffering granularity of overlapped cold loads: large enough to
+# amortise the per-chunk DMA latency, small enough that the first
+# (synchronous) chunk is cheap.
+DEFAULT_LOAD_CHUNK_BYTES = 1 << 20
 
 
 class CacheEntry:
@@ -45,6 +60,7 @@ class CacheEntry:
         "compressed",
         "logical_nbytes",
         "last_user",
+        "ready_at",
     )
 
     def __init__(self, name: str, gtable: GTable, host_table: Table, compressed: bool = False):
@@ -58,12 +74,22 @@ class CacheEntry:
         # Query that touched the entry last (device.query_owner); used by
         # contention-aware eviction under concurrent serving.
         self.last_user = None
+        # Overlapped loads: stream timestamp at which the *first* chunk has
+        # landed — the earliest time a pipelined consumer may start reading.
+        self.ready_at = 0.0
 
 
 class BufferManager:
     """Owns the caching region contents and the format-conversion paths."""
 
-    def __init__(self, device: Device, enable_spill: bool = True, compress_cache: bool = False):
+    def __init__(
+        self,
+        device: Device,
+        enable_spill: bool = True,
+        compress_cache: bool = False,
+        overlap: bool = False,
+        load_chunk_bytes: int = DEFAULT_LOAD_CHUNK_BYTES,
+    ):
         """
         Args:
             device: The owning device.
@@ -73,17 +99,34 @@ class BufferManager:
                 the caching region (§3.4's lightweight-compression
                 extension): smaller footprint and cheaper cold loads, at
                 the price of a decompression pass on every access.
+            overlap: Chunk + double-buffer cold loads on the device's copy
+                stream so transfers overlap the consuming pipeline's
+                kernels, and honour executor prefetch requests.  Applies
+                to uncompressed loads (compressed loads keep the
+                synchronous path).  Off by default — the synchronous
+                loader is byte-identical to the seed.
+            load_chunk_bytes: Chunk granularity of overlapped loads.
         """
         self.device = device
         self.enable_spill = enable_spill
         self.compress_cache = compress_cache
+        self.overlap = overlap
+        self.load_chunk_bytes = int(load_chunk_bytes)
         self._cache: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.cold_loads = 0
         self.hot_hits = 0
         self.spills = 0
         self.unspills = 0
+        self.prefetches = 0
+        self.prefetch_hits = 0
         self.pinned_host_bytes = 0
         self.compressed_saved_bytes = 0
+        # In-flight copy-stream events (full-completion timestamps):
+        # ``_in_flight`` holds prefetched entries no query has consumed yet;
+        # ``_must_sync`` holds consumed entries the host must join before
+        # the consuming pipeline finalises (complete_loads).
+        self._in_flight: dict[str, float] = {}
+        self._must_sync: dict[str, float] = {}
         # Contention-aware spill (multi-query serving): when the scheduler
         # installs its live-query set here, eviction prefers LRU entries
         # whose last user is *not* an in-flight query, so one query's cold
@@ -98,6 +141,18 @@ class BufferManager:
         """Return the device-resident table, loading/caching on first use."""
         entry = self._cache.get(name)
         if entry is not None:
+            event = self._in_flight.pop(name, None)
+            if event is not None:
+                # Prefetch hit: the copy was issued on the stream before the
+                # consumer asked.  Pipelined consumption may begin once the
+                # first chunk has landed; the tail chunks join at the
+                # pipeline-end sync point like any overlapped load.
+                self._cache.move_to_end(name)
+                entry.last_user = self.device.query_owner
+                self.device.wait_copies(entry.ready_at)
+                self._must_sync[name] = event
+                self.prefetch_hits += 1
+                return entry.gtable
             self._cache.move_to_end(name)
             entry.last_user = self.device.query_owner
             if entry.location == "pinned":
@@ -112,26 +167,131 @@ class BufferManager:
                 )
             self.hot_hits += 1
             return entry.gtable
-        gtable = self._load(name, host_table)
+        gtable, event = self._load(name, host_table)
         entry = CacheEntry(name, gtable, host_table, compressed=self.compress_cache)
         entry.last_user = self.device.query_owner
         self._cache[name] = entry
+        if event is not None:
+            self._must_sync[name] = event
         self.cold_loads += 1
         return gtable
 
-    def _load(self, name: str, host_table: Table) -> GTable:
-        """Cold path: deep-copy the host table into the caching region."""
+    def prefetch(self, name: str, host_table: Table) -> bool:
+        """Issue a fully-asynchronous cold load of ``name`` on the copy
+        stream (the executor's scan-prefetch hook for the next pipeline's
+        base table).
+
+        Best-effort: a no-op unless overlap mode is on, the table is not
+        already cached, the cache is uncompressed, and the table fits the
+        caching region *without* evicting (prefetch must never thrash
+        tables the running pipeline still needs).  Returns True when the
+        prefetch was issued.
+        """
+        if not self.overlap or self.compress_cache or name in self._cache:
+            return False
+        from ..kernels import GColumn
+
+        columns: list = []
+        try:
+            for col in host_table.columns:
+                columns.append(
+                    GColumn.from_array(
+                        self.device, col.dtype, col.data,
+                        col.is_valid_mask(), col.dictionary, "caching",
+                    )
+                )
+        except OutOfDeviceMemory:
+            for column in columns:
+                column.free()
+            return False
+        gtable = GTable(host_table.schema, columns, self.device)
+        first_event = None
+        event = self.device.clock.now
+        remaining = host_table.nbytes
+        while remaining > 0:
+            nbytes = min(self.load_chunk_bytes, remaining)
+            event = self.device.htod_async(nbytes)
+            if first_event is None:
+                first_event = event
+            remaining -= nbytes
+        entry = CacheEntry(name, gtable, host_table, compressed=False)
+        entry.last_user = self.device.query_owner
+        entry.ready_at = first_event if first_event is not None else event
+        self._cache[name] = entry
+        self._in_flight[name] = event
+        self.cold_loads += 1
+        self.prefetches += 1
+        return True
+
+    def complete_loads(self) -> float:
+        """Join the copy stream for every overlapped load consumed since
+        the last call (the pipeline-end synchronisation point).  Returns
+        the exposed wait seconds; zero when the copies finished behind the
+        pipeline's kernels (fully hidden) or nothing is pending."""
+        if not self._must_sync:
+            return 0.0
+        target = max(self._must_sync.values())
+        self._must_sync.clear()
+        return self.device.wait_copies(target)
+
+    def _load(self, name: str, host_table: Table) -> tuple[GTable, float | None]:
+        """Cold path: deep-copy the host table into the caching region.
+
+        Returns the device table plus, for overlapped loads, the copy
+        stream's full-completion event timestamp (None for synchronous
+        loads)."""
         while True:
             try:
                 if self.compress_cache:
-                    return self._load_compressed(host_table)
-                return GTable.from_host(self.device, host_table, region="caching")
+                    return self._load_compressed(host_table), None
+                if self.overlap:
+                    return self._load_overlapped(host_table)
+                return GTable.from_host(self.device, host_table, region="caching"), None
             except OutOfDeviceMemory:
                 if not self._evict_one():
                     raise
 
-    def _load_compressed(self, host_table: Table) -> GTable:
-        """Load with FOR+bit-packing applied to the packable columns."""
+    def _load_overlapped(self, host_table: Table) -> tuple[GTable, float]:
+        """Chunked double-buffered cold load: the first chunk is charged
+        synchronously (the pipeline cannot start on nothing), the remaining
+        chunks are issued on the copy stream and overlap the consuming
+        pipeline's kernels until :meth:`complete_loads`."""
+        from ..kernels import GColumn
+
+        columns: list = []
+        try:
+            for col in host_table.columns:
+                columns.append(
+                    GColumn.from_array(
+                        self.device, col.dtype, col.data,
+                        col.is_valid_mask(), col.dictionary, "caching",
+                    )
+                )
+        except BaseException:
+            for column in columns:
+                column.free()
+            raise
+        gtable = GTable(host_table.schema, columns, self.device)
+        total = host_table.nbytes
+        first = min(self.load_chunk_bytes, total)
+        if first > 0:
+            self.device.htod(first)
+        event = self.device.clock.now
+        remaining = total - first
+        while remaining > 0:
+            nbytes = min(self.load_chunk_bytes, remaining)
+            event = self.device.htod_async(nbytes)
+            remaining -= nbytes
+        return gtable, event
+
+    def _load_compressed(
+        self, host_table: Table, count_savings: bool = True, pinned: bool = False
+    ) -> GTable:
+        """Load with FOR+bit-packing applied to the packable columns.
+
+        ``count_savings`` is False on the unspill path: the cumulative
+        savings counter reflects first loads only, not every spill cycle.
+        """
         from ..kernels import GColumn
         from ..kernels.compression import pack_column, packable
 
@@ -140,14 +300,21 @@ class BufferManager:
             for col in host_table.columns:
                 if packable(col):
                     packed = pack_column(col)
-                    self.device.htod(packed.packed_nbytes)  # compressed wire
+                    self.device.htod(packed.packed_nbytes, pinned=pinned)  # compressed wire
                     buf = self.device.new_buffer(
                         col.data, "caching", account_nbytes=packed.packed_nbytes
                     )
-                    self.compressed_saved_bytes += col.nbytes - packed.packed_nbytes
+                    if count_savings:
+                        self.compressed_saved_bytes += col.nbytes - packed.packed_nbytes
                     columns.append(GColumn(col.dtype, buf, None, col.dictionary))
                 else:
-                    columns.append(GColumn.from_host(self.device, col, "caching"))
+                    self.device.htod(col.nbytes, pinned=pinned)
+                    columns.append(
+                        GColumn.from_array(
+                            self.device, col.dtype, col.data,
+                            col.is_valid_mask(), col.dictionary, "caching",
+                        )
+                    )
         except BaseException:
             for column in columns:
                 column.free()
@@ -181,8 +348,12 @@ class BufferManager:
         return False
 
     def _spill(self, entry: CacheEntry) -> None:
-        """Move a cached table to pinned host memory (device bytes freed)."""
-        self.device.dtoh(entry.nbytes)
+        """Move a cached table to pinned host memory (device bytes freed).
+
+        §3.4 spills into *pinned* host buffers, so the copy streams at the
+        pinned interconnect rate."""
+        self._sync_in_flight(entry.name)
+        self.device.dtoh(entry.nbytes, pinned=True)
         entry.gtable.free()
         entry.gtable = None
         entry.location = "pinned"
@@ -190,15 +361,16 @@ class BufferManager:
         self.spills += 1
 
     def _unspill(self, entry: CacheEntry) -> None:
-        """Stream a spilled table back to the device caching region."""
+        """Stream a spilled table back to the device caching region (from
+        pinned host memory, at the pinned rate)."""
         while True:
             try:
                 if self.compress_cache:
-                    entry.gtable = self._load_compressed(entry.host_table)
-                else:
-                    entry.gtable = GTable.from_host(
-                        self.device, entry.host_table, region="caching"
+                    entry.gtable = self._load_compressed(
+                        entry.host_table, count_savings=False, pinned=True
                     )
+                else:
+                    entry.gtable = self._pinned_from_host(entry.host_table)
                 break
             except OutOfDeviceMemory:
                 if not self._evict_other(entry):
@@ -206,6 +378,36 @@ class BufferManager:
         entry.location = "device"
         self.pinned_host_bytes -= entry.nbytes
         self.unspills += 1
+
+    def _pinned_from_host(self, host_table: Table) -> GTable:
+        """Deep-copy a host table into the caching region at the pinned
+        transfer rate (mirrors ``GTable.from_host`` charge-for-charge)."""
+        from ..kernels import GColumn
+
+        columns: list = []
+        try:
+            for col in host_table.columns:
+                self.device.htod(col.nbytes, pinned=True)
+                columns.append(
+                    GColumn.from_array(
+                        self.device, col.dtype, col.data,
+                        col.is_valid_mask(), col.dictionary, "caching",
+                    )
+                )
+        except BaseException:
+            for column in columns:
+                column.free()
+            raise
+        return GTable(host_table.schema, columns, self.device)
+
+    def _sync_in_flight(self, name: str) -> None:
+        """Join the copy stream for one entry's outstanding chunks (memory
+        being written cannot be freed, spilled, or dropped mid-copy)."""
+        pending = self._in_flight.pop(name, None)
+        consumed = self._must_sync.pop(name, None)
+        events = [e for e in (pending, consumed) if e is not None]
+        if events:
+            self.device.wait_copies(max(events))
 
     def _evict_other(self, keep: CacheEntry) -> bool:
         if self.active_queries is not None:
@@ -232,10 +434,20 @@ class BufferManager:
 
     def drop(self, name: str) -> None:
         """Remove a table from the cache (used by the exchange layer's
-        temporary-table deregistration)."""
+        temporary-table deregistration).
+
+        Device-resident entries free their device bytes; spilled entries
+        release their pinned host bytes (the accounting leak fixed here:
+        dropping a spilled entry previously left ``pinned_host_bytes``
+        inflated forever)."""
         entry = self._cache.pop(name, None)
-        if entry is not None and entry.location == "device" and entry.gtable is not None:
+        if entry is None:
+            return
+        self._sync_in_flight(name)
+        if entry.location == "device" and entry.gtable is not None:
             entry.gtable.free()
+        elif entry.location == "pinned":
+            self.pinned_host_bytes -= entry.nbytes
 
     def clear(self) -> None:
         for name in list(self._cache):
@@ -281,6 +493,8 @@ class BufferManager:
             "hot_hits": self.hot_hits,
             "spills": self.spills,
             "unspills": self.unspills,
+            "prefetches": self.prefetches,
+            "prefetch_hits": self.prefetch_hits,
             "cached_tables": len(self._cache),
             "caching_used": self.device.caching_region.used,
             "caching_capacity": self.device.caching_region.capacity,

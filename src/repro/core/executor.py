@@ -38,7 +38,7 @@ from ..kernels import GTable, slice_table
 from ..obs import OperatorTiming, QueryProfile
 from .deadline import Deadline
 from .operators.base import ExecutionContext
-from .operators.scan import IntermediateSource
+from .operators.scan import IntermediateSource, TableScan
 from .planner import PhysicalPlan, Pipeline
 
 __all__ = ["PipelineExecutor", "QueryRun", "QueryProfile", "OperatorTiming"]
@@ -123,6 +123,7 @@ class QueryRun:
         pool = ctx.device.processing_pool
         start = clock.now
         buckets_before = clock.buckets()
+        streams_before = clock.stream_stats()
         kernels_before = ctx.device.kernel_count
         trace_mark = tracer.mark()
         pool.begin_watermark()
@@ -142,6 +143,8 @@ class QueryRun:
                 for _ in range(len(queue)):
                     pipeline = queue.popleft()
                     if pipeline.dependencies <= done:
+                        if ctx.buffer_manager.overlap:
+                            self._prefetch_next(pipeline, queue, done)
                         yield from self._pipeline_steps(
                             pipeline, slots, profile, deadline
                         )
@@ -168,6 +171,22 @@ class QueryRun:
             profile.kernel_count = ctx.device.kernel_count - kernels_before
             profile.output_rows = result.num_rows
             profile.device_mem_peak = pool.watermark
+            streams_after = clock.stream_stats()
+            hidden = 0.0
+            for name, stats in streams_after.items():
+                before = streams_before.get(name, {})
+                busy_d = stats["busy_s"] - before.get("busy_s", 0.0)
+                exposed_d = stats["exposed_s"] - before.get("exposed_s", 0.0)
+                if busy_d > 0.0:
+                    profile.stream_busy[name] = busy_d
+                    # A wait can join stream work issued before this query
+                    # started, so clamp per stream rather than summing raw.
+                    hidden += max(busy_d - exposed_d, 0.0)
+            profile.overlap_hidden_s = hidden
+            if profile.stream_busy:
+                total_busy = sum(profile.stream_busy.values())
+                if total_busy > 0.0:
+                    tracer.gauge("overlap.efficiency", hidden / total_busy)
             qspan.set(
                 rows_out=profile.output_rows,
                 kernel_count=profile.kernel_count,
@@ -233,6 +252,11 @@ class QueryRun:
                     pipeline.sink.consume(self.ctx, chunk, state)
                 sink_seconds += clock.now - mark
                 yield
+            if self.ctx.buffer_manager.overlap:
+                # Pipeline-end stream join: overlapped cold-load chunks this
+                # pipeline consumed must land before its sink finalises;
+                # only the un-overlapped remainder is exposed here.
+                self.ctx.buffer_manager.complete_loads()
             mark = clock.now
             if sink_first is None:
                 sink_first = mark
@@ -294,6 +318,21 @@ class QueryRun:
                     role="sink",
                 )
                 pspan.set(rows_out=output_rows, source_rows=source_rows)
+
+    def _prefetch_next(self, current: Pipeline, queue, done: set[int]) -> None:
+        """Scan-prefetch hook: before running ``current``, issue an async
+        cold load for the base table of the next pipeline that becomes
+        ready once ``current`` completes, so its copy streams behind this
+        pipeline's kernels."""
+        will_be_done = done | {current.pid}
+        for candidate in queue:
+            if candidate.dependencies <= will_be_done and isinstance(
+                candidate.source, TableScan
+            ):
+                host = self.ctx.catalog.get(candidate.source.table_name)
+                if host is not None:
+                    self.ctx.buffer_manager.prefetch(candidate.source.table_name, host)
+                return
 
     def _source_chunks(self, pipeline: Pipeline, slots: dict):
         source = pipeline.source

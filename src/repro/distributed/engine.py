@@ -111,6 +111,7 @@ class DistributedExecutor:
         max_exchange_retries: int = 6,
         retry_backoff_s: float = 0.0002,
         tracer=None,
+        overlap_exchange: bool = False,
     ):
         """
         Args:
@@ -129,6 +130,11 @@ class DistributedExecutor:
             tracer: Observability sink; spans are recorded as
                 query -> fragment -> exchange -> collective, with retry
                 events on the exchange spans.  Null (free) by default.
+            overlap_exchange: Overlap shuffle/broadcast sends with fragment
+                compute — a *pipelined* fragment (streaming root) starts
+                sending finished partitions while it is still computing, so
+                part of the wire time hides behind the slowest node's
+                compute.  Off by default (seed-identical).
         """
         self.cluster = cluster
         self.node_executor = node_executor
@@ -136,6 +142,7 @@ class DistributedExecutor:
         self.dispatch_overhead_s = dispatch_overhead_s
         self.max_exchange_retries = max_exchange_retries
         self.retry_backoff_s = retry_backoff_s
+        self.overlap_exchange = overlap_exchange
         self.retry_events: list[ExchangeRetry] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cluster.communicator.tracer = self.tracer
@@ -153,6 +160,8 @@ class DistributedExecutor:
         start = cluster.max_clock()
         exchange_before = [n.clock.bucket("exchange") for n in cluster.nodes]
         bytes_before = comm.bytes_on_wire
+        hidden_before = comm.overlap_hidden_s
+        comm.overlap_budget_s = 0.0  # no stale budget from an aborted query
         retries_before = len(self.retry_events)
         trace_mark = tracer.mark()
         mem_peak = 0
@@ -196,13 +205,16 @@ class DistributedExecutor:
                     runs_on=fragment.runs_on,
                 ) as fspan:
                     outputs: dict[int, Table] = {}
+                    frag_compute: dict[int, float] = {}
                     rows_out = 0
                     for node_id in node_ids:
                         node = cluster.nodes[node_id]
                         catalog = dict(node.catalog)
                         catalog.update(temp_tables[node_id])
                         plan = Plan(fragment.plan)
+                        t0 = node.clock.now
                         outputs[node_id] = self.node_executor(node_id, plan, catalog)
+                        frag_compute[node_id] = node.clock.now - t0
                         rows_out += outputs[node_id].num_rows
                         mem_peak = max(mem_peak, node.device.processing_pool.watermark)
                         node.heartbeat()  # progress doubles as liveness
@@ -220,6 +232,16 @@ class DistributedExecutor:
                             COORDINATOR if fragment.runs_on == "coordinator" else 0
                         ]
                         continue
+                    if (
+                        self.overlap_exchange
+                        and fragment.output.pipelined
+                        and fragment.runs_on == "all"
+                        and len(frag_compute) > 1
+                    ):
+                        # Pipelined fragment: sends started while nodes were
+                        # still computing, so the collective may hide behind
+                        # the *least* compute any participant had available.
+                        comm.overlap_budget_s = min(frag_compute.values())
                     self._exchange(fragment, outputs, temp_tables)
 
             if result is None:
@@ -249,6 +271,7 @@ class DistributedExecutor:
             output_rows=result.num_rows,
             device_mem_peak=mem_peak,
             spans=list(tracer.spans_since(trace_mark)),
+            overlap_hidden_s=comm.overlap_hidden_s - hidden_before,
         )
         return DistributedResult(
             table=result,

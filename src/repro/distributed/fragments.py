@@ -57,6 +57,12 @@ class ExchangeSpec:
     kind: str  # "shuffle" | "broadcast" | "merge"
     key_ordinals: list[int]
     schema: Schema
+    # Whether the producing fragment streams its output (its root is a
+    # streaming operator, so partitions can be sent while the fragment is
+    # still computing).  Fragments rooted at a pipeline breaker (sort,
+    # aggregate, fetch) materialise everything before the first byte can
+    # move and are never overlappable.
+    pipelined: bool = True
 
     @property
     def table_name(self) -> str:
@@ -162,7 +168,10 @@ class DistributedPlanner:
     def _cut(self, rel: Relation, kind: str, key_ordinals: list[int]) -> ReadRel:
         """Terminate ``rel`` into an exchange; continue from its temp table."""
         schema = rel.output_schema()
-        spec = ExchangeSpec(self._next_exchange, kind, list(key_ordinals), schema)
+        pipelined = not isinstance(rel, (SortRel, AggregateRel, FetchRel))
+        spec = ExchangeSpec(
+            self._next_exchange, kind, list(key_ordinals), schema, pipelined=pipelined
+        )
         self._next_exchange += 1
         frag = Fragment(len(self.fragments), rel, spec, "all", _consumed_exchanges(rel))
         self.fragments.append(frag)

@@ -16,7 +16,87 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["SimClock"]
+__all__ = ["SimClock", "StreamClock"]
+
+
+class StreamClock:
+    """A named sub-timeline of a :class:`SimClock` (the CUDA-stream analogue).
+
+    Work *issued* on a stream is enqueued behind the stream's frontier and
+    runs concurrently with the host timeline: issuing never advances the
+    parent clock.  The host joins the stream at a sync point via
+    :meth:`wait`, which advances the parent clock only by the still-exposed
+    remainder — time the stream spent running while the host also advanced
+    is *hidden* (overlapped).
+
+    Accounting:
+
+    * ``busy_s`` — total seconds of work issued on the stream;
+    * ``exposed_s`` — seconds the host actually waited at sync points;
+    * ``busy_s - exposed_s`` — hidden (overlapped) time, the quantity the
+      overlap-efficiency gauge reports.
+    """
+
+    __slots__ = ("parent", "name", "frontier", "busy_s", "exposed_s", "ops")
+
+    def __init__(self, parent: "SimClock", name: str) -> None:
+        self.parent = parent
+        self.name = name
+        self.frontier = 0.0  # completion time of the last issued work item
+        self.busy_s = 0.0
+        self.exposed_s = 0.0
+        self.ops = 0
+
+    def issue(self, seconds: float, category: str | None = None) -> tuple[float, float]:
+        """Enqueue ``seconds`` of work on the stream; returns its
+        ``(start, end)`` interval on the shared timeline.
+
+        The work starts at the later of the stream frontier and the host's
+        current time (a stream cannot run ahead of its enqueue point).  The
+        parent clock is *not* advanced — that happens at :meth:`wait`.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot issue {seconds}s of stream work")
+        start = max(self.frontier, self.parent.now)
+        end = start + seconds
+        self.frontier = end
+        self.busy_s += seconds
+        self.ops += 1
+        return start, end
+
+    def wait(self, until: float | None = None, category: str | None = None) -> float:
+        """Synchronise the host with the stream (event wait).
+
+        Advances the parent clock to ``until`` (an event timestamp returned
+        by :meth:`issue`, defaulting to the stream frontier) and attributes
+        the exposed wait to ``category``.  Returns the exposed seconds —
+        zero when the stream work already completed behind host compute.
+        """
+        target = self.frontier if until is None else until
+        before = self.parent.now
+        self.parent.advance_to(target, category)
+        exposed = self.parent.now - before
+        self.exposed_s += exposed
+        return exposed
+
+    @property
+    def hidden_s(self) -> float:
+        """Issued stream time that never blocked the host (overlapped)."""
+        return max(self.busy_s - self.exposed_s, 0.0)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "busy_s": self.busy_s,
+            "exposed_s": self.exposed_s,
+            "hidden_s": self.hidden_s,
+            "ops": self.ops,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamClock({self.name!r}, frontier={self.frontier:.6f}s, "
+            f"busy={self.busy_s:.6f}s)"
+        )
 
 
 class SimClock:
@@ -26,6 +106,7 @@ class SimClock:
         self._now = 0.0
         self._buckets: dict[str, float] = defaultdict(float)
         self._category_stack: list[str] = []
+        self._streams: dict[str, StreamClock] = {}
 
     @property
     def now(self) -> float:
@@ -85,6 +166,23 @@ class SimClock:
     def elapsed_since(self, mark: float) -> float:
         """Seconds elapsed since a previously-sampled :attr:`now`."""
         return self._now - mark
+
+    # -- streams ---------------------------------------------------------------
+
+    def stream(self, name: str) -> StreamClock:
+        """Get-or-create the named stream sub-timeline.
+
+        Streams share this clock's time base but advance independently;
+        the same name always returns the same stream (CUDA stream handles).
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self._streams[name] = StreamClock(self, name)
+        return stream
+
+    def stream_stats(self) -> dict[str, dict[str, float]]:
+        """Per-stream busy/exposed/hidden accounting snapshot."""
+        return {name: s.stats() for name, s in self._streams.items()}
 
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f}s, buckets={len(self._buckets)})"

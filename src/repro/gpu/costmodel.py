@@ -169,7 +169,15 @@ class KernelCostModel:
 
         return CostBreakdown(self._launch, streamed, random, compute, penalty)
 
-    def transfer_cost(self, nbytes: int) -> float:
-        """Seconds to move ``nbytes`` over the device's host interconnect."""
+    def transfer_cost(self, nbytes: int, pinned: bool = False) -> float:
+        """Seconds to move ``nbytes`` over the device's host interconnect.
+
+        ``pinned`` prices a transfer from/to page-locked host memory, which
+        streams at the link's full peak rate; pageable traffic achieves
+        only ``spec.pinned_bw_fraction`` of it (§3.4 spills to pinned host
+        memory).  At the default fraction of 1.0 both rates are identical.
+        """
         link_bw = self.spec.interconnect_gbps * GB
+        if pinned:
+            link_bw /= self.spec.pinned_bw_fraction
         return self.spec.interconnect_latency_us * 1e-6 + nbytes / link_bw

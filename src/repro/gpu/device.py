@@ -137,19 +137,66 @@ class Device:
 
     # -- transfers ---------------------------------------------------------------
 
-    def htod(self, nbytes: int) -> float:
-        """Charge a host-to-device transfer; returns the simulated seconds."""
-        seconds = self.cost_model.transfer_cost(nbytes)
+    def htod(self, nbytes: int, pinned: bool = False) -> float:
+        """Charge a host-to-device transfer; returns the simulated seconds.
+
+        ``pinned`` prices the copy at the page-locked host-memory rate
+        (§3.4 spill traffic); identical to pageable at the default spec.
+        """
+        seconds = self.cost_model.transfer_cost(nbytes, pinned=pinned)
         self.clock.advance(seconds, category="transfer")
         self.htod_bytes += nbytes
         return seconds
 
-    def dtoh(self, nbytes: int) -> float:
+    def dtoh(self, nbytes: int, pinned: bool = False) -> float:
         """Charge a device-to-host transfer; returns the simulated seconds."""
-        seconds = self.cost_model.transfer_cost(nbytes)
+        seconds = self.cost_model.transfer_cost(nbytes, pinned=pinned)
         self.clock.advance(seconds, category="transfer")
         self.dtoh_bytes += nbytes
         return seconds
+
+    # -- asynchronous copies (the CUDA copy-stream analogue) -------------------
+
+    @property
+    def copy_stream(self):
+        """The device's dedicated copy stream (created on first use)."""
+        return self.clock.stream("copy")
+
+    def htod_async(self, nbytes: int, pinned: bool = False) -> float:
+        """Issue a host-to-device copy on the copy stream.
+
+        Returns the copy's completion timestamp (a stream event) without
+        advancing the host clock; callers synchronise later through
+        :meth:`wait_copies`, exposing only the un-overlapped remainder.
+        """
+        seconds = self.cost_model.transfer_cost(nbytes, pinned=pinned)
+        start, end = self.copy_stream.issue(seconds)
+        self.htod_bytes += nbytes
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                "htod.async", "stream", start=start, end=end,
+                bytes=nbytes, stream="copy",
+            )
+        return end
+
+    def dtoh_async(self, nbytes: int, pinned: bool = False) -> float:
+        """Issue a device-to-host copy on the copy stream; see
+        :meth:`htod_async`."""
+        seconds = self.cost_model.transfer_cost(nbytes, pinned=pinned)
+        start, end = self.copy_stream.issue(seconds)
+        self.dtoh_bytes += nbytes
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                "dtoh.async", "stream", start=start, end=end,
+                bytes=nbytes, stream="copy",
+            )
+        return end
+
+    def wait_copies(self, until: float | None = None) -> float:
+        """Join the copy stream (CUDA event wait): advance the host clock
+        to ``until`` (default: the stream frontier) and return the exposed
+        wait seconds, attributed to ``"transfer-wait"``."""
+        return self.copy_stream.wait(until, category="transfer-wait")
 
     # -- buffers ---------------------------------------------------------------
 

@@ -103,6 +103,17 @@ class Communicator:
         # Observability sink: each collective becomes a span (with per-link
         # byte counts for all-to-all) and each dropped handshake an event.
         self.tracer = NULL_TRACER
+        # Send/compute overlap (the distributed copy/compute-overlap
+        # extension): before a pipelined exchange, the distributed executor
+        # deposits the fragment-compute seconds the collective may hide
+        # behind.  The budget is consumed by the next collective; at the
+        # default of 0.0 every collective is fully synchronous (seed
+        # behaviour).  ``max_overlap_fraction`` caps how much of the wire
+        # time can hide even with ample budget (the send of the *last*
+        # produced chunk can never overlap anything).
+        self.max_overlap_fraction = 0.75
+        self.overlap_budget_s = 0.0
+        self.overlap_hidden_s = 0.0
 
     def link(self, src: int, dst: int) -> Fabric:
         """The fabric used between two ranks."""
@@ -123,6 +134,10 @@ class Communicator:
     ) -> float:
         """Advance all ranks to ``max(arrivals) + comm_seconds``."""
         start = max(c.now for c in self._clocks)
+        # Consume the overlap budget unconditionally: a retried collective
+        # (link fault) must not re-overlap compute that already elapsed.
+        budget = self.overlap_budget_s
+        self.overlap_budget_s = 0.0
         injector = self.fault_injector
         if injector is not None:
             if injector.take_link_fault(start):
@@ -142,6 +157,15 @@ class Communicator:
             # latency share is negligible for the exchanges that matter).
             comm_seconds /= injector.bandwidth_factor(start)
         end = start + comm_seconds
+        hidden = 0.0
+        if budget > 0.0:
+            # Pipelined exchange: the sends were issued while the fragment
+            # was still computing, so up to max_overlap_fraction of the wire
+            # time (bounded by the compute actually available to hide
+            # behind) has already elapsed by the time ranks synchronise.
+            hidden = min(comm_seconds * self.max_overlap_fraction, budget)
+            self.overlap_hidden_s += hidden
+            end -= hidden
         for clock in self._clocks:
             clock.advance_to(end, category=EXCHANGE_CATEGORY)
         self.bytes_on_wire += nbytes
@@ -152,6 +176,8 @@ class Communicator:
                 "world_size": self.world_size,
                 "fabric": self.fabric.name,
             }
+            if hidden > 0.0:
+                attrs["hidden_s"] = hidden
             if links:
                 attrs["link_bytes"] = [
                     {"src": i, "dst": j, "bytes": b} for i, j, b in links

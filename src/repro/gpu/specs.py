@@ -75,6 +75,11 @@ class DeviceSpec:
         interconnect_gbps: Host link bandwidth — PCIe or NVLink-C2C for
             GPUs; effectively infinite (same memory) for CPU devices.
         interconnect_latency_us: One-way latency of the host link.
+        pinned_bw_fraction: Fraction of the link's peak bandwidth that
+            *pageable* transfers achieve; pinned (page-locked) host memory
+            streams at the full peak, i.e. ``1/pinned_bw_fraction`` times
+            faster.  The default of 1.0 makes pinned and pageable rates
+            identical, keeping seed outputs unchanged.
     """
 
     name: str
@@ -86,6 +91,7 @@ class DeviceSpec:
     kernel_launch_us: float
     interconnect_gbps: float
     interconnect_latency_us: float
+    pinned_bw_fraction: float = 1.0
 
 
 # ---------------------------------------------------------------------------

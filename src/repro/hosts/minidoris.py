@@ -76,10 +76,15 @@ class MiniDoris:
         max_recoveries: int = 2,
         deadline_s: float | None = None,
         tracer=None,
+        overlap: bool = False,
     ):
         if mode not in ("doris", "sirius", "clickhouse"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
+        # Copy/compute overlap (sirius mode only): node engines stream cold
+        # loads on their copy streams, and pipelined exchanges overlap
+        # their sends with fragment compute.  Off by default.
+        self.overlap = overlap and mode == "sirius"
         # One tracer spans the whole warehouse: the distributed executor
         # records query/fragment/exchange spans on the cluster clock, and
         # (in sirius mode) each node engine records its pipeline/operator
@@ -123,6 +128,7 @@ class MiniDoris:
             self._run_on_node,
             coordinator_overhead_s=coordinator_overhead_s,
             tracer=self.tracer,
+            overlap_exchange=self.overlap,
         )
         self.queries_executed = 0
         self.max_recoveries = max_recoveries
@@ -135,7 +141,7 @@ class MiniDoris:
     def _make_engine(self, node):
         if self.mode != "sirius":
             return CpuEngine(node.device, materialize_joins=(self.mode == "clickhouse"))
-        engine = SiriusEngine(node.device, tracer=self.tracer)
+        engine = SiriusEngine(node.device, tracer=self.tracer, overlap=self.overlap)
         # Standby CPU device on the *same clock* as the node's GPU: the
         # cpu-pipeline degradation tier re-runs a failed fragment there,
         # so its (slower) execution time lands in the query total.

@@ -61,6 +61,11 @@ class QueryProfile:
     fallback_tier: str | None = None
     device_mem_peak: int = 0
     spans: list = field(default_factory=list)  # Span objects; empty w/ null tracer
+    # Copy/compute overlap (async streams): per-stream busy seconds during
+    # this query, and how much of that stream time ran hidden behind host
+    # compute.  Both zero/empty when overlap mode is off.
+    stream_busy: dict = field(default_factory=dict)  # stream name -> seconds
+    overlap_hidden_s: float = 0.0
 
     def breakdown_fractions(self) -> dict:
         total = sum(self.breakdown.values())
@@ -90,6 +95,14 @@ class QueryProfile:
             "exchange": exchange,
             "other": 0.0,
         }
+
+    def overlap_efficiency(self) -> float:
+        """Fraction of issued stream time hidden behind host compute
+        (1.0 = fully overlapped copies, 0.0 = fully exposed or no streams)."""
+        total = sum(self.stream_busy.values())
+        if total <= 0.0:
+            return 0.0
+        return self.overlap_hidden_s / total
 
     def table2_fractions(self) -> dict[str, float]:
         split = self.table2_split()
@@ -127,6 +140,9 @@ class QueryProfile:
             "retries": self.retries,
             "fallback_tier": self.fallback_tier,
             "device_mem_peak": self.device_mem_peak,
+            "stream_busy": dict(self.stream_busy),
+            "overlap_hidden_s": self.overlap_hidden_s,
+            "overlap_efficiency": self.overlap_efficiency(),
             "operator_timings": [t.to_dict() for t in self.operator_timings],
             "spans": [s.to_dict() for s in self.spans],
         }

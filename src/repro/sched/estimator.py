@@ -65,14 +65,49 @@ class PlanEstimate:
 
 
 def estimate_plan(
-    plan: Plan, catalog: Mapping[str, Table], device: Device
+    plan: Plan,
+    catalog: Mapping[str, Table],
+    device: Device,
+    cold_tables: Mapping[str, Table] | None = None,
+    overlap: bool = False,
+    chunk_bytes: int = 1 << 20,
 ) -> PlanEstimate:
-    """Estimate a plan's processing-pool working set and service time."""
+    """Estimate a plan's processing-pool working set and service time.
+
+    Args:
+        cold_tables: Base tables the query will have to cold-load (not yet
+            in the caching region); their host->device copy time is added
+            to the service estimate.
+        overlap: Price cold loads under copy/compute overlap — only the
+            first chunk plus whatever copy time the estimated kernel work
+            cannot hide is exposed (matches the engine's ``overlap=True``
+            execution model).
+        chunk_bytes: Chunk granularity assumed for overlapped loads.
+    """
     est = _Estimator(catalog, device.cost_model)
     rows, nbytes = est.visit(plan.root)
     # The final result is materialised in the pool, then copied out.
     working_set = est.working_set + int(nbytes)
     service = est.seconds + device.cost_model.transfer_cost(int(nbytes))
+    if cold_tables:
+        for table in cold_tables.values():
+            total = int(table.nbytes)
+            if not overlap:
+                service += device.cost_model.transfer_cost(total)
+                continue
+            # Overlapped cold load: the first chunk is synchronous; the
+            # remaining chunk copies hide behind the plan's kernel work,
+            # exposing only the tail the compute cannot cover.
+            first = min(chunk_bytes, total)
+            service += device.cost_model.transfer_cost(first)
+            remaining = total - first
+            if remaining > 0:
+                copy_s = 0.0
+                while remaining > 0:
+                    step = min(chunk_bytes, remaining)
+                    copy_s += device.cost_model.transfer_cost(step)
+                    remaining -= step
+                service += max(0.0, copy_s - est.seconds)
     return PlanEstimate(int(working_set), float(service), int(rows))
 
 

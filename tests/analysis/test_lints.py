@@ -93,6 +93,18 @@ CASES = [
         "def f(tracer=Tracer()):\n    pass\n",
         "def f(tracer=NULL_TRACER):\n    pass\n",
     ),
+    (
+        "RR06",
+        "core/demo.py",
+        "def f(clock, s):\n    clock.advance(s, category='transfer')\n",
+        "def f(device, n):\n    device.htod(n)\n",
+    ),
+    (
+        "RR06",
+        "core/demo.py",
+        "def f(clock, t):\n    clock.advance_to(t, 'transfer-wait')\n",
+        "def f(device, t):\n    device.wait_copies(t)\n",
+    ),
 ]
 
 

@@ -1,0 +1,101 @@
+"""Copy/compute overlap on the single-node engine.
+
+Off by default: a default-configured engine must never touch the copy
+stream and its outputs stay byte-identical to the seed.  On, cold runs
+get strictly faster with identical results (the hidden copy time shows
+up in the profile), and hot runs are unaffected either way.
+"""
+
+import pytest
+
+from repro.core import SiriusEngine
+from repro.gpu.specs import A100_40G, GH200
+from repro.hosts import MiniDuck
+from repro.tpch import generate_tpch, tpch_query
+
+SF = 0.02
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(sf=SF, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def host(data):
+    duck = MiniDuck()
+    duck.load_tables(data)
+    return duck
+
+
+class TestOverlapOffIsInert:
+    def test_default_run_issues_no_stream_work(self, data, host):
+        engine = SiriusEngine.for_spec(GH200)
+        engine.execute(host.plan(tpch_query(6)), data)  # cold
+        engine.execute(host.plan(tpch_query(6)), data)  # hot
+        stats = engine.buffer_manager.stats()
+        assert stats["prefetches"] == 0
+        assert stats["prefetch_hits"] == 0
+        assert engine.device.clock.stream_stats() == {}
+        assert engine.last_profile.overlap_hidden_s == 0.0
+        assert engine.last_profile.stream_busy == {}
+        assert engine.last_profile.overlap_efficiency() == 0.0
+
+
+class TestOverlapHidesColdLoads:
+    @pytest.mark.parametrize("q", [1, 3, 6])
+    def test_cold_run_faster_with_identical_rows(self, q, data, host):
+        plan = host.plan(tpch_query(q))
+        baseline = SiriusEngine.for_spec(A100_40G)
+        expected = baseline.execute(plan, data)
+        overlapped = SiriusEngine.for_spec(A100_40G, overlap=True)
+        result = overlapped.execute(plan, data)
+        assert result.to_rows() == expected.to_rows()
+        assert (
+            overlapped.last_profile.sim_seconds < baseline.last_profile.sim_seconds
+        )
+        assert overlapped.last_profile.overlap_hidden_s > 0.0
+        assert overlapped.last_profile.stream_busy.get("copy", 0.0) > 0.0
+        assert 0.0 < overlapped.last_profile.overlap_efficiency() <= 1.0
+
+    def test_hot_runs_match_the_baseline_exactly(self, data, host):
+        """Overlap only changes cold loads: once the cache is warm, the
+        simulated time is float-identical to the default engine's."""
+        plan = host.plan(tpch_query(6))
+        baseline = SiriusEngine.for_spec(A100_40G)
+        overlapped = SiriusEngine.for_spec(A100_40G, overlap=True)
+        for engine in (baseline, overlapped):
+            engine.execute(plan, data)  # cold
+            engine.execute(plan, data)  # hot
+        assert (
+            overlapped.last_profile.sim_seconds
+            == baseline.last_profile.sim_seconds
+        )
+
+    def test_overlap_is_deterministic(self, data, host):
+        plan = host.plan(tpch_query(3))
+        times = []
+        for _ in range(2):
+            engine = SiriusEngine.for_spec(A100_40G, overlap=True)
+            engine.execute(plan, data)
+            times.append(engine.last_profile.sim_seconds)
+        assert times[0] == times[1]
+
+    def test_multi_scan_query_prefetches_the_next_pipeline(self, data, host):
+        """Q3 scans three base tables across pipelines: with overlap on,
+        the executor prefetches upcoming scans and the loads land as
+        prefetch hits."""
+        engine = SiriusEngine.for_spec(A100_40G, overlap=True)
+        engine.execute(host.plan(tpch_query(3)), data)
+        stats = engine.buffer_manager.stats()
+        assert stats["prefetches"] > 0
+        assert stats["prefetch_hits"] == stats["prefetches"]
+
+    def test_warm_cache_fully_lands_overlapped_loads(self, data):
+        """warm_cache must leave nothing in flight: "warm" means resident,
+        so later timed windows never absorb deferred copies."""
+        engine = SiriusEngine.for_spec(A100_40G, overlap=True)
+        engine.warm_cache(data)
+        bm = engine.buffer_manager
+        assert not bm._in_flight and not bm._must_sync

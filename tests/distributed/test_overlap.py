@@ -1,0 +1,59 @@
+"""Exchange/compute overlap on the distributed engine.
+
+With ``overlap=True`` MiniDoris pipelines shuffle sends behind fragment
+compute: Q3 (the Table-2 shuffle-bound query) must get strictly faster,
+its exchange *fraction* must not grow, and the result rows must be
+identical to the synchronous run.  Off by default and byte-identical to
+the seed when off (pinned by the golden-profile tests).
+"""
+
+import pytest
+
+from repro.hosts import MiniDoris
+from repro.tpch import generate_tpch, tpch_query
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(sf=0.02)
+
+
+def cluster(data, overlap: bool) -> MiniDoris:
+    db = MiniDoris(num_nodes=4, mode="sirius", overlap=overlap)
+    db.load_tables(data)
+    db.warm_caches()
+    return db
+
+
+def normalise(table):
+    rows = []
+    for row in table.to_rows():
+        rows.append(tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in row))
+    return sorted(rows)
+
+
+class TestExchangeOverlap:
+    def test_q3_faster_with_identical_rows(self, data):
+        baseline = cluster(data, overlap=False).execute(tpch_query(3))
+        overlapped = cluster(data, overlap=True).execute(tpch_query(3))
+        assert normalise(overlapped.table) == normalise(baseline.table)
+        assert overlapped.total_seconds < baseline.total_seconds
+        assert overlapped.profile.overlap_hidden_s > 0.0
+
+    def test_q3_exchange_fraction_does_not_grow(self, data):
+        baseline = cluster(data, overlap=False).execute(tpch_query(3))
+        overlapped = cluster(data, overlap=True).execute(tpch_query(3))
+        base_frac = baseline.profile.table2_fractions()["exchange"]
+        over_frac = overlapped.profile.table2_fractions()["exchange"]
+        assert over_frac <= base_frac
+        assert overlapped.exchanged_bytes == baseline.exchanged_bytes
+
+    def test_overlap_run_is_deterministic(self, data):
+        first = cluster(data, overlap=True).execute(tpch_query(3))
+        second = cluster(data, overlap=True).execute(tpch_query(3))
+        assert second.total_seconds == first.total_seconds
+        assert second.exchange_seconds == first.exchange_seconds
+
+    def test_overlap_off_reports_no_hidden_time(self, data):
+        result = cluster(data, overlap=False).execute(tpch_query(3))
+        assert result.profile.overlap_hidden_s == 0.0

@@ -85,3 +85,75 @@ class TestAttribution:
         c.reset_buckets()
         assert c.now == 1.0
         assert c.buckets() == {}
+
+
+class TestStreams:
+    def test_issue_does_not_advance_host(self):
+        c = SimClock()
+        s = c.stream("copy")
+        start, end = s.issue(2.0)
+        assert (start, end) == (0.0, 2.0)
+        assert c.now == 0.0
+        assert s.busy_s == 2.0
+
+    def test_issue_queues_behind_frontier(self):
+        c = SimClock()
+        s = c.stream("copy")
+        s.issue(1.0)
+        assert s.issue(0.5) == (1.0, 1.5)
+
+    def test_issue_starts_no_earlier_than_host(self):
+        c = SimClock()
+        s = c.stream("copy")
+        c.advance(3.0)
+        assert s.issue(1.0) == (3.0, 4.0)
+
+    def test_negative_issue_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().stream("copy").issue(-0.1)
+
+    def test_wait_exposes_only_the_remainder(self):
+        c = SimClock()
+        s = c.stream("copy")
+        _, event = s.issue(2.0)
+        c.advance(1.5)  # host compute running while the copy streams
+        exposed = s.wait(event, category="transfer-wait")
+        assert exposed == 0.5
+        assert c.now == 2.0
+        assert c.bucket("transfer-wait") == 0.5
+        assert s.hidden_s == 1.5
+
+    def test_wait_after_completion_is_free(self):
+        c = SimClock()
+        s = c.stream("copy")
+        _, event = s.issue(1.0)
+        c.advance(5.0)
+        assert s.wait(event) == 0.0
+        assert c.now == 5.0
+        assert s.hidden_s == 1.0  # fully hidden behind host compute
+
+    def test_wait_defaults_to_frontier(self):
+        c = SimClock()
+        s = c.stream("copy")
+        s.issue(1.0)
+        s.issue(1.0)
+        s.wait()
+        assert c.now == 2.0
+        assert s.exposed_s == 2.0
+        assert s.hidden_s == 0.0
+
+    def test_stream_handles_are_stable(self):
+        c = SimClock()
+        assert c.stream("copy") is c.stream("copy")
+        assert c.stream("copy") is not c.stream("send")
+
+    def test_stream_stats_snapshot(self):
+        c = SimClock()
+        assert c.stream_stats() == {}
+        s = c.stream("copy")
+        s.issue(2.0)
+        c.advance(2.0)
+        s.wait()
+        assert c.stream_stats() == {
+            "copy": {"busy_s": 2.0, "exposed_s": 0.0, "hidden_s": 2.0, "ops": 1}
+        }

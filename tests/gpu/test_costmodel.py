@@ -90,3 +90,25 @@ class TestTransfers:
     def test_unknown_kernel_class_rejected(self, gpu_model):
         with pytest.raises(ValueError):
             gpu_model.kernel_cost("warp_drive", 1, 1, 1)
+
+
+class TestPinnedTransferPricing:
+    """§3.4 spills to *pinned* host memory; ``pinned_bw_fraction`` prices
+    the pageable-vs-pinned bandwidth gap (1.0 by default: no gap)."""
+
+    def test_default_fraction_prices_identically(self, gpu_model):
+        # Float-identical, not approx: the default spec must be a no-op.
+        assert gpu_model.transfer_cost(GB, pinned=True) == gpu_model.transfer_cost(GB)
+
+    def test_pinned_streams_faster_when_pageable_is_derated(self):
+        from dataclasses import replace
+
+        spec = replace(GH200, pinned_bw_fraction=0.5)
+        model = KernelCostModel(spec)
+        pageable = model.transfer_cost(45 * GB)
+        pinned = model.transfer_cost(45 * GB, pinned=True)
+        assert pinned < pageable
+        # Latency is link-level and unchanged; only the bandwidth term
+        # scales: pinned streams at the full rate, pageable at half.
+        assert pinned == pytest.approx(0.05 + 2e-6)
+        assert pageable == pytest.approx(0.1 + 2e-6)
