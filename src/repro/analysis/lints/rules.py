@@ -27,6 +27,11 @@ RR06    transfers go through the stream API: outside ``gpu/device.py`` and
         transfer category — copies must use ``Device.htod``/``dtoh``/
         ``htod_async``/``wait_copies`` so stream accounting (busy vs
         exposed time, overlap efficiency) stays correct
+RR07    device allocations go through the RMM owner API: outside
+        ``gpu/device.py`` and ``gpu/rmm.py``, no direct
+        ``processing_pool.allocate`` / ``caching_region.allocate`` —
+        allocations must use ``Device.new_buffer`` so owner tagging,
+        fault injection, and memory-pressure callbacks all apply
 ======  ======================================================================
 
 Suppress a deliberate exception with ``# lint: allow=<rule-id>`` on the
@@ -48,6 +53,7 @@ __all__ = [
     "StatelessOperatorRule",
     "TracerGuardRule",
     "TransferStreamRule",
+    "PoolOwnerApiRule",
     "LINT_RULES",
     "default_rules",
 ]
@@ -307,6 +313,39 @@ class TransferStreamRule(LintRule):
                 )
 
 
+# Device memory regions whose raw allocate() is off limits elsewhere.
+_REGION_ATTRS = frozenset({"processing_pool", "caching_region"})
+# The device (owner API implementation) and the allocator itself.
+_ALLOC_MODULES = ("gpu/device.py", "gpu/rmm.py")
+
+
+class PoolOwnerApiRule(LintRule):
+    rule_id = "RR07"
+    description = "device allocations go through the RMM owner API"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        rel = module.relpath.replace("\\", "/")
+        if rel.endswith(_ALLOC_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr != "allocate"
+            ):
+                continue
+            region = node.func.value
+            if isinstance(region, ast.Attribute) and region.attr in _REGION_ATTRS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {region.attr}.allocate() — device allocations "
+                    "must go through Device.new_buffer (the RMM owner API) "
+                    "so owner tagging, fault injection, and memory-pressure "
+                    "callbacks apply",
+                )
+
+
 def _has_enabled_guard(node: ast.AST) -> bool:
     for anc in ancestors(node):
         if isinstance(anc, ast.If) and any(
@@ -364,6 +403,7 @@ LINT_RULES = {
     "RR04": StatelessOperatorRule,
     "RR05": TracerGuardRule,
     "RR06": TransferStreamRule,
+    "RR07": PoolOwnerApiRule,
 }
 
 

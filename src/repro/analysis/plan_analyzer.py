@@ -72,6 +72,7 @@ from .report import (
     SEVERITY_WARNING,
     TIER_CPU_PLAN,
     TIER_GPU,
+    TIER_GPU_SPILL,
     TIER_REJECT,
     TIER_SPILL,
     AnalysisReport,
@@ -108,6 +109,7 @@ def analyze_plan(
     plan: Plan,
     catalog: Mapping[str, Table] | None = None,
     device=None,
+    out_of_core: bool = False,
 ) -> AnalysisReport:
     """Statically analyze ``plan``; never raises on plan defects.
 
@@ -118,6 +120,11 @@ def analyze_plan(
             (``__ex*``) are treated as known-but-unsized.
         device: A :class:`~repro.gpu.device.Device`; enables the service
             estimate and the pool-capacity (spill-tier) check.
+        out_of_core: The engine that will run the plan supports partitioned
+            out-of-core execution: an over-pool working set is then a
+            priced ``gpu-spill`` verdict (the query completes on the GPU
+            through the tiered spill store) instead of a prediction of the
+            batched ``gpu-retry-spill`` tier.
     """
     from ..core.fallback import plan_fingerprint  # lazy: core imports us back
 
@@ -128,7 +135,7 @@ def analyze_plan(
         report.output_schema = [(f.name, f.dtype.name) for f in schema]
 
     if report.ok and catalog is not None and device is not None:
-        _estimate(plan, catalog, device, report)
+        _estimate(plan, catalog, device, report, out_of_core=out_of_core)
 
     report.gpu_supported = not any(f.rule == "PA08" for f in report.findings)
     if not report.ok:
@@ -150,7 +157,7 @@ def analyze_plan(
                 "root",
             )
         )
-        report.suggested_tier = TIER_SPILL
+        report.suggested_tier = TIER_GPU_SPILL if out_of_core else TIER_SPILL
     else:
         report.suggested_tier = TIER_GPU
     return report
@@ -504,7 +511,9 @@ def _walk_expr(expr: Expression):
 # -- working-set estimation ---------------------------------------------------
 
 
-def _estimate(plan: Plan, catalog, device, report: AnalysisReport) -> None:
+def _estimate(
+    plan: Plan, catalog, device, report: AnalysisReport, out_of_core: bool = False
+) -> None:
     """Fill the report's estimate fields.
 
     Totals come from :func:`repro.sched.estimator.estimate_plan` (the same
@@ -515,7 +524,7 @@ def _estimate(plan: Plan, catalog, device, report: AnalysisReport) -> None:
     """
     from ..sched.estimator import estimate_plan
 
-    est = estimate_plan(plan, catalog, device)
+    est = estimate_plan(plan, catalog, device, out_of_core=out_of_core)
     report.working_set_bytes = est.working_set_bytes
     report.estimated_rows = est.rows
     report.estimated_service_s = est.service_s

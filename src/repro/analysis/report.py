@@ -29,6 +29,7 @@ __all__ = [
     "SEVERITY_INFO",
     "TIER_GPU",
     "TIER_SPILL",
+    "TIER_GPU_SPILL",
     "TIER_CPU_PLAN",
     "TIER_REJECT",
 ]
@@ -41,6 +42,7 @@ SEVERITY_INFO = "info"
 # repro.core.fallback, plus "reject" for plans that cannot run at all).
 TIER_GPU = "gpu"
 TIER_SPILL = "gpu-retry-spill"
+TIER_GPU_SPILL = "gpu-spill"  # partitioned out-of-core execution
 TIER_CPU_PLAN = "cpu-plan"
 TIER_REJECT = "reject"
 

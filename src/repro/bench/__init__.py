@@ -4,6 +4,7 @@ from .ablations import (
     compression_ablation,
     impl_swap_string_groupby,
     multi_gpu_ablation,
+    oocore_ablation,
     overlap_ablation,
     predicate_transfer_ablation,
     AblationHarness,
@@ -36,6 +37,7 @@ __all__ = [
     "compression_ablation",
     "impl_swap_string_groupby",
     "multi_gpu_ablation",
+    "oocore_ablation",
     "overlap_ablation",
     "predicate_transfer_ablation",
     "interconnect_sweep",

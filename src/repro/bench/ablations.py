@@ -28,6 +28,7 @@ __all__ = [
     "interconnect_sweep",
     "batch_execution",
     "overlap_ablation",
+    "oocore_ablation",
 ]
 
 
@@ -232,6 +233,61 @@ def overlap_ablation(
         out[f"dist_{key}_exchange_frac"] = result.profile.table2_fractions()["exchange"]
         if enabled:
             out["dist_hidden_s"] = result.profile.overlap_hidden_s
+    return out
+
+
+def oocore_ablation(
+    sf: float = 0.02,
+    query: int = 9,
+    memory_limits_gb: tuple[float, ...] = (0.1, 0.08, 0.05, 0.04, 0.03),
+) -> dict:
+    """Out-of-core partitioned execution vs the degradation ladder.
+
+    Runs an over-HBM query (Q9's working set exceeds the processing pool
+    at the smaller limits) on devices whose memory shrinks step by step,
+    once with ``out_of_core`` off (the engine only recovers via the
+    fallback ladder after hitting OOM) and once with it on (radix
+    partitions spill through the tiered store and the first attempt
+    completes on the GPU).  The sweep exposes the slowdown curve: it
+    should be smooth and monotone, not a cliff.
+    """
+    from ..sql import SqlPlanner, TableStats
+    from ..tpch import TABLE_BASE_ROWS, TPCH_QUERIES, TPCH_SCHEMAS
+
+    data = generate_tpch(sf=sf)
+    # Plan without projection pruning stats so the query's working set
+    # genuinely exceeds the shrunken pools (MiniDuck's pruned plans fit
+    # even the smallest limits in this sweep).
+    stats = {
+        name: TableStats(schema, max(int(TABLE_BASE_ROWS[name] * sf), 1))
+        for name, schema in TPCH_SCHEMAS.items()
+    }
+    plan = SqlPlanner(stats).plan_sql(TPCH_QUERIES[query])
+    baseline = SiriusEngine.for_spec(GH200)
+    expected = baseline.execute(plan, data)
+    out: dict = {
+        "sf": sf,
+        "query": query,
+        "baseline_s": baseline.last_profile.sim_seconds,
+        "baseline_rows": expected.num_rows,
+        "sweep": [],
+    }
+    for mem in memory_limits_gb:
+        entry: dict = {"memory_gb": mem}
+        for ooc in (False, True):
+            engine = SiriusEngine.for_spec(
+                GH200, memory_limit_gb=mem, out_of_core=ooc
+            )
+            result = engine.execute(plan, data)
+            profile = engine.last_profile
+            key = "ooc" if ooc else "off"
+            entry[f"{key}_s"] = profile.sim_seconds
+            entry[f"{key}_tier"] = profile.fallback_tier
+            entry[f"{key}_rows_match"] = result.num_rows == expected.num_rows
+            if ooc:
+                entry["spilled_bytes"] = profile.spill.get("spilled_bytes", 0)
+                entry["unspilled_bytes"] = profile.spill.get("unspilled_bytes", 0)
+        out["sweep"].append(entry)
     return out
 
 

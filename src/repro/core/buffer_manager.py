@@ -40,7 +40,7 @@ from ..gpu.device import Device
 from ..gpu.memory import OutOfDeviceMemory
 from ..kernels import GTable
 
-__all__ = ["BufferManager", "CacheEntry", "DEFAULT_LOAD_CHUNK_BYTES"]
+__all__ = ["BufferManager", "CacheEntry", "SpillFragment", "DEFAULT_LOAD_CHUNK_BYTES"]
 
 # Double-buffering granularity of overlapped cold loads: large enough to
 # amortise the per-chunk DMA latency, small enough that the first
@@ -77,6 +77,28 @@ class CacheEntry:
         # Overlapped loads: stream timestamp at which the *first* chunk has
         # landed — the earliest time a pipelined consumer may start reading.
         self.ready_at = 0.0
+
+
+class SpillFragment:
+    """An intermediate-result partition tracked by the out-of-core spiller.
+
+    Unlike :class:`CacheEntry` (base tables in the caching region), a
+    fragment lives in the *processing pool* and walks the full tiered
+    store: device -> pinned host (async, on the copy stream) -> simulated
+    disk (when the pinned budget overflows).
+    """
+
+    __slots__ = ("name", "gtable", "host_table", "nbytes", "location", "event")
+
+    def __init__(self, name: str, gtable: GTable):
+        self.name = name
+        self.gtable = gtable
+        self.host_table = None  # snapshot taken on first spill
+        self.nbytes = gtable.nbytes
+        self.location = "device"  # "device" | "pinned" | "disk"
+        # Copy-stream completion timestamp of the outstanding spill write;
+        # joined before the host copy is promoted or demoted.
+        self.event: float | None = None
 
 
 class BufferManager:
@@ -134,6 +156,27 @@ class BufferManager:
         # scanning.  None (default) = plain LRU, identical to the seed.
         self.active_queries: set | None = None
         self.contention_avoided_evictions = 0
+        # Out-of-core intermediate-result spill entries (§3.4 extended to
+        # operator state): partitioned joins/group-bys register build and
+        # agg partitions here; the pool's pressure callback spills them
+        # LRU-first.  Empty unless the engine runs out-of-core.
+        self._fragments: "OrderedDict[str, SpillFragment]" = OrderedDict()
+        # Pinned-host bytes the fragments may hold before the oldest
+        # pinned fragment is demoted to the simulated disk tier.  None
+        # (default) = unbounded pinned staging.
+        self.pinned_fragment_budget: int | None = None
+        self.fragment_pinned_bytes = 0
+        self.fragment_spills = 0
+        self.fragment_unspills = 0
+        self.spilled_fragment_bytes = 0
+        self.unspilled_fragment_bytes = 0
+        self.pressure_spills = 0
+        self.disk_spills = 0
+        self.disk_spilled_bytes = 0
+        # Monotone sequence handing each query run a unique fragment
+        # namespace — slot names repeat across concurrent queries.
+        self._fragment_ns_seq = 0
+        self.disk_fragment_bytes = 0
 
     # -- caching region -------------------------------------------------------
 
@@ -321,6 +364,10 @@ class BufferManager:
             raise
         return GTable(host_table.schema, columns, self.device)
 
+    def _quiescent(self, name: str) -> bool:
+        """Whether no copy-stream chunks are still landing in ``name``."""
+        return name not in self._in_flight and name not in self._must_sync
+
     def _evict_one(self) -> bool:
         """Spill one device-resident entry to make room; False if none.
 
@@ -329,22 +376,33 @@ class BufferManager:
         last touched by a query that is no longer in flight; only when
         every resident table belongs to a live query does it fall back to
         plain LRU (progress beats fairness).
+
+        Entries with chunks still landing on the copy stream (prefetches
+        and overlapped loads) are only victims of last resort: evicting
+        one forces a host-blocking stream join *and* throws away the copy
+        just issued, so any quiescent resident entry is preferred.  When
+        an in-flight entry really is the only candidate, :meth:`_spill`
+        syncs its outstanding chunks before freeing the device bytes.
         """
         if not self.enable_spill:
             return False
-        if self.active_queries is not None:
+        for require_quiescent in (True, False):
+            if self.active_queries is not None:
+                for entry in self._cache.values():
+                    if (
+                        entry.location == "device"
+                        and entry.last_user not in self.active_queries
+                        and (not require_quiescent or self._quiescent(entry.name))
+                    ):
+                        self._spill(entry)
+                        self.contention_avoided_evictions += 1
+                        return True
             for entry in self._cache.values():
-                if (
-                    entry.location == "device"
-                    and entry.last_user not in self.active_queries
+                if entry.location == "device" and (
+                    not require_quiescent or self._quiescent(entry.name)
                 ):
                     self._spill(entry)
-                    self.contention_avoided_evictions += 1
                     return True
-        for entry in self._cache.values():
-            if entry.location == "device":
-                self._spill(entry)
-                return True
         return False
 
     def _spill(self, entry: CacheEntry) -> None:
@@ -410,20 +468,28 @@ class BufferManager:
             self.device.wait_copies(max(events))
 
     def _evict_other(self, keep: CacheEntry) -> bool:
-        if self.active_queries is not None:
+        """Like :meth:`_evict_one` (same quiescence-first victim order)
+        but never evicts ``keep`` — the entry being unspilled."""
+        for require_quiescent in (True, False):
+            if self.active_queries is not None:
+                for entry in self._cache.values():
+                    if (
+                        entry is not keep
+                        and entry.location == "device"
+                        and entry.last_user not in self.active_queries
+                        and (not require_quiescent or self._quiescent(entry.name))
+                    ):
+                        self._spill(entry)
+                        self.contention_avoided_evictions += 1
+                        return True
             for entry in self._cache.values():
                 if (
                     entry is not keep
                     and entry.location == "device"
-                    and entry.last_user not in self.active_queries
+                    and (not require_quiescent or self._quiescent(entry.name))
                 ):
                     self._spill(entry)
-                    self.contention_avoided_evictions += 1
                     return True
-        for entry in self._cache.values():
-            if entry is not keep and entry.location == "device":
-                self._spill(entry)
-                return True
         return False
 
     def cached_tables(self) -> list[str]:
@@ -452,6 +518,197 @@ class BufferManager:
     def clear(self) -> None:
         for name in list(self._cache):
             self.drop(name)
+
+    # -- intermediate-result (partition) spill entries --------------------------
+
+    def fragment_namespace(self) -> str:
+        """Hand out a namespace prefix unique to one query run, so the
+        slot-derived fragment names of concurrent queries never collide."""
+        self._fragment_ns_seq += 1
+        return f"q{self._fragment_ns_seq}"
+
+    def put_fragment(self, name: str, gtable: GTable) -> None:
+        """Register a device-resident intermediate result (a join build or
+        group-by partition) as a spillable fragment.
+
+        The fragment stays in the processing pool until memory pressure
+        (or an explicit :meth:`spill_fragment`) pushes it down the tiered
+        store.  Re-registering a name replaces the old fragment.
+        """
+        if name in self._fragments:
+            self.drop_fragment(name)
+        self._fragments[name] = SpillFragment(name, gtable)
+
+    def fragment_names(self) -> list[str]:
+        return list(self._fragments)
+
+    def fragment_location(self, name: str) -> str:
+        return self._fragments[name].location
+
+    def get_fragment(self, name: str) -> GTable:
+        """Return the fragment's device table, promoting it back up the
+        tiered store (disk -> pinned -> device) if it was spilled."""
+        frag = self._fragments[name]
+        self._fragments.move_to_end(name)
+        if frag.location == "device":
+            return frag.gtable
+        if frag.location == "disk":
+            self.device.disk_read(frag.nbytes)
+            frag.location = "pinned"
+            self.disk_fragment_bytes -= frag.nbytes
+            self.fragment_pinned_bytes += frag.nbytes
+        if frag.event is not None:
+            # The spill write must have fully landed before the host copy
+            # is authoritative.
+            self.device.wait_copies(frag.event)
+            frag.event = None
+        frag.gtable = self._fragment_to_device(frag.host_table)
+        frag.location = "device"
+        self.fragment_pinned_bytes -= frag.nbytes
+        self.fragment_unspills += 1
+        self.unspilled_fragment_bytes += frag.nbytes
+        self.device.tracer.count("spill.fragment_unspilled_bytes", frag.nbytes)
+        return frag.gtable
+
+    def spill_fragment(self, name: str) -> int:
+        """Spill one device-resident fragment to pinned host memory.
+
+        The device->host write is issued on the copy stream so it hides
+        behind the query's compute (PR 5's overlap machinery); the pool
+        bytes are released immediately, which is the entire point under
+        pressure.  Returns the pool bytes freed (0 if not device-resident).
+        """
+        frag = self._fragments.get(name)
+        if frag is None or frag.location != "device":
+            return 0
+        if frag.host_table is None:
+            frag.host_table = frag.gtable.to_host(charge_transfer=False)
+        device = self.device
+        frag.event = device.dtoh_async(frag.nbytes, pinned=True)
+        frag.gtable.free()
+        frag.gtable = None
+        frag.location = "pinned"
+        self.fragment_pinned_bytes += frag.nbytes
+        self.fragment_spills += 1
+        self.spilled_fragment_bytes += frag.nbytes
+        device.tracer.count("spill.fragment_spilled_bytes", frag.nbytes)
+        self._maybe_demote_to_disk()
+        return frag.nbytes
+
+    def drop_fragment(self, name: str) -> None:
+        """Release a fragment from whichever tier holds it."""
+        frag = self._fragments.pop(name, None)
+        if frag is None:
+            return
+        if frag.location == "device" and frag.gtable is not None:
+            frag.gtable.free()
+        elif frag.location == "pinned":
+            self.fragment_pinned_bytes -= frag.nbytes
+        elif frag.location == "disk":
+            self.disk_fragment_bytes -= frag.nbytes
+
+    def clear_fragments(self) -> None:
+        for name in list(self._fragments):
+            self.drop_fragment(name)
+
+    def drop_namespace(self, ns: str) -> None:
+        """Release every fragment a query run registered (end-of-query
+        cleanup; a no-op when the run already retired them all)."""
+        prefix = ns + "/"
+        for name in list(self._fragments):
+            if name.startswith(prefix):
+                self.drop_fragment(name)
+
+    def handle_pressure(self, needed: int) -> bool:
+        """Processing-pool pressure callback (see :attr:`~repro.gpu.rmm
+        .PoolAllocator.pressure_callback`): spill LRU device-resident
+        fragments until ``needed`` bytes are released.  Returns True when
+        anything was spilled — the failed allocation then retries instead
+        of raising OOM.
+        """
+        freed = 0
+        for name in list(self._fragments):
+            if self._fragments[name].location != "device":
+                continue
+            freed += self.spill_fragment(name)
+            self.pressure_spills += 1
+            if freed >= needed:
+                break
+        return freed > 0
+
+    def _maybe_demote_to_disk(self) -> None:
+        """Demote LRU pinned fragments to the simulated disk tier while the
+        pinned staging budget is exceeded."""
+        if self.pinned_fragment_budget is None:
+            return
+        while self.fragment_pinned_bytes > self.pinned_fragment_budget:
+            victim = None
+            for frag in self._fragments.values():
+                if frag.location == "pinned":
+                    victim = frag
+                    break
+            if victim is None:
+                return
+            if victim.event is not None:
+                self.device.wait_copies(victim.event)
+                victim.event = None
+            self.device.disk_write(victim.nbytes)
+            victim.location = "disk"
+            self.fragment_pinned_bytes -= victim.nbytes
+            self.disk_fragment_bytes += victim.nbytes
+            self.disk_spills += 1
+            self.disk_spilled_bytes += victim.nbytes
+
+    def _fragment_to_device(self, host_table: Table) -> GTable:
+        """Rebuild a spilled fragment in the processing pool, streaming it
+        back from pinned host memory at the pinned rate."""
+        from ..kernels import GColumn
+
+        columns: list = []
+        try:
+            for col in host_table.columns:
+                self.device.htod(col.nbytes, pinned=True)
+                columns.append(
+                    GColumn.from_array(
+                        self.device, col.dtype, col.data,
+                        col.is_valid_mask(), col.dictionary,
+                    )
+                )
+        except BaseException:
+            for column in columns:
+                column.free()
+            raise
+        return GTable(host_table.schema, columns, self.device)
+
+    def protected_columns(self):
+        """Device-resident columns owned by the buffer manager (cached
+        tables and live fragments).  The out-of-core executor's chunk
+        disposal must never free these: streaming operators may pass
+        cached columns through into chunks by reference."""
+        cols = []
+        for entry in self._cache.values():
+            if entry.location == "device" and entry.gtable is not None:
+                cols.extend(entry.gtable.columns)
+        for frag in self._fragments.values():
+            if frag.location == "device" and frag.gtable is not None:
+                cols.extend(frag.gtable.columns)
+        return cols
+
+    def spill_stats(self) -> dict:
+        """Counters of the intermediate-result spill tier, snapshot by the
+        executor into the profile's spill section."""
+        return {
+            "fragment_spills": self.fragment_spills,
+            "fragment_unspills": self.fragment_unspills,
+            "spilled_bytes": self.spilled_fragment_bytes,
+            "unspilled_bytes": self.unspilled_fragment_bytes,
+            "pressure_spills": self.pressure_spills,
+            "disk_spills": self.disk_spills,
+            "disk_spilled_bytes": self.disk_spilled_bytes,
+            "pinned_fragment_bytes": self.fragment_pinned_bytes,
+            "disk_fragment_bytes": self.disk_fragment_bytes,
+            "live_fragments": len(self._fragments),
+        }
 
     # -- format conversion ------------------------------------------------------
 
@@ -501,4 +758,8 @@ class BufferManager:
             "pinned_host_bytes": self.pinned_host_bytes,
             "compressed_saved_bytes": self.compressed_saved_bytes,
             "contention_avoided_evictions": self.contention_avoided_evictions,
+            "fragment_spills": self.fragment_spills,
+            "fragment_unspills": self.fragment_unspills,
+            "spilled_fragment_bytes": self.spilled_fragment_bytes,
+            "disk_spilled_bytes": self.disk_spilled_bytes,
         }

@@ -37,7 +37,8 @@ from collections import deque
 from ..kernels import GTable, slice_table
 from ..obs import OperatorTiming, QueryProfile
 from .deadline import Deadline
-from .operators.base import ExecutionContext
+from .operators.base import ChunkStream, ExecutionContext
+from .operators.join import PartitionedBuild
 from .operators.scan import IntermediateSource, TableScan
 from .planner import PhysicalPlan, Pipeline
 
@@ -117,6 +118,16 @@ class QueryRun:
     # -- the coroutine -------------------------------------------------------
 
     def _drive(self):
+        # Fragment names are only slot-unique; concurrent queries share
+        # one buffer manager, so each run gets its own namespace — and
+        # an aborted run (OOM, deadline) must not strand its fragments.
+        frag_ns = self.ctx.buffer_manager.fragment_namespace()
+        try:
+            yield from self._drive_steps(frag_ns)
+        finally:
+            self.ctx.buffer_manager.drop_namespace(frag_ns)
+
+    def _drive_steps(self, frag_ns: str):
         ctx = self.ctx
         clock = ctx.device.clock
         tracer = ctx.tracer
@@ -127,6 +138,7 @@ class QueryRun:
         kernels_before = ctx.device.kernel_count
         trace_mark = tracer.mark()
         pool.begin_watermark()
+        spill_before = ctx.buffer_manager.spill_stats()
 
         slots: dict[str, GTable] = {}
         consumers = self.physical.slot_consumers()
@@ -146,7 +158,7 @@ class QueryRun:
                         if ctx.buffer_manager.overlap:
                             self._prefetch_next(pipeline, queue, done)
                         yield from self._pipeline_steps(
-                            pipeline, slots, profile, deadline
+                            pipeline, slots, profile, deadline, frag_ns
                         )
                         done.add(pipeline.pid)
                         self._release_slots(
@@ -183,6 +195,21 @@ class QueryRun:
                     # started, so clamp per stream rather than summing raw.
                     hidden += max(busy_d - exposed_d, 0.0)
             profile.overlap_hidden_s = hidden
+            spill_after = ctx.buffer_manager.spill_stats()
+            spill_delta = {
+                k: spill_after[k] - spill_before.get(k, 0)
+                for k in (
+                    "fragment_spills",
+                    "fragment_unspills",
+                    "spilled_bytes",
+                    "unspilled_bytes",
+                    "pressure_spills",
+                    "disk_spills",
+                    "disk_spilled_bytes",
+                )
+            }
+            if any(spill_delta.values()):
+                profile.spill = spill_delta
             if profile.stream_busy:
                 total_busy = sum(profile.stream_busy.values())
                 if total_busy > 0.0:
@@ -203,23 +230,26 @@ class QueryRun:
         slots: dict,
         profile: QueryProfile,
         deadline: Deadline | None = None,
+        frag_ns: str = "q0",
     ):
-        state: dict = {"slots": slots}
+        state: dict = {"slots": slots, "frag_ns": frag_ns}
         clock = self.ctx.device.clock
         tracer = self.ctx.tracer
         with tracer.span(
             f"pipeline-{pipeline.pid}", kind="pipeline", clock=clock, pid=pipeline.pid
         ) as pspan:
             p_start = clock.now
-            op_seconds = {op: 0.0 for op in pipeline.operators}
-            op_rows = {op: 0 for op in pipeline.operators}
-            op_first = {}
-            op_last = {}
+            acct = {
+                "op_seconds": {op: 0.0 for op in pipeline.operators},
+                "op_rows": {op: 0 for op in pipeline.operators},
+                "op_first": {},
+                "op_last": {},
+                "sink_seconds": 0.0,
+                "sink_first": None,
+            }
             source_seconds = 0.0
             source_rows = 0
             source_last = p_start
-            sink_seconds = 0.0
-            sink_first = None
             chunk_iter = self._source_chunks(pipeline, slots)
             while True:
                 mark = clock.now
@@ -232,37 +262,29 @@ class QueryRun:
                 if deadline is not None:
                     deadline.check_at(clock.now)
                 profile.chunks_processed += 1
-                for op in pipeline.operators:
-                    mark = clock.now
-                    op_first.setdefault(op, mark)
-                    with clock.attributed(op.category):
-                        chunk = op.process(self.ctx, chunk, state)
-                    op_seconds[op] += clock.now - mark
-                    op_last[op] = clock.now
-                    if chunk is None:
-                        break
-                    op_rows[op] += chunk.num_rows
-                if chunk is None:
+                consumed = False
+                for _ in self._push_chunk(pipeline, chunk, 0, state, slots, acct):
+                    consumed = True
                     yield
-                    continue
-                mark = clock.now
-                if sink_first is None:
-                    sink_first = mark
-                with clock.attributed(pipeline.sink.category):
-                    pipeline.sink.consume(self.ctx, chunk, state)
-                sink_seconds += clock.now - mark
-                yield
+                if not consumed:  # chunk dropped mid-pipeline
+                    yield
             if self.ctx.buffer_manager.overlap:
                 # Pipeline-end stream join: overlapped cold-load chunks this
                 # pipeline consumed must land before its sink finalises;
                 # only the un-overlapped remainder is exposed here.
                 self.ctx.buffer_manager.complete_loads()
             mark = clock.now
-            if sink_first is None:
-                sink_first = mark
+            if acct["sink_first"] is None:
+                acct["sink_first"] = mark
             with clock.attributed(pipeline.sink.category):
                 output = pipeline.sink.finalize(self.ctx, state)
-            sink_seconds += clock.now - mark
+            acct["sink_seconds"] += clock.now - mark
+            op_seconds = acct["op_seconds"]
+            op_rows = acct["op_rows"]
+            op_first = acct["op_first"]
+            op_last = acct["op_last"]
+            sink_seconds = acct["sink_seconds"]
+            sink_first = acct["sink_first"]
             if output is not None:
                 slots[pipeline.output_slot] = output
             for op in pipeline.operators:
@@ -319,6 +341,86 @@ class QueryRun:
                 )
                 pspan.set(rows_out=output_rows, source_rows=source_rows)
 
+    def _push_chunk(self, pipeline: Pipeline, chunk, idx: int, state, slots, acct):
+        """Push one chunk through ``pipeline.operators[idx:]`` and into the
+        sink, yielding once per sink consumption (the task granularity the
+        scheduler preempts at).
+
+        Supports one-to-many operators: when ``process`` returns a
+        :class:`ChunkStream`, each emitted chunk recurses through the
+        remaining operators *before* the next one is pulled, so a
+        streaming probe's output is never resident all at once.  The
+        stream-producing operator's generator owns disposal of its input
+        chunk; the pairwise disposal below covers ordinary one-to-one
+        operators.
+        """
+        ctx = self.ctx
+        clock = ctx.device.clock
+        dispose = self.physical.out_of_core
+        ops = pipeline.operators
+        while idx < len(ops):
+            op = ops[idx]
+            mark = clock.now
+            acct["op_first"].setdefault(op, mark)
+            prev = chunk
+            with clock.attributed(op.category):
+                out = op.process(ctx, chunk, state)
+            acct["op_seconds"][op] += clock.now - mark
+            acct["op_last"][op] = clock.now
+            idx += 1
+            if isinstance(out, ChunkStream):
+                it = iter(out.chunks)
+                while True:
+                    mark = clock.now
+                    with clock.attributed(op.category):
+                        sub = next(it, _DONE)
+                    acct["op_seconds"][op] += clock.now - mark
+                    acct["op_last"][op] = clock.now
+                    if sub is _DONE:
+                        return
+                    acct["op_rows"][op] += sub.num_rows
+                    yield from self._push_chunk(pipeline, sub, idx, state, slots, acct)
+                return
+            if dispose and out is not None and out is not prev:
+                self._dispose_chunk(prev, out, slots)
+            if out is None:
+                return
+            acct["op_rows"][op] += out.num_rows
+            chunk = out
+        mark = clock.now
+        if acct["sink_first"] is None:
+            acct["sink_first"] = mark
+        with clock.attributed(pipeline.sink.category):
+            pipeline.sink.consume(ctx, chunk, state)
+        acct["sink_seconds"] += clock.now - mark
+        if dispose and pipeline.sink.consumes_by_copy:
+            self._dispose_chunk(chunk, None, slots)
+        yield
+
+    def _dispose_chunk(self, prev: GTable, nxt: GTable | None, slots: dict) -> None:
+        """Out-of-core chunk disposal: free ``prev``'s buffers once nothing
+        carries them forward.
+
+        Streaming operators may pass column objects through by reference
+        (a bare column projection returns the input column), so a buffer is
+        freed only when it is absent from the successor chunk AND not owned
+        by a protected table — the buffer-manager cache, a live fragment,
+        or a materialised slot.  Each buffer flows through the chunk chain
+        exactly once, so every free here happens at most once; without this
+        protocol dead intermediates accumulate in the processing pool for
+        the whole query, which is exactly what an over-HBM working set
+        cannot afford.
+        """
+        keep = {id(c) for c in nxt.columns} if nxt is not None else set()
+        protected = {id(c) for c in self.ctx.buffer_manager.protected_columns()}
+        for table in slots.values():
+            if isinstance(table, GTable):
+                protected.update(id(c) for c in table.columns)
+        for col in prev.columns:
+            if id(col) in keep or id(col) in protected:
+                continue
+            col.free()
+
     def _prefetch_next(self, current: Pipeline, queue, done: set[int]) -> None:
         """Scan-prefetch hook: before running ``current``, issue an async
         cold load for the base table of the next pipeline that becomes
@@ -358,7 +460,13 @@ class QueryRun:
         for slot in pipeline.used_slots():
             consumers[slot] -= 1
             if consumers[slot] == 0 and slot != final_slot:
-                slots.pop(slot, None)
+                retired = slots.pop(slot, None)
+                if isinstance(retired, PartitionedBuild):
+                    # Out-of-core builds own tiered-store fragments, not
+                    # pool buffers; release them as soon as the last probe
+                    # finishes so later pipelines reclaim the space.
+                    for name in retired.leaves.values():
+                        self.ctx.buffer_manager.drop_fragment(name)
 
 
 class PipelineExecutor:

@@ -96,7 +96,13 @@ class DegradationTier:
 
 @dataclass
 class FallbackEvent:
-    """Record of one query that degraded off the happy path."""
+    """Record of one query that degraded off the happy path.
+
+    ``memory_watermark`` is the processing-pool bytes in use when the
+    event was recorded (how full the pool was at the failure) and
+    ``spill_bytes_attempted`` the total bytes the engine had spilled
+    trying to stay on the GPU — both ``None`` when the engine has no
+    memory probe wired (e.g. a bare handler under test)."""
 
     reason: str
     exception_type: str
@@ -104,6 +110,8 @@ class FallbackEvent:
     tiers_attempted: tuple = ()
     plan_fingerprint: str = "unknown"
     sim_time: float | None = None
+    memory_watermark: int | None = None
+    spill_bytes_attempted: int | None = None
 
 
 @dataclass
@@ -115,6 +123,10 @@ class FallbackHandler:
     # Observability sink; every recorded FallbackEvent is mirrored as a
     # span event carrying the tier label and the ladder walked.
     tracer: object = NULL_TRACER
+    # Optional ``() -> {"memory_watermark": int, "spill_bytes_attempted": int}``
+    # sampled at record time so every event says how full the pool was and
+    # how much spilling was tried before degrading (None fields otherwise).
+    memory_probe: Callable[[], dict] | None = None
 
     def run(
         self,
@@ -164,6 +176,7 @@ class FallbackHandler:
         raise original
 
     def _record(self, exc, plan, tier: str, attempted: list, clock) -> None:
+        memory = self.memory_probe() if self.memory_probe is not None else {}
         self.events.append(
             FallbackEvent(
                 reason=str(exc),
@@ -172,6 +185,8 @@ class FallbackHandler:
                 tiers_attempted=tuple(attempted),
                 plan_fingerprint=plan_fingerprint(plan),
                 sim_time=clock.now if clock is not None else None,
+                memory_watermark=memory.get("memory_watermark"),
+                spill_bytes_attempted=memory.get("spill_bytes_attempted"),
             )
         )
         self.tracer.event(

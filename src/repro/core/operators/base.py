@@ -30,7 +30,48 @@ __all__ = [
     "SinkOperator",
     "SourceOperator",
     "UnsupportedFeatureError",
+    "ChunkStream",
+    "dispose_consumed",
 ]
+
+
+class ChunkStream:
+    """Lazy sequence of output chunks from a one-to-many streaming operator.
+
+    A :class:`StreamingOperator` may return one of these instead of a
+    single ``GTable`` (e.g. a partitioned probe emitting per-leaf join
+    outputs).  The executor drains it chunk by chunk, pushing each chunk
+    through the remaining operators and the sink *before* pulling the
+    next, so at most one emitted chunk is resident at a time — this is
+    what keeps out-of-core probe pipelines from materialising their whole
+    output.  The operator's generator owns disposal of its input chunk.
+    """
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, chunks):
+        self.chunks = chunks
+
+
+def dispose_consumed(ctx: "ExecutionContext", chunk: GTable, state: dict) -> None:
+    """Free a chunk's buffers once an out-of-core operator has copied
+    everything it needs out of it (partitioned sinks and probes scatter
+    the chunk into fresh per-partition tables, after which the original
+    is dead weight the per-query pool reset would otherwise hold until
+    query end).
+
+    Columns shared with cached base tables, live spill fragments, or
+    materialised pipeline slots are skipped; ``DeviceBuffer.free`` is
+    idempotent, so the executor's own disposal pass stays safe if it
+    later revisits the same chunk.
+    """
+    protected = {id(c) for c in ctx.buffer_manager.protected_columns()}
+    for table in state.get("slots", {}).values():
+        if isinstance(table, GTable):
+            protected.update(id(c) for c in table.columns)
+    for col in chunk.columns:
+        if id(col) not in protected:
+            col.free()
 
 
 class Category:
@@ -115,6 +156,12 @@ class StreamingOperator(PhysicalOperator):
 
 class SinkOperator(PhysicalOperator):
     """Pipeline terminator: consumes all chunks, then finalises."""
+
+    # True when ``consume`` copies everything it keeps (partitioned/
+    # spilling sinks): the out-of-core executor may then free the chunk's
+    # buffers right after consumption.  Default False — most sinks retain
+    # the chunk object itself until ``finalize``.
+    consumes_by_copy = False
 
     def consume(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> None:
         raise NotImplementedError

@@ -26,9 +26,24 @@ from ...kernels import GTable, anti_join, gather_table, inner_join, left_join, m
 from ...kernels.join import JoinResult, _expand, _match_ranges
 from ...kernels.keys import factorize_keys
 from .. import expr_eval
-from .base import Category, ExecutionContext, SinkOperator, StreamingOperator
+from .base import (
+    Category,
+    ChunkStream,
+    ExecutionContext,
+    SinkOperator,
+    StreamingOperator,
+    dispose_consumed,
+)
 
-__all__ = ["HashJoinBuildSink", "HashJoinProbe", "libcudf_join", "custom_sort_merge_join"]
+__all__ = [
+    "HashJoinBuildSink",
+    "HashJoinProbe",
+    "PartitionedBuild",
+    "PartitionedHashJoinBuildSink",
+    "PartitionedHashJoinProbe",
+    "libcudf_join",
+    "custom_sort_merge_join",
+]
 
 
 def libcudf_join(join_type: str, probe_keys, build_keys):
@@ -139,6 +154,11 @@ class HashJoinProbe(StreamingOperator):
 
     def process(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> GTable:
         build_table: GTable = state["slots"][self.build_slot]
+        return self._probe_against(ctx, chunk, build_table)
+
+    def _probe_against(self, ctx: ExecutionContext, chunk: GTable, build_table: GTable) -> GTable:
+        """Probe one chunk against one materialised build table (the whole
+        build in-core; one partition of it out-of-core)."""
         if not self.probe_key_indices:
             return self._cross_join(ctx, chunk, build_table)
         probe_keys = [chunk.columns[i] for i in self.probe_key_indices]
@@ -227,6 +247,259 @@ class HashJoinProbe(StreamingOperator):
 
     def describe(self) -> str:
         return f"HashJoinProbe({self.join_type}, slot={self.build_slot})"
+
+
+class PartitionedBuild:
+    """Handle for an out-of-core build side, stored in the build slot.
+
+    The build rows live as radix partitions registered with the buffer
+    manager's fragment store (device / pinned host / disk, wherever
+    pressure pushed them) rather than as one resident :class:`GTable`.
+    ``leaves`` maps a partition path — a tuple of radix digits, one per
+    recursion level — to the fragment name holding that partition.  A
+    path is absent when the build side had no rows for it.
+    """
+
+    def __init__(self, schema: Schema, key_indices: list[int], fanout: int):
+        self.schema = schema
+        self.key_indices = key_indices
+        self.fanout = fanout
+        self.leaves: dict[tuple[int, ...], str] = {}
+        self.num_rows = 0
+        self.nbytes = 0
+        self._prefixes: set[tuple[int, ...]] = set()
+
+    def add_leaf(self, path: tuple[int, ...], name: str, rows: int, nbytes: int) -> None:
+        self.leaves[path] = name
+        self.num_rows += rows
+        self.nbytes += nbytes
+        for i in range(len(path)):
+            self._prefixes.add(path[:i])
+
+    def has_descendants(self, path: tuple[int, ...]) -> bool:
+        """Whether any leaf lives strictly below ``path`` (meaning the
+        probe side must subdivide further to find its match partition)."""
+        return path in self._prefixes
+
+    def depth(self) -> int:
+        return max((len(p) for p in self.leaves), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedBuild(rows={self.num_rows}, leaves={len(self.leaves)}, "
+            f"depth={self.depth()})"
+        )
+
+
+class PartitionedHashJoinBuildSink(HashJoinBuildSink):
+    """Out-of-core build sink: radix-partitions the build side into
+    buffer-manager fragments instead of materialising one table.
+
+    Each incoming chunk is split by a level-0 radix hash of the join keys
+    and the pieces are registered as spillable fragments; under memory
+    pressure the buffer manager migrates them device → pinned host → disk
+    on the copy stream.  ``finalize`` re-merges each partition and
+    recursively re-splits (salted hash per level, so a skewed bucket
+    re-shuffles) any partition still larger than ``partition_budget_bytes``
+    until it fits or ``max_depth`` is reached.  The slot receives a
+    :class:`PartitionedBuild` handle; the paired
+    :class:`PartitionedHashJoinProbe` routes probe rows through the same
+    hashes, so every key pair meets in exactly one leaf and the join is
+    exact.
+    """
+
+    consumes_by_copy = True  # partitions are scattered copies; the chunk may be freed
+
+    def __init__(
+        self,
+        slot: str,
+        schema: Schema,
+        key_indices,
+        num_partitions: int = 8,
+        partition_budget_bytes: int | None = None,
+        max_depth: int = 3,
+    ):
+        super().__init__(slot, schema)
+        self.key_indices = list(key_indices)
+        if num_partitions < 2:
+            raise ValueError("partitioned build needs num_partitions >= 2")
+        self.num_partitions = num_partitions
+        self.partition_budget_bytes = partition_budget_bytes
+        self.max_depth = max_depth
+
+    def consume(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> None:
+        from ...kernels import partition_join_side
+
+        parts = partition_join_side(chunk, self.key_indices, self.num_partitions, level=0)
+        dispose_consumed(ctx, chunk, state)  # partitions are copies; drop the input now
+        bm = ctx.buffer_manager
+        by_part = state.setdefault("part_chunks", {p: [] for p in range(self.num_partitions)})
+        seq = state.setdefault("frag_seq", 0)
+        ns = state.get("frag_ns", "q0")
+        for p, part in enumerate(parts):
+            if part is None:
+                continue
+            name = f"{ns}/{self.slot}/c{seq}.{p}"
+            seq += 1
+            bm.put_fragment(name, part)
+            by_part[p].append(name)
+        state["frag_seq"] = seq
+
+    def finalize(self, ctx: ExecutionContext, state: dict):
+        by_part = state.get("part_chunks")
+        if not by_part or all(not names for names in by_part.values()):
+            # Degenerate empty build: hand the probe a plain empty GTable
+            # (the probe falls back to the in-core path for it).
+            return _empty_gtable(ctx, self.schema)
+        bm = ctx.buffer_manager
+        budget = self.partition_budget_bytes
+        if budget is None:
+            budget = max(ctx.device.processing_pool.capacity // 4, 1)
+        build = PartitionedBuild(self.schema, self.key_indices, self.num_partitions)
+        ns = state.get("frag_ns", "q0")
+        for p in sorted(by_part):
+            names = by_part[p]
+            if not names:
+                continue
+            merged = self._merge_fragments(ctx, bm, names)
+            self._store(ctx, bm, build, (p,), merged, budget, 1, ns)
+        return build
+
+    def _merge_fragments(self, ctx: ExecutionContext, bm, names: list[str]) -> GTable:
+        """Unspill and concatenate one partition's chunk fragments,
+        retiring the per-chunk fragments afterwards."""
+        from ...kernels import concat_gtables
+
+        tables = [bm.get_fragment(n) for n in names]
+        merged = concat_gtables(tables)
+        for n in names:
+            bm.drop_fragment(n)
+        return merged
+
+    def _store(self, ctx, bm, build, path, table: GTable, budget: int, level: int, ns: str) -> None:
+        """Register ``table`` as the leaf at ``path``, or re-split it at
+        the next radix level when it exceeds the partition budget."""
+        from ...kernels import partition_join_side
+
+        if level <= self.max_depth and table.nbytes > budget and table.num_rows > 1:
+            parts = partition_join_side(table, self.key_indices, self.num_partitions, level=level)
+            table.free()
+            for q, sub in enumerate(parts):
+                if sub is not None:
+                    self._store(ctx, bm, build, path + (q,), sub, budget, level + 1, ns)
+            return
+        name = f"{ns}/{self.slot}/" + ".".join(str(d) for d in path)
+        bm.put_fragment(name, table)
+        build.add_leaf(path, name, table.num_rows, table.nbytes)
+
+    def describe(self) -> str:
+        return f"PartitionedHashJoinBuild({self.slot}, fanout={self.num_partitions})"
+
+
+class PartitionedHashJoinProbe(HashJoinProbe):
+    """Probe variant for :class:`PartitionedBuild` slots.
+
+    Each probe chunk is routed through the same salted radix hashes the
+    build used, so probe rows of leaf ``path`` meet exactly the build rows
+    of leaf ``path``; leaves are unspilled one at a time via the buffer
+    manager (LRU — hot leaves stay resident, cold ones come back from
+    pinned host or disk).  Probe rows whose build partition is empty
+    short-circuit: dropped for inner/semi, probed against an empty table
+    for left/anti so unmatched-row semantics hold.
+
+    Per-leaf join outputs are *streamed* downstream as a
+    :class:`~.base.ChunkStream` rather than concatenated: the executor
+    pushes each leaf output through the rest of the pipeline before the
+    next leaf is probed, so the probe never holds its full output
+    resident — that residency is exactly what would put a lower bound of
+    ``output_size`` on the memory floor.
+    """
+
+    def process(self, ctx: ExecutionContext, chunk: GTable, state: dict):
+        build = state["slots"][self.build_slot]
+        if not isinstance(build, PartitionedBuild):
+            # Empty-build degenerate case (or a non-partitioned rerun):
+            # the slot holds a plain GTable; probe it in-core.
+            return self._probe_against(ctx, chunk, build)
+        return ChunkStream(self._stream_leaf_outputs(ctx, chunk, build, state))
+
+    def _stream_leaf_outputs(self, ctx, chunk: GTable, build, state: dict):
+        """Partition the input, free it, then lazily yield join outputs
+        (the executor interleaves downstream work between pulls).
+
+        Consecutive per-leaf outputs are coalesced up to ~1/8 of the
+        processing pool before being emitted: unbounded accumulation would
+        re-materialise the whole probe output (the memory floor this class
+        exists to remove), while emitting every leaf individually multiplies
+        downstream kernel launches by the leaf count and drowns the query
+        in launch latency.
+        """
+        from ...kernels import concat_gtables, partition_join_side
+
+        budget = max(ctx.device.processing_pool.capacity // 8, 1 << 20)
+        pending: list[GTable] = []
+        pending_bytes = 0
+
+        def flush():
+            if len(pending) == 1:
+                out = pending[0]
+            else:
+                out = concat_gtables(pending)
+                for t in pending:
+                    t.free()
+            pending.clear()
+            return out
+
+        parts = partition_join_side(chunk, self.probe_key_indices, build.fanout, level=0)
+        dispose_consumed(ctx, chunk, state)  # sub-partitions are copies; drop the input
+        for q, sub in enumerate(parts):
+            if sub is None:
+                continue
+            for out in self._probe_stream(ctx, sub, build, (q,), 1):
+                pending.append(out)
+                pending_bytes += out.nbytes
+                if pending_bytes >= budget:
+                    pending_bytes = 0
+                    yield flush()
+            sub.free()
+        if pending:
+            yield flush()
+
+    def _probe_stream(self, ctx, chunk: GTable, build, path, level: int):
+        """Probe the rows of ``chunk`` (already routed to ``path``) against
+        the build leaves under ``path``, recursing level by level."""
+        from ...kernels import partition_join_side
+
+        if path in build.leaves:
+            build_table = ctx.buffer_manager.get_fragment(build.leaves[path])
+            yield from self._emit(ctx, chunk, build_table)
+            return
+        if not build.has_descendants(path):
+            # No build rows hash here.  Inner/semi probe rows can never
+            # match; left/anti still owe output for unmatched rows.
+            if self.join_type in ("left", "anti"):
+                empty = _empty_gtable(ctx, self.build_schema)
+                yield from self._emit(ctx, chunk, empty)
+                empty.free()
+            return
+        parts = partition_join_side(chunk, self.probe_key_indices, build.fanout, level=level)
+        for q, sub in enumerate(parts):
+            if sub is None:
+                continue
+            yield from self._probe_stream(ctx, sub, build, path + (q,), level + 1)
+            sub.free()
+
+    def _emit(self, ctx, chunk: GTable, build_table: GTable):
+        out = self._probe_against(ctx, chunk, build_table)
+        if out is None:
+            return
+        if out.num_rows > 0:
+            yield out
+        else:
+            out.free()
+
+    def describe(self) -> str:
+        return f"PartitionedHashJoinProbe({self.join_type}, slot={self.build_slot})"
 
 
 def _empty_gtable(ctx: ExecutionContext, schema: Schema) -> GTable:

@@ -30,9 +30,14 @@ from ..plan import (
     Relation,
     SortRel,
 )
-from .operators.aggregate import GlobalAggSink, GroupBySink
+from .operators.aggregate import GlobalAggSink, GroupBySink, PartitionedGroupBySink
 from .operators.base import SinkOperator, SourceOperator, StreamingOperator, UnsupportedFeatureError
-from .operators.join import HashJoinBuildSink, HashJoinProbe
+from .operators.join import (
+    HashJoinBuildSink,
+    HashJoinProbe,
+    PartitionedHashJoinBuildSink,
+    PartitionedHashJoinProbe,
+)
 from .operators.scan import IntermediateSource, TableScan
 from .operators.sort import FetchSink, MaterializeSink, SortSink, TopNSink
 from .operators.streaming import FilterOp, ProjectOp
@@ -77,6 +82,10 @@ class PhysicalPlan:
 
     pipelines: list[Pipeline]
     final_slot: str
+    # Compiled with the partitioned/spillable operator variants; tells the
+    # executor to run its chunk-disposal protocol so dead intermediates do
+    # not accumulate in the processing pool for the lifetime of the query.
+    out_of_core: bool = False
 
     def explain(self) -> str:
         return "\n".join(p.describe() for p in self.pipelines)
@@ -90,9 +99,22 @@ class PhysicalPlan:
 
 
 class _Compiler:
-    def __init__(self):
+    def __init__(
+        self,
+        out_of_core: bool = False,
+        partition_budget_bytes: int | None = None,
+        ooc_fanout: int = 8,
+        ooc_max_depth: int = 3,
+    ):
         self.pipelines: list[Pipeline] = []
         self._next_slot = 0
+        # Out-of-core mode swaps keyed joins / group-bys for their radix-
+        # partitioned spillable variants; off (the default) compiles the
+        # exact same operator tree as always.
+        self.out_of_core = out_of_core
+        self.partition_budget_bytes = partition_budget_bytes
+        self.ooc_fanout = ooc_fanout
+        self.ooc_max_depth = ooc_max_depth
 
     def fresh_slot(self, hint: str) -> str:
         self._next_slot += 1
@@ -125,13 +147,24 @@ class _Compiler:
             build_schema = rel.right.output_schema()
             build_slot = self.fresh_slot("build")
             b_source, b_ops, b_deps = self.compile(rel.right)
-            build_pid = self.add_pipeline(
-                b_source, b_ops, HashJoinBuildSink(build_slot, build_schema), build_slot, b_deps
-            )
+            partitioned = self.out_of_core and bool(rel.right_keys)
+            if partitioned:
+                build_sink = PartitionedHashJoinBuildSink(
+                    build_slot,
+                    build_schema,
+                    rel.right_keys,
+                    num_partitions=self.ooc_fanout,
+                    partition_budget_bytes=self.partition_budget_bytes,
+                    max_depth=self.ooc_max_depth,
+                )
+            else:
+                build_sink = HashJoinBuildSink(build_slot, build_schema)
+            build_pid = self.add_pipeline(b_source, b_ops, build_sink, build_slot, b_deps)
             # Probe side continues the current pipeline.
             source, ops, deps = self.compile(rel.left)
+            probe_cls = PartitionedHashJoinProbe if partitioned else HashJoinProbe
             ops.append(
-                HashJoinProbe(
+                probe_cls(
                     build_slot,
                     rel.join_type,
                     rel.left_keys,
@@ -147,7 +180,18 @@ class _Compiler:
         if isinstance(rel, AggregateRel):
             schema = rel.input_rel.output_schema()
             if rel.group_indices:
-                sink = GroupBySink(rel.group_indices, rel.measures, schema)
+                if self.out_of_core:
+                    sink = PartitionedGroupBySink(
+                        rel.group_indices,
+                        rel.measures,
+                        schema,
+                        slot=self.fresh_slot("oocagg"),
+                        num_partitions=self.ooc_fanout,
+                        partition_budget_bytes=self.partition_budget_bytes,
+                        max_depth=self.ooc_max_depth,
+                    )
+                else:
+                    sink = GroupBySink(rel.group_indices, rel.measures, schema)
             else:
                 sink = GlobalAggSink(rel.measures, schema)
             return self._break(rel.input_rel, sink, "agg")
@@ -185,11 +229,29 @@ class _Compiler:
         return IntermediateSource(slot, sink.output_schema()), [], {pid}
 
 
-def compile_plan(plan: Plan) -> PhysicalPlan:
-    """Compile a validated plan into pipelines ending in a result slot."""
-    compiler = _Compiler()
+def compile_plan(
+    plan: Plan,
+    out_of_core: bool = False,
+    partition_budget_bytes: int | None = None,
+    ooc_fanout: int = 8,
+    ooc_max_depth: int = 3,
+) -> PhysicalPlan:
+    """Compile a validated plan into pipelines ending in a result slot.
+
+    With ``out_of_core=True``, keyed hash joins and group-bys compile to
+    their radix-partitioned variants whose state lives in spillable
+    buffer-manager fragments (device -> pinned host -> disk) instead of
+    resident tables; the default compiles the seed operator tree
+    unchanged.
+    """
+    compiler = _Compiler(
+        out_of_core=out_of_core,
+        partition_budget_bytes=partition_budget_bytes,
+        ooc_fanout=ooc_fanout,
+        ooc_max_depth=ooc_max_depth,
+    )
     source, ops, deps = compiler.compile(plan.root)
     compiler.add_pipeline(
         source, ops, MaterializeSink(plan.root.output_schema()), RESULT_SLOT, deps
     )
-    return PhysicalPlan(compiler.pipelines, RESULT_SLOT)
+    return PhysicalPlan(compiler.pipelines, RESULT_SLOT, out_of_core=out_of_core)

@@ -78,6 +78,8 @@ class SiriusEngine:
         tracer=None,
         overlap: bool = False,
         load_chunk_bytes: int | None = None,
+        out_of_core: bool = False,
+        pinned_spill_budget_bytes: int | None = None,
     ):
         """
         Args:
@@ -104,6 +106,16 @@ class SiriusEngine:
                 byte-identical to the synchronous loader.
             load_chunk_bytes: Chunk granularity of overlapped loads
                 (defaults to the buffer manager's 1 MiB).
+            out_of_core: Compile keyed joins and group-bys to their
+                radix-partitioned variants whose partitions spill through
+                the tiered store (device -> pinned host -> disk) under
+                memory pressure, so over-HBM working sets complete on the
+                GPU instead of falling back.  Off by default; the default
+                path is byte-identical to the seed engine.
+            pinned_spill_budget_bytes: Pinned host staging budget for
+                spilled partitions before they demote to the simulated
+                disk tier (defaults to the processing pool's capacity
+                when out-of-core execution is active).
         """
         self.device = device
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -121,9 +133,19 @@ class SiriusEngine:
         self.registry = default_registry()
         self.batch_rows = batch_rows
         self.fallback = FallbackHandler(host_executor, tracer=self.tracer)
+        self.fallback.memory_probe = self._memory_probe
         self.pipeline_cpu_executor = pipeline_cpu_executor
         self.last_profile: QueryProfile | None = None
         self.queries_executed = 0
+        self.out_of_core = out_of_core
+        self._pinned_spill_budget_bytes = pinned_spill_budget_bytes
+        if out_of_core:
+            self._install_pressure_hooks()
+            if self.batch_rows is None:
+                # Out-of-core execution needs bounded chunks: streaming in
+                # whole-table chunks would put the full probe side in the
+                # pool at once, defeating the partitioned spill.
+                self.batch_rows = OOC_RETRY_BATCH_ROWS
 
     @classmethod
     def for_spec(
@@ -167,6 +189,28 @@ class SiriusEngine:
 
         return analyze_plan(plan, catalog, self.device)
 
+    def _install_pressure_hooks(self) -> None:
+        """Route processing-pool allocation pressure into partition spills
+        (instead of straight to :class:`OutOfDeviceMemory`) and cap the
+        pinned staging tier so overflow demotes to the simulated disk."""
+        pool = self.device.processing_pool
+        pool.pressure_callback = self.buffer_manager.handle_pressure
+        if self.buffer_manager.pinned_fragment_budget is None:
+            budget = self._pinned_spill_budget_bytes
+            if budget is None:
+                budget = pool.capacity
+            self.buffer_manager.pinned_fragment_budget = budget
+
+    def _memory_probe(self) -> dict:
+        """Memory state sampled into :class:`FallbackEvent` records."""
+        bm = self.buffer_manager
+        return {
+            "memory_watermark": self.device.processing_pool.stats().in_use,
+            # Cached tables pushed to pinned host + partition fragments
+            # spilled: everything the engine moved trying to stay on-GPU.
+            "spill_bytes_attempted": bm.pinned_host_bytes + bm.spilled_fragment_bytes,
+        }
+
     def set_pipeline_cpu_executor(
         self, executor: Callable[[Plan, Mapping[str, Table]], Table]
     ) -> None:
@@ -195,6 +239,7 @@ class SiriusEngine:
         relaunches_before = self.device.kernel_relaunches
 
         def gpu_run() -> Table:
+            self.buffer_manager.clear_fragments()
             self.device.reset_processing_pool()
             ctx = ExecutionContext(
                 device=self.device,
@@ -204,12 +249,31 @@ class SiriusEngine:
                 batch_rows=self.batch_rows,
                 tracer=self.tracer,
             )
-            physical = compile_plan(plan)
+            physical = compile_plan(plan, out_of_core=self.out_of_core)
             executor = PipelineExecutor(ctx)
             gtable, profile = executor.run(physical, deadline=deadline)
             self.last_profile = profile
             result = gtable.to_host()  # deep copy back to the host format
+            self.buffer_manager.clear_fragments()
             return result
+
+        def ooc_partitioned_retry(_plan: Plan, _exc: BaseException) -> Table:
+            # Same query recompiled with partitioned joins/group-bys whose
+            # state spills through the tiered store — stays on the GPU
+            # where the batched retry below would thrash or still OOM.
+            saved_ooc = self.out_of_core
+            saved_spill = self.buffer_manager.enable_spill
+            saved_batch = self.batch_rows
+            self.out_of_core = True
+            self._install_pressure_hooks()
+            self.buffer_manager.enable_spill = True
+            self.batch_rows = min(saved_batch or OOC_RETRY_BATCH_ROWS, OOC_RETRY_BATCH_ROWS)
+            try:
+                return gpu_run()
+            finally:
+                self.out_of_core = saved_ooc
+                self.buffer_manager.enable_spill = saved_spill
+                self.batch_rows = saved_batch
 
         def ooc_retry(_plan: Plan, _exc: BaseException) -> Table:
             # Same query, out-of-core configuration: spill cached tables
@@ -225,11 +289,23 @@ class SiriusEngine:
                 self.buffer_manager.enable_spill = saved_spill
                 self.batch_rows = saved_batch
 
-        tiers = [
+        tiers = []
+        tiers.append(
             DegradationTier(
                 "gpu-retry-spill", ooc_retry, (OutOfDeviceMemory,), gpu_result=True
             )
-        ]
+        )
+        if not self.out_of_core:
+            # Out-of-core engines already run partitioned.  For in-core
+            # engines an OOM escalates through GPU-resident remedies in
+            # cost order — first the cheap batched retry above, then full
+            # partitioned out-of-core execution — before any CPU
+            # degradation is considered.
+            tiers.append(
+                DegradationTier(
+                    "gpu-spill", ooc_partitioned_retry, (OutOfDeviceMemory,), gpu_result=True
+                )
+            )
         if self.pipeline_cpu_executor is not None:
             tiers.append(
                 DegradationTier(
@@ -257,6 +333,7 @@ class SiriusEngine:
         deadline: Deadline | None = None,
         tracer=None,
         batch_rows: int | None = None,
+        out_of_core: bool | None = None,
     ) -> QueryRun:
         """Begin task-granular execution of a plan (the serving path).
 
@@ -279,17 +356,26 @@ class SiriusEngine:
             batch_rows: Override the engine's streaming batch size for
                 this query only (serving uses small batches so queries
                 interleave at fine granularity).
+            out_of_core: Override the engine's out-of-core mode for this
+                query only (serving admits over-HBM queries as streaming
+                jobs on the spill tier); ``None`` = engine default.
         """
         plan.validate()
+        ooc = self.out_of_core if out_of_core is None else out_of_core
+        resolved_batch = batch_rows if batch_rows is not None else self.batch_rows
+        if ooc:
+            self._install_pressure_hooks()
+            if resolved_batch is None:
+                resolved_batch = OOC_RETRY_BATCH_ROWS
         ctx = ExecutionContext(
             device=self.device,
             buffer_manager=self.buffer_manager,
             catalog=catalog,
             registry=self.registry,
-            batch_rows=batch_rows if batch_rows is not None else self.batch_rows,
+            batch_rows=resolved_batch,
             tracer=tracer if tracer is not None else self.tracer,
         )
-        physical = compile_plan(plan)
+        physical = compile_plan(plan, out_of_core=ooc)
         return PipelineExecutor(ctx).start(physical, deadline=deadline)
 
     def explain_physical(self, plan: Plan) -> str:

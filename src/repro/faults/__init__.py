@@ -14,6 +14,7 @@ from .plan import (
     BandwidthDegradation,
     FaultPlan,
     LinkDrop,
+    MemoryPressure,
     NodeCrash,
     OOMSpike,
     Straggler,
@@ -26,6 +27,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "LinkDrop",
+    "MemoryPressure",
     "NodeCrash",
     "OOMSpike",
     "Straggler",

@@ -26,6 +26,7 @@ from .plan import (
     BandwidthDegradation,
     FaultPlan,
     LinkDrop,
+    MemoryPressure,
     NodeCrash,
     OOMSpike,
     Straggler,
@@ -73,6 +74,10 @@ class FaultInjector:
             plan.by_kind(BandwidthDegradation)
         )
         self._stragglers: list[Straggler] = list(plan.by_kind(Straggler))
+        self._pressures: list[MemoryPressure] = list(plan.by_kind(MemoryPressure))
+        # Windows that have already recorded their InjectedFault event (a
+        # continuous fault fires once, at first bite, not per allocation).
+        self._pressure_fired: set[int] = set()
 
     # -- attachment -----------------------------------------------------------
 
@@ -154,6 +159,34 @@ class FaultInjector:
             if s.node_id == node_id and s.start <= now < s.end:
                 slow *= s.slowdown
         return slow
+
+    @property
+    def has_pool_pressure(self) -> bool:
+        """Whether the plan schedules any memory-pressure window (devices
+        skip the soft-limit bookkeeping entirely otherwise)."""
+        return bool(self._pressures)
+
+    def pool_pressure_factor(self, node_id: int, now: float) -> float:
+        """Multiplier on the node's processing-pool capacity (1.0 = full
+        pool).  Overlapping windows compound, like stragglers."""
+        factor = 1.0
+        for i, p in enumerate(self._pressures):
+            if p.start <= now < p.end and (p.node_id is None or p.node_id == node_id):
+                factor *= p.factor
+                if i not in self._pressure_fired:
+                    self._pressure_fired.add(i)
+                    self.events.append(
+                        InjectedFault(
+                            "memory-pressure",
+                            now,
+                            node_id=node_id,
+                            detail=(
+                                f"pool shrunk to {p.factor:.0%} for "
+                                f"[{p.start:.6f}s, {p.end:.6f}s)"
+                            ),
+                        )
+                    )
+        return factor
 
     # -- crashes --------------------------------------------------------------
 

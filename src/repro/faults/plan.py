@@ -20,7 +20,10 @@ call out for production GPU query platforms):
   even though steady-state capacity would suffice (memory pressure);
 * :class:`TransientKernelFault` — a kernel launch fails and must be
   relaunched (ECC hiccup / driver retry class of faults);
-* :class:`Straggler` — a window where one node's compute runs N× slower.
+* :class:`Straggler` — a window where one node's compute runs N× slower;
+* :class:`MemoryPressure` — a window where a node's processing pool
+  shrinks to a fraction of capacity (co-tenant pressure), exercising the
+  out-of-core spill path instead of instant OOM.
 
 Schedules can be authored explicitly (``plan.crash_node(2, at=0.001)``) or
 sampled through the plan's seeded RNG (``plan.scatter_link_drops(...)``)
@@ -37,6 +40,7 @@ __all__ = [
     "BandwidthDegradation",
     "FaultPlan",
     "LinkDrop",
+    "MemoryPressure",
     "NodeCrash",
     "OOMSpike",
     "Straggler",
@@ -90,6 +94,19 @@ class TransientKernelFault:
 
     at: float
     count: int = 1
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class MemoryPressure:
+    """Between ``start`` and ``end``, the processing pool of ``node_id``
+    (``None`` = every node) is soft-limited to ``factor`` of its capacity
+    (0 < factor < 1) — allocations past the shrunken limit spill
+    partitions before OOM is considered."""
+
+    start: float
+    end: float
+    factor: float
     node_id: int | None = None
 
 
@@ -149,6 +166,16 @@ class FaultPlan:
         if count < 1:
             raise ValueError("kernel-fault count must be >= 1")
         self.faults.append(TransientKernelFault(at, count, node_id))
+        return self
+
+    def memory_pressure(
+        self, start: float, end: float, factor: float, node_id: int | None = None
+    ) -> "FaultPlan":
+        if not 0.0 < factor < 1.0:
+            raise ValueError("memory-pressure factor must be in (0, 1)")
+        if end <= start:
+            raise ValueError("memory-pressure window must have end > start")
+        self.faults.append(MemoryPressure(start, end, factor, node_id))
         return self
 
     def straggler(

@@ -181,3 +181,10 @@ class KernelCostModel:
         if pinned:
             link_bw /= self.spec.pinned_bw_fraction
         return self.spec.interconnect_latency_us * 1e-6 + nbytes / link_bw
+
+    def disk_transfer_cost(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` between pinned host memory and the
+        simulated local-disk spill tier (out-of-core partition demotion)."""
+        return self.spec.disk_latency_us * 1e-6 + nbytes / (
+            self.spec.disk_bw_gbps * GB
+        )

@@ -80,6 +80,8 @@ class Device:
         self.kernel_count = 0
         self.htod_bytes = 0
         self.dtoh_bytes = 0
+        self.disk_write_bytes = 0
+        self.disk_read_bytes = 0
         # Fault-injection hooks (attached by repro.faults.FaultInjector;
         # None = healthy device, zero overhead on the hot path).
         self.fault_injector = None
@@ -155,6 +157,22 @@ class Device:
         self.dtoh_bytes += nbytes
         return seconds
 
+    def disk_write(self, nbytes: int) -> float:
+        """Charge a pinned-host -> simulated-disk write (out-of-core
+        partition demotion once the pinned-host budget overflows)."""
+        seconds = self.cost_model.disk_transfer_cost(nbytes)
+        self.clock.advance(seconds, category="transfer")
+        self.disk_write_bytes += nbytes
+        return seconds
+
+    def disk_read(self, nbytes: int) -> float:
+        """Charge a simulated-disk -> pinned-host read (partition
+        promotion on first re-use after a disk demotion)."""
+        seconds = self.cost_model.disk_transfer_cost(nbytes)
+        self.clock.advance(seconds, category="transfer")
+        self.disk_read_bytes += nbytes
+        return seconds
+
     # -- asynchronous copies (the CUDA copy-stream analogue) -------------------
 
     @property
@@ -217,6 +235,20 @@ class Device:
         """
         array = np.ascontiguousarray(array)
         size = int(array.nbytes) if account_nbytes is None else int(account_nbytes)
+        injector = self.fault_injector
+        if (
+            injector is not None
+            and region == "processing"
+            and injector.has_pool_pressure
+        ):
+            # A memory-pressure window shrinks the pool's soft limit for
+            # its duration; allocations past the shrunken limit walk the
+            # allocator's pressure-callback path (spill, then retry)
+            # before OOM surfaces.
+            factor = injector.pool_pressure_factor(self.fault_rank, self.clock.now)
+            self.processing_pool.soft_limit = (
+                int(self.processing_pool.capacity * factor) if factor < 1.0 else None
+            )
         if self.fault_injector is not None and self.fault_injector.take_oom(
             self.fault_rank, self.clock.now
         ):

@@ -63,6 +63,12 @@ class PoolStats:
         return 1.0 - self.largest_free_block / free
 
 
+# Pressure-relief retries per allocation: each round must spill at least
+# one partition, so this only bounds a buggy callback that claims progress
+# without freeing anything.
+_PRESSURE_RETRY_LIMIT = 64
+
+
 class PoolAllocator:
     """First-fit free-list allocator over a fixed arena."""
 
@@ -90,6 +96,17 @@ class PoolAllocator:
         self._ids: dict[int, int] = {}
         self._reaped: set[int] = set()
         self._reserved: dict[object, int] = {}
+        # Out-of-core pressure plumbing.  Both default to off, which keeps
+        # the allocator byte-identical to the seed:
+        #   soft_limit caps in-use bytes below capacity (memory-pressure
+        #     faults shrink it mid-query);
+        #   pressure_callback is asked to free the shortfall *before* OOM
+        #     is raised — returning True means bytes were released
+        #     (partitions spilled) and the allocation retries.
+        self.soft_limit: int | None = None
+        self.pressure_callback = None
+        self.pressure_events = 0
+        self._in_pressure = False
 
     # -- allocation ---------------------------------------------------------
 
@@ -103,11 +120,30 @@ class PoolAllocator:
 
         Raises:
             OutOfDeviceMemory: If no free block can satisfy the request —
-                either genuine exhaustion or fragmentation.
+                either genuine exhaustion or fragmentation — and the
+                pressure callback (if any) could not release enough bytes.
         """
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
         size = max(_round_up(nbytes), _ALIGNMENT)
+        for _ in range(_PRESSURE_RETRY_LIMIT):
+            allocation = self._try_allocate(size, owner)
+            if allocation is not None:
+                return allocation
+            if not self._relieve_pressure(size):
+                break
+        limit = (
+            self.capacity
+            if self.soft_limit is None
+            else min(self.capacity, self.soft_limit)
+        )
+        raise OutOfDeviceMemory(size, max(limit - self._in_use, 0), "processing pool")
+
+    def _try_allocate(self, size: int, owner: object) -> Allocation | None:
+        """One first-fit pass; ``None`` when the pool (or its soft limit)
+        cannot satisfy the request."""
+        if self.soft_limit is not None and self._in_use + size > self.soft_limit:
+            return None
         for i, (offset, block) in enumerate(self._free):
             if block >= size:
                 if block == size:
@@ -125,7 +161,26 @@ class PoolAllocator:
                 if owner is not None:
                     self._owners[offset] = owner
                 return Allocation(offset, size, self.generation, alloc_id, owner)
-        raise OutOfDeviceMemory(size, self.capacity - self._in_use, "processing pool")
+        return None
+
+    def _relieve_pressure(self, size: int) -> bool:
+        """Ask the registered spiller to free ``size`` bytes.
+
+        Returns True when the callback claims progress (the allocation is
+        retried).  Re-entrant calls — the spiller itself allocating while
+        it moves a partition — fall straight through to OOM rather than
+        recursing.
+        """
+        if self.pressure_callback is None or self._in_pressure:
+            return False
+        self._in_pressure = True
+        try:
+            freed = bool(self.pressure_callback(size))
+        finally:
+            self._in_pressure = False
+        if freed:
+            self.pressure_events += 1
+        return freed
 
     def reset(self) -> None:
         """Release every live allocation at once (inter-query pool reset).

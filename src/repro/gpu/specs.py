@@ -80,6 +80,11 @@ class DeviceSpec:
             streams at the full peak, i.e. ``1/pinned_bw_fraction`` times
             faster.  The default of 1.0 makes pinned and pageable rates
             identical, keeping seed outputs unchanged.
+        disk_bw_gbps: Bandwidth of the simulated local-disk spill tier
+            (out-of-core execution demotes cold partitions there when the
+            pinned-host budget overflows).  Defaults to an NVMe PCIe5 SSD
+            per the Figure 1c storage trend.
+        disk_latency_us: Fixed per-IO latency of that tier.
     """
 
     name: str
@@ -92,6 +97,8 @@ class DeviceSpec:
     interconnect_gbps: float
     interconnect_latency_us: float
     pinned_bw_fraction: float = 1.0
+    disk_bw_gbps: float = 14.0
+    disk_latency_us: float = 100.0
 
 
 # ---------------------------------------------------------------------------

@@ -20,11 +20,25 @@ from .compute import (
 )
 from .asof import asof_join
 from .compression import PackedColumn, pack_column, packable, unpack_column
-from .copying import concat_gtables, gather_column, gather_table, mask_table, slice_table
-from .groupby import AGG_OPS, AggSpec, groupby
+from .copying import (
+    concat_gtables,
+    gather_column,
+    gather_table,
+    mask_table,
+    scatter_to_partitions,
+    slice_table,
+)
+from .groupby import AGG_OPS, AggSpec, groupby, partition_groupby_input
 from .gtable import GColumn, GTable, NULL_INDEX
-from .join import JoinResult, anti_join, inner_join, left_join, semi_join
-from .keys import factorize_keys
+from .join import (
+    JoinResult,
+    anti_join,
+    inner_join,
+    left_join,
+    partition_join_side,
+    semi_join,
+)
+from .keys import factorize_keys, radix_partition_ids
 from .reduce import reduce_column
 from .sort import sorted_order, top_n_order
 
@@ -64,7 +78,11 @@ __all__ = [
     "packable",
     "unpack_column",
     "mask_table",
+    "partition_groupby_input",
+    "partition_join_side",
+    "radix_partition_ids",
     "reduce_column",
+    "scatter_to_partitions",
     "semi_join",
     "slice_table",
     "sorted_order",

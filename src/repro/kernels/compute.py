@@ -464,16 +464,26 @@ def fill_constant(device, rows: int, value: Any, dtype: DType | None = None) -> 
     return GColumn.from_array(device, dtype, data)
 
 
-def hash_partition_ids(keys: Sequence[GColumn], num_partitions: int) -> np.ndarray:
+def hash_partition_ids(
+    keys: Sequence[GColumn], num_partitions: int, level: int = 0
+) -> np.ndarray:
     """Deterministic partition id per row from the key columns.
 
     Used by the exchange layer's shuffle: every engine (Sirius and the
     hosts) uses this same function so partitioning agrees across nodes.
+
+    ``level`` salts the accumulator so recursive radix partitioning
+    (out-of-core joins and group-bys) redistributes at depth ``L+1`` the
+    rows that landed in one bucket at depth ``L``.  ``level=0`` is the
+    unsalted shuffle hash, bit-identical to the pre-out-of-core output.
     """
     if num_partitions <= 0:
         raise ValueError("num_partitions must be positive")
+    if level < 0:
+        raise ValueError("level must be non-negative")
     rows = _rows_of(*keys)
-    acc = np.zeros(rows, dtype=np.uint64)
+    salt = (level * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    acc = np.full(rows, np.uint64(salt), dtype=np.uint64)
     for col in keys:
         if col.dtype.is_string:
             # Hash dictionary entries once with a process-stable FNV-1a,

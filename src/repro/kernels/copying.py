@@ -15,7 +15,14 @@ from ..columnar import Field, Schema
 from ..gpu.costmodel import KernelClass
 from .gtable import GColumn, GTable
 
-__all__ = ["gather_column", "gather_table", "mask_table", "concat_gtables", "slice_table"]
+__all__ = [
+    "gather_column",
+    "gather_table",
+    "mask_table",
+    "concat_gtables",
+    "scatter_to_partitions",
+    "slice_table",
+]
 
 
 def gather_column(column: GColumn, indices: np.ndarray, charge: bool = True) -> GColumn:
@@ -80,6 +87,40 @@ def slice_table(table: GTable, start: int, length: int) -> GTable:
         cols.append(GColumn.from_array(device, c.dtype, data, validity, c.dictionary))
     device.launch(KernelClass.STREAM, 0, sum(c.nbytes for c in cols), end - start)
     return GTable(table.schema, cols, device)
+
+
+def scatter_to_partitions(
+    table: GTable, part_ids: np.ndarray, num_partitions: int
+) -> list[GTable | None]:
+    """Scatter rows into per-partition tables (libcudf ``partition``).
+
+    Charged as one scatter pass over the whole table — a radix
+    partitioning kernel reads each row once and writes it to its bucket,
+    regardless of fan-out.  Empty partitions come back as ``None`` so
+    callers can skip them without allocating empty tables.
+    """
+    device = table.device
+    part_ids = np.asarray(part_ids)
+    device.launch(
+        KernelClass.SCATTER,
+        table.traffic_bytes + part_ids.nbytes,
+        table.traffic_bytes,
+        table.num_rows,
+    )
+    out: list[GTable | None] = []
+    for p in range(num_partitions):
+        rows = np.flatnonzero(part_ids == p)
+        if len(rows) == 0:
+            out.append(None)
+            continue
+        cols = [
+            GColumn.from_array(
+                device, c.dtype, c.data[rows], c.valid_mask()[rows], c.dictionary
+            )
+            for c in table.columns
+        ]
+        out.append(GTable(table.schema, cols, device))
+    return out
 
 
 def concat_gtables(tables: Sequence[GTable]) -> GTable:

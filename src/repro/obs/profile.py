@@ -66,6 +66,9 @@ class QueryProfile:
     # compute.  Both zero/empty when overlap mode is off.
     stream_busy: dict = field(default_factory=dict)  # stream name -> seconds
     overlap_hidden_s: float = 0.0
+    # Out-of-core spill activity during this query (deltas of the buffer
+    # manager's fragment counters); empty unless partitions actually moved.
+    spill: dict = field(default_factory=dict)
 
     def breakdown_fractions(self) -> dict:
         total = sum(self.breakdown.values())
@@ -143,6 +146,7 @@ class QueryProfile:
             "stream_busy": dict(self.stream_busy),
             "overlap_hidden_s": self.overlap_hidden_s,
             "overlap_efficiency": self.overlap_efficiency(),
+            "spill": dict(self.spill),
             "operator_timings": [t.to_dict() for t in self.operator_timings],
             "spans": [s.to_dict() for s in self.spans],
         }

@@ -30,6 +30,8 @@ class AdmissionController:
         headroom_fraction: float = 0.9,
         max_queue_depth: int = 32,
         max_working_set_fraction: float | None = None,
+        out_of_core: bool = False,
+        spill_footprint_fraction: float = 0.5,
     ):
         """
         Args:
@@ -44,6 +46,16 @@ class AdmissionController:
                 ever run forced-and-degraded, so load-shed it instead of
                 letting it camp in the queue.  ``None`` (default)
                 preserves the pre-analysis behaviour.
+            out_of_core: The engine behind the pool runs partitioned
+                out-of-core execution: an over-pool query is then a
+                *streaming* job whose resident footprint is bounded by
+                spilling, so (a) the static working-set rejection gate
+                does not apply — the query is admissible, just slower —
+                and (b) its reservation is capped at
+                ``spill_footprint_fraction`` of pool capacity (the spill
+                machinery holds at most about that much resident).
+            spill_footprint_fraction: Reservation cap for over-pool
+                queries under ``out_of_core`` admission.
         """
         if not 0.0 < headroom_fraction <= 1.0:
             raise ValueError("headroom_fraction must be in (0, 1]")
@@ -51,10 +63,14 @@ class AdmissionController:
             raise ValueError("max_queue_depth must be at least 1")
         if max_working_set_fraction is not None and max_working_set_fraction <= 0.0:
             raise ValueError("max_working_set_fraction must be positive")
+        if not 0.0 < spill_footprint_fraction <= 1.0:
+            raise ValueError("spill_footprint_fraction must be in (0, 1]")
         self.pool = pool
         self.headroom_fraction = headroom_fraction
         self.max_queue_depth = max_queue_depth
         self.max_working_set_fraction = max_working_set_fraction
+        self.out_of_core = bool(out_of_core)
+        self.spill_footprint_fraction = spill_footprint_fraction
         self.admitted = 0
         self.rejected = 0
         self.forced = 0
@@ -67,7 +83,13 @@ class AdmissionController:
         return budget - self.pool.reserved_total
 
     def _demand(self, job: QueryJob) -> int:
-        return job.estimate.working_set_bytes if job.estimate is not None else 0
+        demand = job.estimate.working_set_bytes if job.estimate is not None else 0
+        if self.out_of_core:
+            # A spilling query's resident footprint is bounded by the
+            # partition budget, not its full working set.
+            cap = int(self.pool.capacity * self.spill_footprint_fraction)
+            return min(demand, cap)
+        return demand
 
     def can_admit(self, job: QueryJob) -> bool:
         """Would admitting ``job`` keep reservations within headroom?"""
@@ -88,6 +110,11 @@ class AdmissionController:
         if report is not None and getattr(report, "suggested_tier", None) == "reject":
             n = len(report.errors)
             return f"plan analysis found {n} error(s): {report.errors[0].message}"
+        if self.out_of_core:
+            # Over-pool queries are streaming spill jobs, not lost causes:
+            # admit them (priced slower by the estimator) instead of
+            # load-shedding.
+            return None
         if self.max_working_set_fraction is not None:
             limit = int(self.pool.capacity * self.max_working_set_fraction)
             demand = self._demand(job)

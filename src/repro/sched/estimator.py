@@ -71,6 +71,7 @@ def estimate_plan(
     cold_tables: Mapping[str, Table] | None = None,
     overlap: bool = False,
     chunk_bytes: int = 1 << 20,
+    out_of_core: bool = False,
 ) -> PlanEstimate:
     """Estimate a plan's processing-pool working set and service time.
 
@@ -83,12 +84,22 @@ def estimate_plan(
             cannot hide is exposed (matches the engine's ``overlap=True``
             execution model).
         chunk_bytes: Chunk granularity assumed for overlapped loads.
+        out_of_core: Price spill waves: whatever part of the working set
+            exceeds the processing pool must round-trip to pinned host
+            memory (spilled once under pressure, unspilled once when its
+            partition is processed), so that excess is charged twice at
+            the pinned-copy rate.  This is what makes SJF and admission
+            rank an over-pool query as *slower*, not *impossible*.
     """
     est = _Estimator(catalog, device.cost_model)
     rows, nbytes = est.visit(plan.root)
     # The final result is materialised in the pool, then copied out.
     working_set = est.working_set + int(nbytes)
     service = est.seconds + device.cost_model.transfer_cost(int(nbytes))
+    if out_of_core:
+        excess = working_set - device.processing_pool.capacity
+        if excess > 0:
+            service += 2.0 * device.cost_model.transfer_cost(int(excess), pinned=True)
     if cold_tables:
         for table in cold_tables.values():
             total = int(table.nbytes)

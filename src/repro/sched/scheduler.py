@@ -106,7 +106,9 @@ class ServingScheduler:
         self.admission = (
             admission
             if admission is not None
-            else AdmissionController(engine.device.processing_pool)
+            else AdmissionController(
+                engine.device.processing_pool, out_of_core=engine.out_of_core
+            )
         )
         self.batch_rows = batch_rows
         self.static_admission = bool(static_admission)
@@ -156,13 +158,17 @@ class ServingScheduler:
             catalog=catalog,
             arrival_s=float(arrival_s),
             deadline_s=deadline_s,
-            estimate=estimate_plan(plan, catalog, self.engine.device),
+            estimate=estimate_plan(
+                plan, catalog, self.engine.device, out_of_core=self.engine.out_of_core
+            ),
             meta=meta if meta is not None else {},
         )
         if self.static_admission and "analysis" not in job.meta:
             from ..analysis import analyze_plan
 
-            job.meta["analysis"] = analyze_plan(plan, catalog, self.engine.device)
+            job.meta["analysis"] = analyze_plan(
+                plan, catalog, self.engine.device, out_of_core=self.engine.out_of_core
+            )
         self._seq += 1
         self.jobs.append(job)
         heapq.heappush(self._arrivals, (job.arrival_s, job.seq, job))
@@ -312,20 +318,24 @@ class ServingScheduler:
                 self._finish(job, vt, error=exc)
                 return
         batch_rows = self.batch_rows
+        out_of_core: bool | None = None
         if self.static_admission:
             report = job.meta.get("analysis")
-            if report is not None and getattr(report, "suggested_tier", None) == (
-                "gpu-retry-spill"
-            ):
+            suggested = getattr(report, "suggested_tier", None) if report else None
+            if suggested in ("gpu-retry-spill", "gpu-spill"):
                 # Pre-degrade from the plan alone: start directly in the
                 # out-of-core configuration instead of burning a wasted
-                # full-size attempt that the estimate says will OOM.
-                job.degraded_tier = "gpu-retry-spill"
+                # full-size attempt that the estimate says will OOM.  A
+                # "gpu-spill" verdict admits the query as a streaming job
+                # on the partitioned spill tier.
+                job.degraded_tier = suggested
                 self.pre_degraded += 1
                 self.engine.buffer_manager.enable_spill = True
                 batch_rows = min(
                     batch_rows or OOC_RETRY_BATCH_ROWS, OOC_RETRY_BATCH_ROWS
                 )
+                if suggested == "gpu-spill":
+                    out_of_core = True
                 self.tracer.event(
                     "sched.pre_degraded",
                     sim_time=vt,
@@ -340,6 +350,7 @@ class ServingScheduler:
             deadline=job.deadline,
             tracer=job.tracer,
             batch_rows=batch_rows,
+            out_of_core=out_of_core,
         )
         job.state = JobState.RUNNING
         job.ready_at = vt
@@ -406,15 +417,21 @@ class ServingScheduler:
         Serving-mode analogue of the engine's ladder: the first
         recoverable failure (device OOM, unsupported feature, persistent
         kernel fault) retries the query out-of-core — spilling enabled,
-        small batches — under the *same* deadline; a second failure is
-        final.  The wasted attempt's time stays charged, exactly like the
-        single-query path.
+        small batches — under the *same* deadline; a query that fails on
+        the batched retry escalates once more to the partitioned
+        ``gpu-spill`` tier before the failure is final.  The wasted
+        attempts' time stays charged, exactly like the single-query path.
         """
         self.engine.device.processing_pool.release_owner(job.owner_key)
-        if job.degraded_tier is not None:
+        out_of_core: bool | None = None
+        if job.degraded_tier is None:
+            job.degraded_tier = "gpu-retry-spill"
+        elif job.degraded_tier == "gpu-retry-spill":
+            job.degraded_tier = "gpu-spill"
+            out_of_core = True
+        else:
             self._finish(job, end, error=exc)
             return
-        job.degraded_tier = "gpu-retry-spill"
         self.degraded += 1
         self.engine.buffer_manager.enable_spill = True
         retry_batch = min(self.batch_rows or OOC_RETRY_BATCH_ROWS, OOC_RETRY_BATCH_ROWS)
@@ -424,6 +441,7 @@ class ServingScheduler:
             deadline=job.deadline,
             tracer=job.tracer,
             batch_rows=retry_batch,
+            out_of_core=out_of_core,
         )
         self.tracer.event(
             "sched.degraded",

@@ -105,6 +105,20 @@ CASES = [
         "def f(clock, t):\n    clock.advance_to(t, 'transfer-wait')\n",
         "def f(device, t):\n    device.wait_copies(t)\n",
     ),
+    (
+        "RR07",
+        "core/demo.py",
+        "def f(device, n):\n"
+        "    return device.processing_pool.allocate(n, owner='q1')\n",
+        "def f(device, arr):\n    return device.new_buffer(arr)\n",
+    ),
+    (
+        "RR07",
+        "kernels/demo.py",
+        "def f(device, n):\n    device.caching_region.allocate(n)\n",
+        "def f(device, arr):\n"
+        "    return device.new_buffer(arr, region='caching')\n",
+    ),
 ]
 
 

@@ -123,3 +123,38 @@ class TestIndexConversion:
     def test_stats_keys(self, bm):
         stats = bm.stats()
         assert {"cold_loads", "hot_hits", "spills", "caching_capacity"} <= set(stats)
+
+
+class TestEvictionAvoidsInFlightPrefetch:
+    """Regression: ``_evict_one`` must prefer quiescent residents over
+    entries whose prefetched chunks are still landing on the copy stream
+    — evicting those forces a host-blocking stream join and throws away
+    the copy just issued."""
+
+    def fitted(self, n_tables: float, rows: int = 1000):
+        table_bytes = make_table(rows).nbytes
+        limit_gb = (table_bytes * n_tables * 2) / (1024**3)  # 50% split
+        device = Device(GH200, memory_limit_gb=limit_gb)
+        return device, BufferManager(device, overlap=True)
+
+    def test_quiescent_entry_spilled_instead_of_prefetch(self):
+        device, bm = self.fitted(2.2)
+        tables = {name: make_table(1000) for name in ("a", "b", "c")}
+        assert bm.prefetch("b", tables["b"])  # in flight, and LRU
+        bm.get_table("a", tables["a"])
+        bm.complete_loads()  # pipeline-end join: "a" is now quiescent
+        bm.get_table("c", tables["c"])  # needs an eviction
+        # "b" was LRU but still in flight: the quiescent "a" went instead.
+        assert bm._cache["a"].location == "pinned"
+        assert bm._cache["b"].location == "device"
+        assert "b" in bm._in_flight  # never force-synced
+        assert bm._cache["c"].location == "device"
+
+    def test_in_flight_entry_is_last_resort_and_synced(self):
+        device, bm = self.fitted(1.2)
+        tables = {"a": make_table(1000), "b": make_table(1000)}
+        assert bm.prefetch("a", tables["a"])
+        bm.get_table("b", tables["b"])  # only candidate is in flight
+        assert bm._cache["a"].location == "pinned"
+        assert "a" not in bm._in_flight  # synced before the spill
+        assert bm.spills == 1

@@ -1,7 +1,8 @@
 """Tier-ordering tests for the degradation ladder.
 
-The contract under test: OOM first retries on the GPU with spill+batched
-out-of-core execution, then the per-pipeline CPU tier (when wired), then
+The contract under test: OOM escalates through GPU-resident remedies in
+cost order — the cheap spill+batched retry, then full partitioned
+out-of-core execution — then the per-pipeline CPU tier (when wired), then
 the whole-plan host fallback, and only then raises — with exactly one
 enriched event recorded per degraded query.
 """
@@ -90,7 +91,7 @@ class TestTierOrdering:
         assert engine.fallback.fallback_count == 1
         event = engine.fallback.events[0]
         assert event.tier == "cpu-plan"
-        assert event.tiers_attempted == ("gpu-retry-spill", "cpu-plan")
+        assert event.tiers_attempted == ("gpu-retry-spill", "gpu-spill", "cpu-plan")
         assert event.exception_type == "OutOfDeviceMemory"
 
     def test_cpu_pipeline_tier_runs_before_host(self, data, plan):
@@ -112,7 +113,7 @@ class TestTierOrdering:
         assert host_calls == []  # absorbed one tier earlier
         event = engine.fallback.events[0]
         assert event.tier == "cpu-pipeline"
-        assert event.tiers_attempted == ("gpu-retry-spill", "cpu-pipeline")
+        assert event.tiers_attempted == ("gpu-retry-spill", "gpu-spill", "cpu-pipeline")
 
     def test_unsupported_feature_skips_gpu_retry(self, data, plan):
         """Only OOM triggers the out-of-core retry; feature gaps go
@@ -135,7 +136,7 @@ class TestTierOrdering:
         assert engine.fallback.fallback_count == 1
         event = engine.fallback.events[0]
         assert event.tier == "raise"
-        assert event.tiers_attempted == ("gpu-retry-spill",)
+        assert event.tiers_attempted == ("gpu-retry-spill", "gpu-spill")
 
 
 class TestTransientKernelFaults:
