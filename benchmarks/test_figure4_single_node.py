@@ -70,9 +70,11 @@ def test_clickhouse_q9_does_not_finish(figure4, benchmark):
 
 
 def test_figure4_byte_identical_to_seed(figure4, results_dir, bench_sf, benchmark):
-    """The deadline envelope replaced the ad-hoc DNF guard without moving a
-    single simulated nanosecond: rendered output must match the seed
-    snapshot byte for byte (Q9 DNF / Q21 unsupported rendering included)."""
+    """Rendered output must match the seed snapshot byte for byte (Q9 DNF /
+    Q21 unsupported rendering included), so incidental changes can't move a
+    single simulated nanosecond.  Refreshed once for the LEFT JOIN residual-ON
+    correctness fix, which changes Q13's plan (filter pushed below the join;
+    answer cross-validated against SQLite)."""
 
     def check():
         if bench_sf != 0.1:

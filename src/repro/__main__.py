@@ -9,6 +9,7 @@ Usage::
     python -m repro table2  [--sf 0.1] [--nodes 4]
     python -m repro serve   [--sf 0.1] [--policy sjf] [--streams 4] [--requests 32]
     python -m repro analyze [--sf 0.1] [--queries 1,3,6]
+    python -m repro battery [--engines sqlite,duckdb] [--out battery.json] [--limit 50]
     python -m repro all     [--sf 0.05]
 
 ``--trace out.json`` additionally runs the Sirius engines under a real
@@ -35,10 +36,11 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "figure1", "figure4", "figure5", "table2", "serve",
-            "analyze", "all",
+            "analyze", "battery", "all",
         ],
         help="which experiment to regenerate ('serve' runs the multi-query "
-        "serving demo; 'analyze' statically analyzes the TPC-H plans)",
+        "serving demo; 'analyze' statically analyzes the TPC-H plans; "
+        "'battery' runs the SQL shape battery against embedded baselines)",
     )
     parser.add_argument("--sf", type=float, default=0.1, help="TPC-H scale factor")
     parser.add_argument("--nodes", type=int, default=4, help="cluster size for table2")
@@ -63,6 +65,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--queries", type=str, default=None, help="comma-separated TPC-H query numbers"
+    )
+    parser.add_argument(
+        "--engines", type=str, default=None,
+        help="comma-separated baseline engines for the battery target "
+        "(default: every available engine)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="write the battery differential artifact as JSON (battery target)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N battery statements (battery target)",
+    )
+    parser.add_argument(
+        "--refresh-shapes", action="store_true",
+        help="regenerate the committed expected-shapes file from the CPU "
+        "reference (battery target)",
     )
     parser.add_argument(
         "--trace",
@@ -181,6 +201,40 @@ def main(argv=None) -> int:
             for finding in report.findings:
                 print(f"       {finding}")
         print()
+    if args.target == "battery":
+        from .bench.baselines import (
+            SCALE_FACTOR,
+            available_baselines,
+            run_battery_baselines,
+        )
+
+        if args.refresh_shapes:
+            from .bench.baselines.battery import refresh_expected_shapes
+
+            path = refresh_expected_shapes()
+            print(f"regenerated expected shapes at {path}")
+            return 0
+        engines = args.engines.split(",") if args.engines else None
+        # The battery's committed shapes are pinned to its own scale factor.
+        print(
+            f"== SQL shape battery vs embedded baselines "
+            f"(SF {SCALE_FACTOR}, available: {', '.join(available_baselines()) or 'none'}) =="
+        )
+        artifact = run_battery_baselines(
+            engines=engines, out_path=args.out, limit=args.limit
+        )
+        for name, summary in artifact["engines"].items():
+            print(
+                f"{name:<8} {summary['match']} match, {summary['mismatch']} mismatch, "
+                f"{summary['error']} error, {summary['unsupported']} unsupported "
+                f"({summary['total_statement_s']:.2f}s in statements)"
+            )
+        if not artifact["engines"]:
+            print("no baseline engines available; install duckdb for the full cross-check")
+        if args.out is not None:
+            print(f"wrote differential artifact to {args.out}")
+        mismatches = sum(s["mismatch"] + s["error"] for s in artifact["engines"].values())
+        return 1 if mismatches else 0
     if args.target in ("table2", "all"):
         from .bench import TABLE2_QUERIES, DistributedHarness
 

@@ -1,0 +1,22 @@
+"""Differential baseline harness: the SQL shape battery run against the
+in-repo engines (MiniDuck CPU reference, Sirius GPU) and optional embedded
+baselines (DuckDB, SQLite) with value cross-checking and resource-monitored
+timing.  See DESIGN.md, "SQL coverage & differential testing"."""
+
+from .battery import SCALE_FACTOR, BatteryCase, battery_cases, expected_shapes
+from .canonical import canonical_rows, rows_equal
+from .engines import BaselineResult, available_baselines, baseline_engines
+from .harness import run_battery_baselines
+
+__all__ = [
+    "SCALE_FACTOR",
+    "BatteryCase",
+    "battery_cases",
+    "expected_shapes",
+    "canonical_rows",
+    "rows_equal",
+    "BaselineResult",
+    "available_baselines",
+    "baseline_engines",
+    "run_battery_baselines",
+]

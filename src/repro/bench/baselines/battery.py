@@ -1,0 +1,467 @@
+"""SQL shape battery: a catalog of one-line statements over TPC-H.
+
+Inspired by opteryx's battery-of-shapes test style: every statement is a
+single line of SQL over the deterministic ``generate_tpch(0.01)`` catalog,
+paired with the expected ``(rows, cols)`` result shape committed in
+``expected_shapes.json``.  The battery is the shared substrate for
+
+* shape regression tests (CPU reference and Sirius GPU must both produce
+  the committed shape and agree on values, ``tests/sql/test_battery_shape.py``),
+* differential baseline runs against embedded engines
+  (:mod:`repro.bench.baselines.harness`), and
+* serving-mode consistency checks.
+
+Statements are grouped into categories; each case gets a stable id
+``<category>-<index>`` so committed shapes survive insertions in *other*
+categories.  Append new statements at the end of a category rather than
+reordering, and refresh shapes with
+``python -m repro battery --refresh-shapes``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["BatteryCase", "battery_cases", "expected_shapes", "SCALE_FACTOR"]
+
+# The battery is defined against this deterministic dbgen scale factor.
+SCALE_FACTOR = 0.01
+
+_SHAPES_PATH = Path(__file__).with_name("expected_shapes.json")
+
+
+@dataclass(frozen=True)
+class BatteryCase:
+    case_id: str
+    category: str
+    sql: str
+
+
+def _comparison_sweep() -> list[str]:
+    """Every comparison operator over int, float, and date columns."""
+    out = []
+    for op in ("=", "<>", "<", "<=", ">", ">="):
+        out.append(f"select count(*) as n from part where p_size {op} 25")
+        out.append(f"select count(*) as n from lineitem where l_discount {op} 0.05")
+        out.append(
+            f"select count(*) as n from orders where o_orderdate {op} date '1995-06-15'"
+        )
+    return out
+
+
+def _aggregate_sweep() -> list[str]:
+    """Every aggregate, both grouped and global."""
+    out = []
+    for fn in ("sum", "min", "max", "avg", "count"):
+        out.append(f"select {fn}(l_quantity) as v from lineitem")
+        out.append(
+            f"select l_returnflag, {fn}(l_extendedprice) as v from lineitem "
+            "group by l_returnflag order by l_returnflag"
+        )
+        out.append(
+            f"select o_orderpriority, {fn}(o_totalprice) as v from orders "
+            "group by o_orderpriority order by o_orderpriority"
+        )
+    return out
+
+
+_PREDICATE = [
+    "select count(*) as n from part where p_size + 5 < 15",
+    "select count(*) as n from part where p_size - 5 > 40",
+    "select count(*) as n from part where p_size * 2 >= 98",
+    "select count(*) as n from part where p_size / 2 >= 24",
+    "select count(*) as n from part where p_size % 2 = 0",
+    "select count(*) as n from part where p_retailprice * 1.1 > 2000.0",
+    "select count(*) as n from part where -p_size < -49",
+    "select count(*) as n from lineitem where l_extendedprice * (1 - l_discount) > 90000.0",
+    "select count(*) as n from lineitem where l_quantity * l_discount > 4.5",
+    "select count(*) as n from region where 1 = 1",
+    "select count(*) as n from region where 1 = 0",
+    "select count(*) as n from region where not 1 = 0",
+    "select count(*) as n from region where 1 = 1 and 2 > 1",
+    "select count(*) as n from region where 1 = 0 or 2 > 1",
+    "select count(*) as n from orders where o_orderstatus = 'F' and o_totalprice > 100000.0",
+    "select count(*) as n from orders where o_orderstatus = 'F' or o_orderstatus = 'O'",
+    "select count(*) as n from orders where not o_orderstatus = 'F'",
+    "select count(*) as n from orders where not (o_orderstatus = 'F' or o_orderstatus = 'O')",
+    "select count(*) as n from lineitem where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'",
+    "select count(*) as n from lineitem where l_returnflag = 'R' and l_linestatus = 'F' and l_quantity < 10",
+    "select count(*) as n from customer where c_acctbal < 0.0",
+    "select count(*) as n from customer where c_acctbal >= 0.0 and c_acctbal <= 1000.0",
+    "select count(*) as n from supplier where s_acctbal > 5000.0 or s_nationkey < 5",
+    "select count(*) as n from partsupp where ps_availqty < 100 and ps_supplycost < 500.0",
+    "select count(*) as n from nation where n_regionkey = 0 and n_nationkey > 10",
+    "select count(*) as n from orders where o_custkey % 10 = 3",
+    "select count(*) as n from lineitem where l_commitdate < l_receiptdate",
+    "select count(*) as n from lineitem where l_shipdate > l_commitdate",
+    "select count(*) as n from orders where extract(year from o_orderdate) = 1995",
+    "select count(*) as n from orders where extract(month from o_orderdate) = 12",
+    "select count(*) as n from orders where extract(day from o_orderdate) = 1",
+]
+
+_CASE_BETWEEN_IN_LIKE = [
+    "select case when p_size > 25 then 'big' else 'small' end as t, count(*) as n from part group by t order by t",
+    "select case when p_size > 40 then 'xl' when p_size > 20 then 'l' else 's' end as t, count(*) as n from part group by t order by t",
+    "select case when p_size > 25 then 'big' end as t, count(*) as n from part group by t order by t",
+    "select case when l_quantity < 10 then 1 else 0 end as small, count(*) as n from lineitem group by small order by small",
+    "select sum(case when o_orderstatus = 'F' then 1 else 0 end) as f from orders",
+    "select sum(case when o_orderstatus = 'F' then o_totalprice else 0.0 end) as v from orders",
+    "select count(*) as n from part where case when p_size > 25 then 1 else 0 end = 1",
+    "select case when n_regionkey = 0 then n_name else 'other' end as x from nation order by x",
+    "select case when n_regionkey = 0 then n_name end as x from nation order by x",
+    "select case when p_size > 25 then case when p_size > 40 then 'xl' else 'l' end else 's' end as t, count(*) as n from part group by t order by t",
+    "select count(*) as n from part where p_size between 10 and 20",
+    "select count(*) as n from part where p_size not between 10 and 20",
+    "select count(*) as n from part where p_size between 20 and 10",
+    "select count(*) as n from part where p_size between 25 and 25",
+    "select count(*) as n from lineitem where l_discount between 0.05 and 0.07",
+    "select count(*) as n from orders where o_orderdate between date '1995-01-01' and date '1995-12-31'",
+    "select count(*) as n from part where p_size + 1 between 11 and 21",
+    "select count(*) as n from lineitem where l_quantity between 49 and 50",
+    "select count(*) as n from orders where o_orderkey in (1, 2, 3, 4)",
+    "select count(*) as n from orders where o_orderkey in (1)",
+    "select count(*) as n from orders where o_orderkey not in (1, 2, 3, 4)",
+    "select count(*) as n from orders where o_orderstatus in ('F', 'O')",
+    "select count(*) as n from orders where o_orderstatus not in ('F', 'O')",
+    "select count(*) as n from part where p_brand in ('Brand#12', 'Brand#23', 'Brand#34')",
+    "select count(*) as n from part where p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')",
+    "select count(*) as n from nation where n_regionkey in (0, 2, 4)",
+    "select count(*) as n from lineitem where l_shipmode in ('MAIL', 'SHIP')",
+    "select count(*) as n from part where p_name like 'a%'",
+    "select count(*) as n from part where p_name like '%ous%'",
+    "select count(*) as n from part where p_name like '%red'",
+    "select count(*) as n from part where p_name not like '%red%'",
+    "select count(*) as n from part where p_type like 'PROMO%'",
+    "select count(*) as n from part where p_type like '%BRASS'",
+    "select count(*) as n from part where p_type like '%BURNISHED%'",
+    "select count(*) as n from nation where n_name like '_NITED%'",
+    "select count(*) as n from nation where n_name like '____'",
+    "select count(*) as n from part where p_container like 'SM ___'",
+    "select count(*) as n from part where p_name like '%%'",
+    "select count(*) as n from part where p_type like 'PROMO\\%' escape '\\'",
+    "select count(*) as n from part where p_name like '%\\_%' escape '\\'",
+    "select count(*) as n from customer where c_phone like '2_-%'",
+    "select count(*) as n from customer where c_mktsegment like 'BUILD%'",
+    "select count(*) as n from supplier where s_name like 'Supplier#00000001_'",
+]
+
+_DISTINCT = [
+    "select distinct o_orderstatus from orders order by o_orderstatus",
+    "select distinct l_returnflag from lineitem order by l_returnflag",
+    "select distinct l_linestatus from lineitem order by l_linestatus",
+    "select distinct l_returnflag, l_linestatus from lineitem order by l_returnflag, l_linestatus",
+    "select distinct p_brand from part order by p_brand",
+    "select distinct p_mfgr from part order by p_mfgr",
+    "select distinct n_regionkey from nation order by n_regionkey",
+    "select distinct c_mktsegment from customer order by c_mktsegment",
+    "select distinct o_orderpriority from orders order by o_orderpriority",
+    "select distinct o_shippriority from orders",
+    "select distinct l_shipmode from lineitem order by l_shipmode",
+    "select distinct p_size from part where p_size > 40 order by p_size",
+    "select distinct p_size % 10 as d from part order by d",
+    "select distinct extract(year from o_orderdate) as y from orders order by y",
+    "select distinct s_nationkey from supplier order by s_nationkey limit 5",
+    "select distinct p_brand, p_container from part where p_size = 1 order by p_brand, p_container",
+    "select count(distinct l_suppkey) as n from lineitem",
+    "select count(distinct p_brand) as n from part",
+    "select l_returnflag, count(distinct l_suppkey) as n from lineitem group by l_returnflag order by l_returnflag",
+    "select o_orderstatus, count(distinct o_custkey) as n from orders group by o_orderstatus order by o_orderstatus",
+    "select distinct o_orderstatus, o_orderpriority from orders order by o_orderstatus, o_orderpriority",
+]
+
+_HAVING = [
+    "select l_returnflag, count(*) as n from lineitem group by l_returnflag having count(*) > 10000 order by l_returnflag",
+    "select l_returnflag, count(*) as n from lineitem group by l_returnflag having count(*) > 100000 order by l_returnflag",
+    "select p_brand, count(*) as n from part group by p_brand having count(*) > 80 order by p_brand",
+    "select p_size, count(*) as n from part group by p_size having count(*) >= 40 order by p_size",
+    "select n_regionkey, count(*) as n from nation group by n_regionkey having count(*) = 5 order by n_regionkey",
+    "select o_custkey, sum(o_totalprice) as v from orders group by o_custkey having sum(o_totalprice) > 1500000.0 order by o_custkey",
+    "select o_custkey, count(*) as n from orders group by o_custkey having count(*) >= 30 order by o_custkey",
+    "select l_suppkey, avg(l_quantity) as q from lineitem group by l_suppkey having avg(l_quantity) > 27.0 order by l_suppkey",
+    "select l_suppkey, max(l_quantity) as q from lineitem group by l_suppkey having max(l_quantity) < 50 order by l_suppkey",
+    "select l_suppkey, min(l_discount) as d from lineitem group by l_suppkey having min(l_discount) > 0.0 order by l_suppkey",
+    "select p_mfgr, count(*) as n from part group by p_mfgr having count(*) > 350 and count(*) < 450 order by p_mfgr",
+    "select p_mfgr, count(*) as n from part group by p_mfgr having count(*) > 500 or min(p_size) = 1 order by p_mfgr",
+    "select c_nationkey, count(*) as n from customer group by c_nationkey having count(*) > 60 order by c_nationkey",
+    "select s_nationkey, sum(s_acctbal) as v from supplier group by s_nationkey having sum(s_acctbal) > 10000.0 order by s_nationkey",
+    "select o_orderpriority, count(*) as n from orders group by o_orderpriority having max(o_totalprice) > 400000.0 order by o_orderpriority",
+    "select l_returnflag, sum(l_quantity) as q from lineitem group by l_returnflag having sum(l_quantity) > 500000 order by l_returnflag",
+    "select p_brand, avg(p_retailprice) as v from part group by p_brand having avg(p_retailprice) > 1500.0 order by p_brand",
+    "select extract(year from o_orderdate) as y, count(*) as n from orders group by y having count(*) > 2000 order by y",
+    "select p_size, count(distinct p_brand) as b from part group by p_size having count(distinct p_brand) >= 25 order by p_size",
+    "select avg(l_discount) as a from lineitem having count(*) > 100000",
+]
+
+_NULL_SEMANTICS = [
+    "select null as x from region",
+    "select null as x, r_name from region order by r_name",
+    "select count(*) as n from region where null = null",
+    "select count(*) as n from lineitem where l_quantity = null",
+    "select count(*) as n from lineitem where l_quantity <> null",
+    "select count(*) as n from lineitem where not l_quantity = null",
+    "select count(*) as n from part where p_size is null",
+    "select count(*) as n from part where p_size is not null",
+    "select count(*) as n from part where p_name is not null",
+    "select coalesce(null, 1) as x from region",
+    "select coalesce(null, null, 2) as x from region",
+    "select coalesce(p_size, 0) as x from part order by x limit 5",
+    "select coalesce(null, n_name) as x from nation order by x limit 5",
+    "select coalesce(n_name, 'missing') as x from nation order by x limit 5",
+    "select case when 1 = 0 then 1 end as x from region",
+    "select count(case when p_size > 25 then 1 end) as n from part",
+    "select n_name, s_name from nation left join supplier on n_nationkey = s_nationkey and s_acctbal > 9999.0 order by n_name, s_name",
+    "select count(s_name) as with_supp, count(*) as total from nation left join supplier on n_nationkey = s_nationkey and s_acctbal > 9999.0",
+    "select n_name from nation left join supplier on n_nationkey = s_nationkey and s_acctbal > 9999.0 where s_name is null order by n_name",
+    "select n_name from nation left join supplier on n_nationkey = s_nationkey and s_acctbal > 9999.0 where s_name is not null order by n_name",
+    "select count(*) as n from nation left join supplier on n_nationkey = s_nationkey and 1 = 0",
+    "select sum(s_acctbal) as v from nation left join supplier on n_nationkey = s_nationkey and s_acctbal > 9999.0",
+    "select case when p_size > 25 then p_size end as x from part where p_size > 48 order by x",
+    "select count(*) as n from region where null = null or 1 = 1",
+    "select count(*) as n from region where null = null and 1 = 1",
+]
+
+_SHAPE_EDGE = [
+    "select * from region where 1 = 0",
+    "select * from nation where n_nationkey < 0",
+    "select r_name from region where r_name = 'ATLANTIS'",
+    "select count(*) as n from region where 1 = 0",
+    "select sum(p_size) as s from part where 1 = 0",
+    "select min(p_size) as s, max(p_size) as m from part where 1 = 0",
+    "select avg(p_retailprice) as a from part where 1 = 0",
+    "select p_size, count(*) as n from part where 1 = 0 group by p_size",
+    "select distinct p_brand from part where 1 = 0",
+    "select r_name from region order by r_name limit 0",
+    "select r_name from region order by r_name limit 1",
+    "select count(*) as n from lineitem limit 1",
+    "select r_name from region order by r_name limit 100",
+    "select r_name from region order by r_name limit 3 offset 4",
+    "select r_name from region order by r_name limit 10 offset 99",
+    "select n_name from nation order by n_name offset 22",
+    "select n_name from nation order by n_name limit 5 offset 0",
+    "select * from region order by r_regionkey",
+    "select r.* from region r order by r_regionkey",
+    "select max(o_totalprice) as m from orders",
+    "select count(*) as n from region",
+    "select count(*) as n, count(*) as m from region",
+    "select r_regionkey, r_regionkey + 1 as nxt from region order by r_regionkey",
+    "select o_orderkey from orders where o_orderkey = 1",
+    "select l_orderkey, l_linenumber from lineitem where l_orderkey = 1 order by l_linenumber",
+]
+
+_SUBQUERY = [
+    "select count(*) as n from nation where exists (select 1 from supplier where s_nationkey = n_nationkey)",
+    "select count(*) as n from nation where not exists (select 1 from supplier where s_nationkey = n_nationkey)",
+    "select n_name from nation where exists (select 1 from supplier where s_nationkey = n_nationkey and s_acctbal > 9000.0) order by n_name",
+    "select count(*) as n from customer where exists (select 1 from orders where o_custkey = c_custkey)",
+    "select count(*) as n from customer where not exists (select 1 from orders where o_custkey = c_custkey)",
+    "select count(*) as n from part where exists (select 1 from lineitem where l_partkey = p_partkey and l_quantity > 49)",
+    "select count(*) as n from orders where exists (select 1 from lineitem where l_orderkey = o_orderkey and l_returnflag = 'R')",
+    "select count(*) as n from supplier where exists (select 1 from partsupp where ps_suppkey = s_suppkey and ps_availqty < 10)",
+    "select count(*) as n from nation where n_regionkey in (select r_regionkey from region where r_name = 'ASIA')",
+    "select n_name from nation where n_regionkey in (select r_regionkey from region where r_name like 'A%') order by n_name",
+    "select count(*) as n from nation where n_regionkey not in (select r_regionkey from region where r_name = 'ASIA')",
+    "select count(*) as n from customer where c_nationkey in (select n_nationkey from nation where n_regionkey = 1)",
+    "select count(*) as n from orders where o_custkey in (select c_custkey from customer where c_acctbal < 0.0)",
+    "select count(*) as n from lineitem where l_partkey in (select p_partkey from part where p_size = 50)",
+    "select count(*) as n from supplier where s_nationkey not in (select n_nationkey from nation where n_regionkey = 0)",
+    "select count(*) as n from orders where o_totalprice > (select avg(o_totalprice) from orders)",
+    "select count(*) as n from part where p_retailprice < (select min(p_retailprice) + 10.0 from part)",
+    "select count(*) as n from lineitem where l_quantity = (select max(l_quantity) from lineitem)",
+    "select count(*) as n from supplier where s_acctbal >= (select max(s_acctbal) from supplier)",
+    "select count(*) as n from customer where c_acctbal < (select min(c_acctbal) + 1.0 from customer)",
+    "select o_orderkey from orders where o_totalprice >= (select max(o_totalprice) from orders) order by o_orderkey",
+    "select count(*) as n from nation where exists (select 1 from customer where c_nationkey = n_nationkey and exists (select 1 from orders where o_custkey = c_custkey and o_totalprice > 500000.0))",
+    "select count(*) as n from region where exists (select 1 from nation where n_regionkey = r_regionkey and n_name like 'U%')",
+    "select r_name from region where exists (select 1 from nation where n_regionkey = r_regionkey and exists (select 1 from supplier where s_nationkey = n_nationkey and s_acctbal < -900.0)) order by r_name",
+    "select count(*) as n from part where p_partkey in (select ps_partkey from partsupp where ps_supplycost < (select avg(ps_supplycost) from partsupp))",
+    "select count(*) as n from customer where c_custkey in (select o_custkey from orders where o_orderdate >= date '1998-01-01')",
+    "select count(*) as n from nation where exists (select 1 from supplier where s_nationkey = n_nationkey) and exists (select 1 from customer where c_nationkey = n_nationkey)",
+    "select count(*) as n from orders where exists (select 1 from lineitem where l_orderkey = o_orderkey and l_shipdate > o_orderdate)",
+    "select count(*) as n from part where not exists (select 1 from lineitem where l_partkey = p_partkey)",
+    "select n_name from nation where n_nationkey in (select s_nationkey from supplier where s_acctbal > (select avg(s_acctbal) from supplier)) order by n_name",
+]
+
+_ORDER_LIMIT = [
+    "select n_name, n_regionkey from nation order by n_regionkey, n_name limit 10",
+    "select n_name, n_regionkey from nation order by n_regionkey desc, n_name asc limit 10",
+    "select n_name, n_regionkey from nation order by n_regionkey asc, n_name desc limit 10",
+    "select p_brand, p_size, p_retailprice from part order by p_brand, p_size desc, p_retailprice limit 20",
+    "select o_orderdate, o_totalprice from orders order by o_orderdate, o_totalprice desc limit 15",
+    "select l_returnflag, l_linestatus, l_quantity from lineitem order by l_returnflag, l_linestatus, l_quantity desc limit 12",
+    "select c_name from customer order by c_acctbal desc limit 5",
+    "select c_name, c_acctbal from customer order by c_acctbal desc, c_name limit 5",
+    "select s_name from supplier order by s_acctbal limit 7",
+    "select p_name from part order by p_retailprice desc, p_name limit 9",
+    "select o_orderkey from orders order by o_totalprice desc limit 1",
+    "select p_size from part order by 1 limit 4",
+    "select p_brand, count(*) as n from part group by p_brand order by 2 desc, 1 limit 6",
+    "select p_brand, count(*) as n from part group by p_brand order by n desc, p_brand limit 6",
+    "select p_brand, p_container, count(*) as n from part group by p_brand, p_container order by n desc, p_brand, p_container limit 5",
+    "select l_shipmode, sum(l_quantity) as q from lineitem group by l_shipmode order by q desc limit 3",
+    "select o_orderdate from orders order by o_orderdate limit 3",
+    "select o_orderdate from orders order by o_orderdate desc limit 3",
+    "select n_name from nation order by length(n_name), n_name limit 8",
+    "select p_retailprice - p_size as v from part order by v desc limit 5",
+    "select r_name from region order by r_name desc",
+    "select n_regionkey, n_name from nation order by n_regionkey desc, n_name desc limit 25",
+    "select c_custkey from customer order by c_custkey limit 10 offset 1490",
+    "select o_orderkey from orders order by o_orderkey desc limit 4 offset 2",
+    "select p_partkey from part order by p_partkey limit 5 offset 1995",
+    "select s_suppkey, s_acctbal from supplier order by s_acctbal desc, s_suppkey limit 10 offset 5",
+    "select l_orderkey from lineitem where l_orderkey < 100 order by l_orderkey, l_linenumber limit 8 offset 8",
+    "select distinct p_size from part order by p_size desc limit 6",
+    "select distinct o_orderpriority from orders order by o_orderpriority limit 2 offset 2",
+    "select upper(n_name) as u from nation order by u desc limit 5",
+]
+
+_FUNCTIONS = [
+    "select upper(n_name) as u from nation order by u limit 5",
+    "select lower(r_name) as x from region order by x",
+    "select upper(lower(r_name)) as x from region order by x",
+    "select length(n_name) as l from nation order by l, n_name limit 10",
+    "select n_name, length(n_name) as l from nation where length(n_name) > 10 order by n_name",
+    "select max(length(p_name)) as m from part",
+    "select abs(-3) as a from region limit 1",
+    "select abs(c_acctbal) as a from customer order by a desc limit 5",
+    "select count(*) as n from customer where abs(c_acctbal) < 10.0",
+    "select round(2.567, 2) as r from region limit 1",
+    "select round(o_totalprice, 0) as r from orders order by r desc limit 5",
+    "select round(avg(l_discount), 3) as r from lineitem",
+    "select round(p_retailprice, -2) as r, count(*) as n from part group by r order by r limit 10",
+    "select n_name || '!' as x from nation order by x limit 5",
+    "select r_name || '-' || r_name as x from region order by x",
+    "select concat(n_name, '/', r_name) as x from nation join region on n_regionkey = r_regionkey order by x limit 5",
+    "select substring(n_name, 1, 3) as s from nation order by s limit 10",
+    "select substring(n_name from 2 for 4) as s from nation order by s limit 10",
+    "select count(*) as n from nation where substring(n_name, 1, 1) = 'U'",
+    "select upper(substring(r_name, 1, 2)) as x from region order by x",
+    "select extract(year from o_orderdate) as y from orders order by y limit 3",
+    "select extract(month from l_shipdate) as m, count(*) as n from lineitem group by m order by m",
+    "select extract(day from o_orderdate) as d, count(*) as n from orders group by d order by d limit 10",
+    "select cast(p_retailprice as int) as i from part order by i desc limit 5",
+    "select cast(p_size as float) as f from part order by f limit 5",
+    "select cast(p_size as float) / 7.0 as f from part order by f desc limit 5",
+    "select coalesce(null, length(r_name)) as x from region order by x",
+    "select length(r_name || '!') as x from region order by x",
+    "select min(s_name) as a, max(s_name) as b from supplier",
+    "select count(*) as n from part where length(p_name) between 20 and 30",
+]
+
+_JOIN = [
+    "select n_name, r_name from nation join region on n_regionkey = r_regionkey order by n_name",
+    "select n_name, r_name from nation, region where n_regionkey = r_regionkey order by n_name",
+    "select count(*) as n from nation join region on n_regionkey = r_regionkey",
+    "select count(*) as n from supplier join nation on s_nationkey = n_nationkey",
+    "select count(*) as n from customer join nation on c_nationkey = n_nationkey",
+    "select count(*) as n from orders join customer on o_custkey = c_custkey",
+    "select count(*) as n from lineitem join orders on l_orderkey = o_orderkey",
+    "select count(*) as n from lineitem join part on l_partkey = p_partkey",
+    "select count(*) as n from partsupp join supplier on ps_suppkey = s_suppkey",
+    "select count(*) as n from partsupp join part on ps_partkey = p_partkey",
+    "select count(*) as n from supplier join nation on s_nationkey = n_nationkey join region on n_regionkey = r_regionkey",
+    "select r_name, count(*) as n from supplier join nation on s_nationkey = n_nationkey join region on n_regionkey = r_regionkey group by r_name order by r_name",
+    "select count(*) as n from lineitem join orders on l_orderkey = o_orderkey join customer on o_custkey = c_custkey",
+    "select count(*) as n from region cross join region",
+    "select count(*) as n from nation cross join region",
+    "select r1.r_name, r2.r_name from region r1 cross join region r2 where r1.r_regionkey < r2.r_regionkey order by r1.r_name, r2.r_name limit 5",
+    "select count(*) as n from nation n1 join nation n2 on n1.n_regionkey = n2.n_regionkey",
+    "select count(*) as n from lineitem join orders on l_orderkey = o_orderkey where o_orderstatus = 'F'",
+    "select count(*) as n from lineitem join part on l_partkey = p_partkey where p_size > 40 and l_quantity < 5",
+    "select n_name, count(*) as n from customer join nation on c_nationkey = n_nationkey group by n_name order by n_name",
+    "select n_name, count(*) as n from supplier join nation on s_nationkey = n_nationkey group by n_name having count(*) >= 5 order by n_name",
+    "select o_orderpriority, sum(l_quantity) as q from lineitem join orders on l_orderkey = o_orderkey group by o_orderpriority order by o_orderpriority",
+    "select c_mktsegment, count(*) as n from orders join customer on o_custkey = c_custkey group by c_mktsegment order by c_mktsegment",
+    "select count(*) as n from nation left join supplier on n_nationkey = s_nationkey",
+    "select n_name, count(s_suppkey) as n from nation left join supplier on n_nationkey = s_nationkey group by n_name order by n_name limit 10",
+    "select count(*) as n from region left join nation on r_regionkey = n_regionkey",
+    "select t.n_name from (select n_name, n_regionkey from nation where n_regionkey < 2) t join region on t.n_regionkey = r_regionkey order by t.n_name",
+    "select count(*) as n from lineitem join partsupp on l_partkey = ps_partkey and l_suppkey = ps_suppkey",
+    "select s_name from supplier join nation on s_nationkey = n_nationkey where n_name = 'FRANCE' order by s_name",
+    "select count(*) as n from orders join customer on o_custkey = c_custkey join nation on c_nationkey = n_nationkey where n_regionkey = 2",
+]
+
+_AGGREGATE = [
+    "select count(*) as n from lineitem",
+    "select sum(l_quantity) as q, sum(l_extendedprice) as v from lineitem",
+    "select min(l_shipdate) as a, max(l_shipdate) as b from lineitem",
+    "select avg(o_totalprice) as a from orders",
+    "select count(*) as n, sum(o_totalprice) as v, avg(o_totalprice) as a from orders",
+    "select sum(l_extendedprice * l_discount) as rev from lineitem where l_discount between 0.05 and 0.07 and l_quantity < 24",
+    "select l_returnflag, l_linestatus, sum(l_quantity) as q, avg(l_extendedprice) as p, count(*) as n from lineitem group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus",
+    "select p_size as sz, count(*) as n from part group by sz order by sz",
+    "select p_size, count(*) as n from part group by 1 order by 1",
+    "select p_size % 5 as bucket, count(*) as n from part group by bucket order by bucket",
+    "select extract(year from o_orderdate) as y, sum(o_totalprice) as v from orders group by y order by y",
+    "select n_regionkey, min(n_name) as a, max(n_name) as b from nation group by n_regionkey order by n_regionkey",
+    "select o_orderstatus, min(o_orderdate) as a, max(o_orderdate) as b from orders group by o_orderstatus order by o_orderstatus",
+    "select l_shipmode, avg(l_discount) as d from lineitem group by l_shipmode order by l_shipmode",
+    "select c_nationkey, avg(c_acctbal) as a from customer group by c_nationkey order by c_nationkey limit 10",
+    "select p_mfgr, p_brand, count(*) as n from part group by p_mfgr, p_brand order by p_mfgr, p_brand limit 12",
+    "select o_custkey % 7 as h, count(*) as n, sum(o_totalprice) as v from orders group by h order by h",
+    "select count(*) as n from (select o_custkey from orders group by o_custkey) t",
+    "select count(*) as n from (select l_orderkey, count(*) as c from lineitem group by l_orderkey having count(*) = 7) t",
+    "select max(n) as m from (select o_custkey, count(*) as n from orders group by o_custkey) t",
+    "select avg(c) as a from (select l_orderkey, count(*) as c from lineitem group by l_orderkey) t",
+    "select sum(case when l_returnflag = 'R' then l_quantity else 0 end) as r_qty from lineitem",
+    "select count(*) as groups from (select p_brand, p_size from part group by p_brand, p_size) t",
+    "select l_linenumber, count(*) as n from lineitem group by l_linenumber order by l_linenumber",
+    "select s_nationkey, count(*) as n, round(sum(s_acctbal), 1) as v from supplier group by s_nationkey order by s_nationkey",
+    "select upper(o_orderstatus) as s, count(*) as n from orders group by s order by s",
+    "select length(p_brand) as l, count(*) as n from part group by l order by l",
+    "select o_orderpriority, count(distinct o_custkey) as c, count(*) as n from orders group by o_orderpriority order by o_orderpriority",
+    "select substring(c_phone, 1, 2) as cc, count(*) as n from customer group by cc order by cc limit 10",
+    "select sum(ps_availqty) as q, min(ps_supplycost) as a, max(ps_supplycost) as b from partsupp",
+]
+
+_CATEGORIES: dict[str, list[str]] = {
+    "predicate": _comparison_sweep() + _PREDICATE,
+    "case_between_in_like": _CASE_BETWEEN_IN_LIKE,
+    "distinct": _DISTINCT,
+    "having": _HAVING,
+    "null_semantics": _NULL_SEMANTICS,
+    "shape_edge": _SHAPE_EDGE,
+    "subquery": _SUBQUERY,
+    "order_limit": _ORDER_LIMIT,
+    "functions": _FUNCTIONS,
+    "join": _JOIN,
+    "aggregate": _aggregate_sweep() + _AGGREGATE,
+}
+
+
+def battery_cases() -> list[BatteryCase]:
+    """All battery statements with stable per-category ids."""
+    cases = []
+    for category, statements in _CATEGORIES.items():
+        for i, sql in enumerate(statements):
+            cases.append(BatteryCase(f"{category}-{i:03d}", category, sql))
+    return cases
+
+
+def expected_shapes() -> dict[str, tuple[int, int]]:
+    """The committed ``case_id -> (rows, cols)`` map."""
+    raw = json.loads(_SHAPES_PATH.read_text())
+    return {k: (v[0], v[1]) for k, v in raw.items()}
+
+
+def write_expected_shapes(shapes: dict[str, tuple[int, int]]) -> None:
+    """Persist a refreshed shape map."""
+    payload = {k: list(v) for k, v in sorted(shapes.items())}
+    _SHAPES_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def refresh_expected_shapes() -> Path:
+    """Recompute every case's shape on the CPU reference and persist it
+    (``python -m repro battery --refresh-shapes``)."""
+    from ...hosts import MiniDuck
+    from ...tpch.dbgen import generate_tpch
+
+    host = MiniDuck()
+    host.load_tables(generate_tpch(SCALE_FACTOR))
+    shapes = {}
+    for case in battery_cases():
+        table = host.execute(case.sql).table
+        shapes[case.case_id] = (table.num_rows, len(table.schema.fields))
+    write_expected_shapes(shapes)
+    return _SHAPES_PATH

@@ -1,0 +1,83 @@
+"""Result canonicalization for cross-engine comparison.
+
+Engines disagree on incidental representation long before they disagree
+on semantics: row order without ORDER BY, ``datetime.date`` vs ISO text,
+``Decimal`` sums vs floats, ints where another engine widens to float.
+``canonical_rows`` maps every result to a normal form — value-normalized
+tuples in a total sort order — so :func:`rows_equal` only fails on real
+semantic differences (with float tolerance and NULL-aware equality).
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from decimal import Decimal
+
+__all__ = ["normalize_value", "canonical_rows", "values_match", "rows_equal"]
+
+REL_TOL = 1e-6
+ABS_TOL = 1e-6
+
+
+def normalize_value(value):
+    """Map an engine-specific cell value onto the comparison domain."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, Decimal):
+        return float(value)
+    if isinstance(value, datetime.datetime):
+        return value.date().isoformat()
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, bytes):
+        return value.decode("utf-8", "replace")
+    if hasattr(value, "item"):  # numpy scalar
+        return normalize_value(value.item())
+    return value
+
+
+def _sort_key(row: tuple) -> tuple:
+    """A total order over normalized rows.
+
+    Floats are keyed at 6 significant digits so values that differ only
+    by ulps land adjacent; ``values_match`` does the exact comparison.
+    """
+    key = []
+    for v in row:
+        if v is None:
+            key.append((0, ""))
+        elif isinstance(v, (int, float)):
+            key.append((1, f"{float(v):+.6e}"))
+        else:
+            key.append((2, str(v)))
+    return tuple(key)
+
+
+def canonical_rows(rows) -> list[tuple]:
+    """Normalize every value and sort rows into the canonical order."""
+    return sorted((tuple(normalize_value(v) for v in row) for row in rows), key=_sort_key)
+
+
+def values_match(x, y, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """NULL-aware, tolerance-aware scalar equality."""
+    if x is None or y is None:
+        return x is None and y is None
+    if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+        return math.isclose(float(x), float(y), rel_tol=rel_tol, abs_tol=abs_tol)
+    return x == y
+
+
+def rows_equal(a, b, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """Compare two result sets up to canonical order and float tolerance."""
+    ca, cb = canonical_rows(a), canonical_rows(b)
+    if len(ca) != len(cb):
+        return False
+    for row_a, row_b in zip(ca, cb):
+        if len(row_a) != len(row_b):
+            return False
+        if not all(values_match(x, y, rel_tol, abs_tol) for x, y in zip(row_a, row_b)):
+            return False
+    return True

@@ -1,0 +1,241 @@
+"""Embedded baseline engines for differential testing.
+
+DuckDB and SQLite are *optional*: neither is a dependency of the package.
+``is_available`` gates on importability, so the harness (and the battery
+tests) skip cleanly on machines without them — CI installs DuckDB to get
+the full cross-check, while the stdlib ``sqlite3`` baseline is available
+everywhere.
+
+Each adapter owns the dialect translation from the battery's SQL (which
+matches the in-repo frontend, itself a DuckDB-flavoured subset) into what
+the baseline accepts, plus a static ``unsupported_reason`` filter for the
+few constructs a baseline cannot evaluate faithfully.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import re
+from dataclasses import dataclass
+
+from ...columnar import BOOL, DATE32, FLOAT64, INT64, STRING, Table
+
+__all__ = [
+    "BaselineEngine",
+    "BaselineResult",
+    "DuckDbBaseline",
+    "SqliteBaseline",
+    "available_baselines",
+    "baseline_engines",
+]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one battery statement on one baseline engine."""
+
+    engine: str
+    case_id: str
+    category: str
+    status: str  # "match" | "mismatch" | "error" | "unsupported"
+    rows: int | None
+    cols: int | None
+    elapsed_s: float | None
+    detail: str | None = None
+
+
+class BaselineEngine:
+    """One embedded engine loaded with the TPC-H tables."""
+
+    name = ""
+
+    @classmethod
+    def is_available(cls) -> bool:
+        raise NotImplementedError
+
+    def load(self, tables: dict[str, Table]) -> None:
+        raise NotImplementedError
+
+    def translate(self, sql: str) -> str:
+        return sql
+
+    def unsupported_reason(self, sql: str) -> str | None:
+        """A static reason this engine cannot faithfully run ``sql``."""
+        return None
+
+    def execute(self, sql: str) -> list[tuple]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+def _column_defs(table: Table, int_t: str, float_t: str, text_t: str, date_t: str) -> str:
+    defs = []
+    for f in table.schema.fields:
+        if f.dtype is STRING:
+            sql_t = text_t
+        elif f.dtype is DATE32:
+            sql_t = date_t
+        elif f.dtype is FLOAT64:
+            sql_t = float_t
+        elif f.dtype is BOOL or f.dtype is INT64 or f.dtype.is_integer:
+            sql_t = int_t
+        else:
+            sql_t = float_t
+        defs.append(f"{f.name} {sql_t}")
+    return ", ".join(defs)
+
+
+class DuckDbBaseline(BaselineEngine):
+    """DuckDB via its Python API (optional dependency)."""
+
+    name = "duckdb"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("duckdb") is not None
+
+    def __init__(self) -> None:
+        if not self.is_available():
+            raise RuntimeError("duckdb is not installed")
+        duckdb = importlib.import_module("duckdb")
+        self._con = duckdb.connect(":memory:")
+
+    def load(self, tables: dict[str, Table]) -> None:
+        for name, table in tables.items():
+            defs = _column_defs(table, "BIGINT", "DOUBLE", "VARCHAR", "DATE")
+            self._con.execute(f"create table {name} ({defs})")
+            rows = table.to_rows()
+            if rows:
+                holes = ", ".join("?" * len(table.schema.fields))
+                self._con.executemany(f"insert into {name} values ({holes})", rows)
+
+    def translate(self, sql: str) -> str:
+        # numpy-style float->int casts truncate; DuckDB's round. Align them.
+        return re.sub(r"cast\(([^()]+) as int\)", r"cast(trunc(\1) as bigint)", sql)
+
+    def execute(self, sql: str) -> list[tuple]:
+        return self._con.execute(self.translate(sql)).fetchall()
+
+    def close(self) -> None:
+        self._con.close()
+
+
+class SqliteBaseline(BaselineEngine):
+    """Stdlib ``sqlite3``: the always-available baseline."""
+
+    name = "sqlite"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("sqlite3") is not None
+
+    def __init__(self) -> None:
+        sqlite3 = importlib.import_module("sqlite3")
+        self._con = sqlite3.connect(":memory:")
+        # The battery's LIKE semantics are case-sensitive (as in DuckDB).
+        self._con.execute("pragma case_sensitive_like = on")
+
+    def load(self, tables: dict[str, Table]) -> None:
+        for name, table in tables.items():
+            defs = _column_defs(table, "INTEGER", "REAL", "TEXT", "TEXT")
+            self._con.execute(f"create table {name} ({defs})")
+            date_cols = [i for i, f in enumerate(table.schema.fields) if f.dtype is DATE32]
+            rows = table.to_rows()
+            if date_cols:
+                rows = [
+                    tuple(
+                        v.isoformat() if i in date_cols and v is not None else v
+                        for i, v in enumerate(row)
+                    )
+                    for row in rows
+                ]
+            if rows:
+                holes = ", ".join("?" * len(table.schema.fields))
+                self._con.executemany(f"insert into {name} values ({holes})", rows)
+        self._con.commit()
+
+    def translate(self, sql: str) -> str:
+        # DATE literals compare correctly as ISO-8601 text.
+        out = re.sub(r"\bdate\s+'", "'", sql)
+        # EXTRACT -> strftime.
+        fmt = {"year": "%Y", "month": "%m", "day": "%d"}
+
+        def _extract(m: re.Match) -> str:
+            return f"cast(strftime('{fmt[m.group(1)]}', {m.group(2)}) as integer)"
+
+        out = re.sub(r"extract\s*\(\s*(year|month|day)\s+from\s+([^()]+?)\s*\)", _extract, out)
+        # SUBSTRING (both forms) -> substr.
+        out = re.sub(
+            r"substring\s*\(\s*([^()]+?)\s+from\s+(\d+)\s+for\s+(\d+)\s*\)",
+            r"substr(\1, \2, \3)",
+            out,
+        )
+        out = re.sub(r"\bsubstring\s*\(", "substr(", out)
+        # sqlite requires LIMIT before OFFSET.
+        if re.search(r"\boffset\b", out) and not re.search(r"\blimit\b", out):
+            out = re.sub(r"\boffset\b", "limit -1 offset", out)
+        # This sqlite build (3.40) predates the CONCAT function.
+        out = re.sub(
+            r"\bconcat\s*\(([^()]+)\)",
+            lambda m: "(" + " || ".join(p.strip() for p in _split_args(m.group(1))) + ")",
+            out,
+        )
+        return out
+
+    def unsupported_reason(self, sql: str) -> str | None:
+        if re.search(r"round\s*\([^()]*,\s*-\d+\s*\)", sql):
+            return "sqlite round() ignores negative digit counts"
+        return None
+
+    def execute(self, sql: str) -> list[tuple]:
+        cursor = self._con.execute(self.translate(sql))
+        return cursor.fetchall()
+
+    def close(self) -> None:
+        self._con.close()
+
+
+def _split_args(arglist: str) -> list[str]:
+    """Split a paren-free argument list on commas outside string literals."""
+    parts, depth, current = [], False, []
+    for ch in arglist:
+        if ch == "'":
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+_ENGINES: dict[str, type[BaselineEngine]] = {
+    DuckDbBaseline.name: DuckDbBaseline,
+    SqliteBaseline.name: SqliteBaseline,
+}
+
+
+def available_baselines() -> list[str]:
+    """Names of baseline engines importable in this environment."""
+    return [name for name, cls in _ENGINES.items() if cls.is_available()]
+
+
+def baseline_engines(
+    tables: dict[str, Table], names: list[str] | None = None
+) -> dict[str, BaselineEngine]:
+    """Construct and load every requested (available) baseline engine."""
+    selected = names if names is not None else list(_ENGINES)
+    out: dict[str, BaselineEngine] = {}
+    for name in selected:
+        if name not in _ENGINES:
+            raise ValueError(f"unknown baseline engine {name!r}")
+        if not _ENGINES[name].is_available():
+            continue
+        engine = _ENGINES[name]()
+        engine.load(tables)
+        out[name] = engine
+    return out

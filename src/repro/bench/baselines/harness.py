@@ -1,0 +1,111 @@
+"""Differential baseline runs: battery statements against embedded engines.
+
+The harness executes every battery statement on the MiniDuck CPU reference
+and on each available baseline (DuckDB, SQLite), cross-checks values via
+sorted-row canonicalization, and records per-statement timings plus
+process resource usage into a JSON artifact with a committed schema
+(``ARTIFACT_SCHEMA_VERSION``); CI uploads the artifact from the `battery`
+job so baseline timings accumulate across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ...hosts import MiniDuck
+from ...tpch.dbgen import generate_tpch
+from .battery import SCALE_FACTOR, battery_cases
+from .canonical import rows_equal
+from .engines import BaselineResult, available_baselines, baseline_engines
+from .monitor import ResourceMonitor
+
+__all__ = ["ARTIFACT_SCHEMA_VERSION", "run_battery_baselines"]
+
+# Committed artifact schema; bump on any structural change.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def run_battery_baselines(
+    engines: list[str] | None = None,
+    out_path: str | Path | None = None,
+    sf: float = SCALE_FACTOR,
+    limit: int | None = None,
+) -> dict:
+    """Run the battery differentially; return (and optionally write) the artifact."""
+    tables = generate_tpch(sf)
+    reference = MiniDuck()
+    reference.load_tables(tables)
+
+    cases = battery_cases()
+    if limit is not None:
+        cases = cases[:limit]
+
+    ref_rows: dict[str, list[tuple]] = {}
+    with ResourceMonitor() as ref_monitor:
+        for case in cases:
+            ref_rows[case.case_id] = reference.execute(case.sql).table.to_rows()
+
+    results: list[BaselineResult] = []
+    engine_stats: dict[str, dict] = {}
+    loaded = baseline_engines(tables, engines)
+    for name, engine in loaded.items():
+        with ResourceMonitor() as monitor:
+            for case in cases:
+                results.append(_run_case(engine, case, ref_rows[case.case_id]))
+        engine_results = [r for r in results if r.engine == name]
+        engine_stats[name] = _summarize(engine_results, monitor.stats)
+        engine.close()
+
+    artifact = {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "generated_by": "repro.bench.baselines",
+        "scale_factor": sf,
+        "statement_count": len(cases),
+        "available_engines": available_baselines(),
+        "reference": {"engine": "miniduck-cpu", "resources": ref_monitor.stats},
+        "engines": engine_stats,
+        "results": [vars(r) for r in results],
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(artifact, indent=1) + "\n")
+    return artifact
+
+
+def _run_case(engine, case, reference_rows: list[tuple]) -> BaselineResult:
+    reason = engine.unsupported_reason(case.sql)
+    if reason is not None:
+        return BaselineResult(engine.name, case.case_id, case.category, "unsupported",
+                              None, None, None, reason)
+    # Real engines run in real time; these are not simulated timestamps.
+    start = time.perf_counter()  # lint: allow=RR01
+    try:
+        rows = engine.execute(case.sql)
+    except Exception as exc:  # a baseline rejecting the dialect is data, not a crash
+        return BaselineResult(engine.name, case.case_id, case.category, "error",
+                              None, None, time.perf_counter() - start,  # lint: allow=RR01
+                              f"{type(exc).__name__}: {exc}")
+    elapsed = time.perf_counter() - start  # lint: allow=RR01
+    cols = len(rows[0]) if rows else len(reference_rows[0]) if reference_rows else 0
+    if rows_equal(rows, reference_rows):
+        return BaselineResult(engine.name, case.case_id, case.category, "match",
+                              len(rows), cols, elapsed)
+    return BaselineResult(engine.name, case.case_id, case.category, "mismatch",
+                          len(rows), cols, elapsed,
+                          f"baseline {len(rows)} rows vs reference {len(reference_rows)}")
+
+
+def _summarize(results: list[BaselineResult], resources: dict) -> dict:
+    by_status: dict[str, int] = {}
+    for r in results:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    return {
+        "cases": len(results),
+        "match": by_status.get("match", 0),
+        "mismatch": by_status.get("mismatch", 0),
+        "error": by_status.get("error", 0),
+        "unsupported": by_status.get("unsupported", 0),
+        "total_statement_s": sum(r.elapsed_s for r in results if r.elapsed_s is not None),
+        "resources": resources,
+    }

@@ -1,0 +1,53 @@
+"""Resource monitoring for baseline runs without hard dependencies.
+
+The container has no psutil, so the monitor is built on the stdlib:
+``time.perf_counter`` for wall clock, ``resource.getrusage`` for CPU time
+and peak RSS.  When psutil *is* installed (CI may add it), its live RSS
+reading is recorded as well — the artifact schema keeps the field nullable
+so consumers never depend on it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import resource
+import time
+
+__all__ = ["ResourceMonitor"]
+
+_HAS_PSUTIL = importlib.util.find_spec("psutil") is not None
+
+
+class ResourceMonitor:
+    """Context manager sampling wall/CPU time and memory around a block."""
+
+    def __init__(self) -> None:
+        self.stats: dict = {}
+
+    def __enter__(self) -> "ResourceMonitor":
+        # Baselines are real external engines: wall time here is genuinely
+        # wall time, not part of the simulated timeline.
+        self._wall0 = time.perf_counter()  # lint: allow=RR01
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        self._user0 = usage.ru_utime
+        self._sys0 = usage.ru_stime
+        return self
+
+    def __exit__(self, *exc) -> None:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        self.stats = {
+            "wall_s": time.perf_counter() - self._wall0,  # lint: allow=RR01
+            "user_cpu_s": usage.ru_utime - self._user0,
+            "sys_cpu_s": usage.ru_stime - self._sys0,
+            # ru_maxrss is KiB on Linux; a process-lifetime high-water mark.
+            "max_rss_kib": usage.ru_maxrss,
+            "rss_kib": _live_rss_kib(),
+        }
+
+
+def _live_rss_kib() -> int | None:
+    if not _HAS_PSUTIL:
+        return None
+    import psutil
+
+    return psutil.Process().memory_info().rss // 1024

@@ -17,11 +17,13 @@ from ..columnar.dtypes import dtype_from_name
 from ..kernels import (
     GColumn,
     GTable,
+    absolute,
     binary_arith,
     case_when,
     cast_column,
     coalesce,
     compare,
+    concat_strings,
     extract_date_part,
     fill_constant,
     in_list,
@@ -30,6 +32,9 @@ from ..kernels import (
     logical_and,
     logical_not,
     logical_or,
+    round_column,
+    string_case,
+    string_length,
     substring,
 )
 from ..plan import Expression, FieldRef, Literal, ScalarCall
@@ -74,6 +79,8 @@ def _call(call: ScalarCall, table: GTable):
     if f in ("add", "subtract", "multiply", "divide", "modulo"):
         left = evaluate(call.args[0], table)
         right = evaluate(call.args[1], table)
+        if not isinstance(left, GColumn) and not isinstance(right, GColumn):
+            return _fold_scalar_arith(f, left, right)
         return binary_arith(f, left, right)
 
     if f in ("eq", "ne", "lt", "le", "gt", "ge"):
@@ -96,17 +103,28 @@ def _call(call: ScalarCall, table: GTable):
             return bool(left) or bool(right)
         return logical_or(left, right)
     if f == "not":
-        return logical_not(_as_column(call.args[0], table))
+        operand = evaluate(call.args[0], table)
+        if not isinstance(operand, GColumn):
+            return None if operand is None else not bool(operand)
+        return logical_not(operand)
 
     if f == "negate":
-        return binary_arith("multiply", evaluate(call.args[0], table), -1)
+        operand = evaluate(call.args[0], table)
+        if not isinstance(operand, GColumn):
+            return None if operand is None else -operand
+        return binary_arith("multiply", operand, -1)
 
     if f in ("is_null", "is_not_null"):
         return is_null(_as_column(call.args[0], table), negate=(f == "is_not_null"))
 
     if f in ("like", "not_like"):
         pattern = _literal_value(call.args[1], "LIKE pattern")
-        return like(_as_column(call.args[0], table), pattern, negate=(f == "not_like"))
+        return like(
+            _as_column(call.args[0], table),
+            pattern,
+            negate=(f == "not_like"),
+            escape=call.options.get("escape"),
+        )
 
     if f == "contains":
         needle = _literal_value(call.args[1], "contains needle")
@@ -139,7 +157,37 @@ def _call(call: ScalarCall, table: GTable):
         return case_when(conditions, results, evaluate(default, table))
 
     if f == "coalesce":
-        return coalesce([evaluate(a, table) for a in call.args])
+        operands = [evaluate(a, table) for a in call.args]
+        if not any(isinstance(o, GColumn) for o in operands):
+            return next((o for o in operands if o is not None), None)
+        return coalesce(operands)
+
+    if f in ("upper", "lower"):
+        return string_case(_as_column(call.args[0], table), upper=(f == "upper"))
+
+    if f == "length":
+        return string_length(_as_column(call.args[0], table))
+
+    if f == "concat":
+        operands = [evaluate(a, table) for a in call.args]
+        if not any(isinstance(o, GColumn) for o in operands):
+            if any(o is None for o in operands):
+                return None
+            return "".join(str(o) for o in operands)
+        return concat_strings(operands)
+
+    if f == "abs":
+        operand = evaluate(call.args[0], table)
+        if not isinstance(operand, GColumn):
+            return None if operand is None else abs(operand)
+        return absolute(operand)
+
+    if f == "round":
+        digits = int(_literal_value(call.args[1], "round digits")) if len(call.args) > 1 else 0
+        operand = evaluate(call.args[0], table)
+        if not isinstance(operand, GColumn):
+            return None if operand is None else float(round(float(operand), digits))
+        return round_column(operand, digits)
 
     if f == "cast":
         target = dtype_from_name(call.options["to"])
@@ -154,6 +202,21 @@ def _call(call: ScalarCall, table: GTable):
         return substring(_as_column(call.args[0], table), start, length)
 
     raise UnsupportedExpressionError(f"scalar function {f!r} not supported on device")
+
+
+def _fold_scalar_arith(op: str, left, right):
+    """Fold arithmetic between two constants; NULL propagates."""
+    if left is None or right is None:
+        return None
+    if op == "divide":
+        return left / right if right != 0 else None
+    table = {
+        "add": left + right,
+        "subtract": left - right,
+        "multiply": left * right,
+        "modulo": left % right if right != 0 else None,
+    }
+    return table[op]
 
 
 def _fold_scalar_cmp(op: str, left, right) -> bool:

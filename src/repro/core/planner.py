@@ -198,13 +198,15 @@ class _Compiler:
 
         if isinstance(rel, FetchRel) and isinstance(rel.input_rel, SortRel):
             sort_rel = rel.input_rel
-            if rel.count is None:
+            if rel.count is None and rel.offset == 0:
                 sink = SortSink(sort_rel.sort_keys, sort_rel.input_rel.output_schema())
-            else:
+                return self._break(sort_rel.input_rel, sink, "topn")
+            if rel.count is not None:
                 sink = TopNSink(
                     sort_rel.sort_keys, rel.count, rel.offset, sort_rel.input_rel.output_schema()
                 )
-            return self._break(sort_rel.input_rel, sink, "topn")
+                return self._break(sort_rel.input_rel, sink, "topn")
+            # OFFSET without LIMIT: sort fully, then slice in a fetch sink.
 
         if isinstance(rel, SortRel):
             sink = SortSink(rel.sort_keys, rel.input_rel.output_schema())

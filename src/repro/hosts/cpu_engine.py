@@ -490,7 +490,9 @@ class CpuEngine:
         vec = self._eval(agg.arg, table)
         values = vec.values[vec.valid]
         op = agg.op
-        if op == "count" and agg.distinct:
+        if op == "count_distinct" or (op == "count" and agg.distinct):
+            # For strings the values are dictionary codes: distinct codes
+            # are distinct values, so uniqueness over codes is exact.
             return len(np.unique(values))
         if op == "count":
             return len(values)
@@ -662,7 +664,7 @@ class CpuEngine:
                 pattern = f"%{pattern}%"
             elif f == "starts_with":
                 pattern = f"{pattern}%"
-            regex = _like_regex(pattern)
+            regex = _like_regex(pattern, call.options.get("escape"))
             decoded = self._decode(a)
             out = np.array(
                 [bool(regex.match(s)) if s is not None else False for s in decoded], dtype=bool
@@ -699,7 +701,13 @@ class CpuEngine:
             conds = [self._eval(pairs[i], table) for i in range(0, len(pairs), 2)]
             results = [self._eval(pairs[i + 1], table) for i in range(0, len(pairs), 2)]
             if default.dtype.is_string or any(r.dtype.is_string for r in results):
-                raise CpuEvalError("string CASE results unsupported on CPU path")
+                out = self._branch_strings(default, n)
+                decided = np.zeros(n, dtype=bool)
+                for cond, result in zip(conds, results):
+                    fire = cond.values.astype(bool) & cond.valid & ~decided
+                    out[fire] = self._branch_strings(result, n)[fire]
+                    decided |= fire
+                return self._string_vec(list(out))
             # Promote across all branches: int default with float results
             # must not truncate.
             common = np.result_type(default.values, *(r.values for r in results))
@@ -716,13 +724,23 @@ class CpuEngine:
 
         if f == "coalesce":
             vecs = [self._eval(a, table) for a in call.args]
-            out_vals = vecs[0].values.copy()
+            if any(v.dtype.is_string for v in vecs):
+                out = np.full(n, None, dtype=object)
+                for vec in vecs:
+                    decoded = self._branch_strings(vec, n)
+                    fill = np.array([x is None for x in out]) & np.array(
+                        [d is not None for d in decoded]
+                    )
+                    out[fill] = decoded[fill]
+                return self._string_vec(list(out))
+            typed = next((v for v in vecs if v.valid.any()), vecs[0])
+            out_vals = vecs[0].values.astype(typed.values.dtype).copy()
             out_valid = vecs[0].valid.copy()
             for vec in vecs[1:]:
                 fill = ~out_valid & vec.valid
                 out_vals = np.where(fill, vec.values.astype(out_vals.dtype), out_vals)
                 out_valid |= vec.valid
-            return self._num_vec(out_vals, out_valid, vecs[0].dtype)
+            return self._num_vec(out_vals, out_valid, typed.dtype)
 
         if f == "cast":
             a = self._eval(call.args[0], table)
@@ -760,12 +778,56 @@ class CpuEngine:
             a = self._eval(call.args[0], table)
             return self._num_vec(-a.values, a.valid, a.dtype)
 
+        if f in ("upper", "lower"):
+            a = self._eval(call.args[0], table)
+            decoded = self._decode(a)
+            convert = str.upper if f == "upper" else str.lower
+            return self._string_vec([None if s is None else convert(str(s)) for s in decoded])
+
+        if f == "length":
+            a = self._eval(call.args[0], table)
+            decoded = self._decode(a)
+            out = np.array([0 if s is None else len(str(s)) for s in decoded], dtype=np.int64)
+            return self._num_vec(out, a.valid, INT64)
+
+        if f == "concat":
+            parts = [self._branch_strings(self._eval(arg, table), n) for arg in call.args]
+            values = []
+            for i in range(n):
+                row = [p[i] for p in parts]
+                values.append(None if any(x is None for x in row) else "".join(row))
+            return self._string_vec(values)
+
+        if f == "abs":
+            a = self._eval(call.args[0], table)
+            return self._num_vec(np.abs(a.values), a.valid, a.dtype)
+
+        if f == "round":
+            a = self._eval(call.args[0], table)
+            digits = int(call.args[1].value) if len(call.args) > 1 else 0
+            out = np.round(a.values.astype(np.float64), digits)
+            return self._num_vec(out, a.valid, FLOAT64)
+
         raise CpuEvalError(f"function {f!r} unsupported by the CPU engine")
 
     def _num_vec(self, values, valid, dtype) -> _Vec:
         vec = _Vec(np.asarray(values), np.asarray(valid, dtype=bool), dtype)
         vec.dtype_dictionary = None
         return vec
+
+    def _string_vec(self, values: list) -> _Vec:
+        col = Column.from_strings(values)
+        vec = _Vec(col.data, col.is_valid_mask(), STRING)
+        vec.dtype_dictionary = col.dictionary
+        return vec
+
+    def _branch_strings(self, vec: _Vec, n: int) -> np.ndarray:
+        """Decode a vector feeding a string result; typed NULLs pass through."""
+        if vec.dtype.is_string:
+            return self._decode(vec)
+        if not vec.valid.any():
+            return np.full(n, None, dtype=object)
+        raise CpuEvalError(f"expected string operand, got {vec.dtype.name}")
 
     def _to_column(self, vec: _Vec, dtype, n: int) -> Column:
         dictionary = getattr(vec, "dtype_dictionary", None)
@@ -779,13 +841,21 @@ class CpuEngine:
         return Column(dtype, data, vec.valid)
 
 
-def _like_regex(pattern: str) -> re.Pattern:
+def _like_regex(pattern: str, escape: str | None = None) -> re.Pattern:
     parts = []
-    for ch in pattern:
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if escape is not None and ch == escape and i + 1 < len(pattern):
+            # ESCAPE'd character matches literally, including % and _.
+            parts.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
         if ch == "%":
             parts.append(".*")
         elif ch == "_":
             parts.append(".")
         else:
             parts.append(re.escape(ch))
+        i += 1
     return re.compile("^" + "".join(parts) + "$", re.DOTALL)

@@ -40,6 +40,11 @@ __all__ = [
     "like",
     "contains",
     "substring",
+    "string_case",
+    "string_length",
+    "concat_strings",
+    "absolute",
+    "round_column",
     "cast_column",
     "fill_constant",
     "hash_partition_ids",
@@ -102,6 +107,8 @@ def _dtype_of(operand) -> DType:
     if isinstance(operand, GColumn):
         return operand.dtype
     raw = _scalar_to_raw(operand)
+    if raw is None:
+        return INT64  # typed NULL default, matching Literal(None)
     if isinstance(raw, bool):
         return BOOL
     if isinstance(raw, int):
@@ -167,6 +174,9 @@ def compare(op: str, left, right) -> GColumn:
 
 
 def _compare_strings(op: str, left, right, rows: int):
+    if left is None or right is None:
+        # NULL comparand: the result is NULL on every row.
+        return np.zeros(rows, dtype=np.bool_), np.zeros(rows, dtype=np.bool_)
     if isinstance(left, GColumn) and isinstance(right, GColumn):
         lvals, rvals = left.decoded(), right.decoded()
         valid = left.valid_mask() & right.valid_mask()
@@ -343,6 +353,20 @@ def coalesce(operands: Sequence) -> GColumn:
     device = _device_of(*[o for o in operands if isinstance(o, GColumn)])
     rows = _rows_of(*[o for o in operands if isinstance(o, GColumn)])
     out_dtype = _result_dtype(list(operands))
+    if out_dtype.is_string:
+        # Codes from different dictionaries don't compose; merge decoded.
+        out = np.full(rows, None, dtype=object)
+        for op in operands:
+            if isinstance(op, GColumn):
+                decoded = op.decoded()
+                fill = np.array([v is None for v in out]) & np.array(
+                    [v is not None for v in decoded]
+                )
+                out[fill] = decoded[fill]
+            elif op is not None:
+                out[np.array([v is None for v in out])] = str(op)
+        device.launch(KernelClass.STRING, _traffic(*operands), rows, rows)
+        return _encode_strings(device, out)
     data = np.zeros(rows, dtype=out_dtype.numpy_dtype)
     valid = np.zeros(rows, dtype=np.bool_)
     for op in operands:
@@ -361,7 +385,7 @@ def _result_dtype(operands: Sequence) -> DType:
     for op in operands:
         if op is not None:
             return _dtype_of(op)
-    raise TypeError("cannot infer result type from all-NULL operands")
+    return INT64  # all-NULL: typed NULL default, matching Literal(None)
 
 
 def extract_date_part(part: str, column: GColumn) -> GColumn:
@@ -385,25 +409,35 @@ def extract_date_part(part: str, column: GColumn) -> GColumn:
     return GColumn.from_array(device, INT64, out, column.valid_mask())
 
 
-def _like_to_regex(pattern: str) -> re.Pattern:
+def _like_to_regex(pattern: str, escape: str | None = None) -> re.Pattern:
     out = []
-    for ch in pattern:
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if escape is not None and ch == escape and i + 1 < len(pattern):
+            # ESCAPE'd character matches literally, including % and _.
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
         if ch == "%":
             out.append(".*")
         elif ch == "_":
             out.append(".")
         else:
             out.append(re.escape(ch))
+        i += 1
     return re.compile("^" + "".join(out) + "$", re.DOTALL)
 
 
-def like(column: GColumn, pattern: str, negate: bool = False) -> GColumn:
+def like(
+    column: GColumn, pattern: str, negate: bool = False, escape: str | None = None
+) -> GColumn:
     """SQL LIKE on a string column (dictionary-evaluated, char-charged)."""
     if not column.dtype.is_string:
         raise TypeError("LIKE requires a string column")
     device = column.device
     rows = len(column)
-    regex = _like_to_regex(pattern)
+    regex = _like_to_regex(pattern, escape)
     dictionary = column.dictionary if column.dictionary is not None else np.array([], object)
     hits = np.array([regex.match(str(s)) is not None for s in dictionary], dtype=np.bool_)
     if negate:
@@ -438,6 +472,88 @@ def substring(column: GColumn, start: int, length: int) -> GColumn:
     return GColumn.from_array(device, STRING, codes, valid, uniques)
 
 
+def string_case(column: GColumn, upper: bool) -> GColumn:
+    """UPPER/LOWER over a string column (dictionary-mapped, re-encoded)."""
+    if not column.dtype.is_string:
+        raise TypeError("upper/lower require a string column")
+    device = column.device
+    rows = len(column)
+    dictionary = column.dictionary if column.dictionary is not None else np.array([], object)
+    mapped = np.array(
+        [str(s).upper() if upper else str(s).lower() for s in dictionary], dtype=object
+    )
+    device.launch(KernelClass.STRING, column.traffic_bytes, column.traffic_bytes, rows)
+    # Case folding can merge dictionary entries; re-encode.
+    uniques, remap = (
+        np.unique(mapped, return_inverse=True)
+        if len(mapped)
+        else (np.array([], object), np.array([], np.int64))
+    )
+    valid = column.valid_mask() & (column.data >= 0)
+    codes = np.full(rows, -1, dtype=np.int32)
+    codes[valid] = remap[column.data[valid]].astype(np.int32)
+    return GColumn.from_array(device, STRING, codes, valid, uniques)
+
+
+def string_length(column: GColumn) -> GColumn:
+    """LENGTH of a string column -> int64 (dictionary-mapped)."""
+    if not column.dtype.is_string:
+        raise TypeError("length requires a string column")
+    device = column.device
+    rows = len(column)
+    dictionary = column.dictionary if column.dictionary is not None else np.array([], object)
+    lengths = np.array([len(str(s)) for s in dictionary], dtype=np.int64)
+    valid = column.valid_mask() & (column.data >= 0)
+    out = np.zeros(rows, dtype=np.int64)
+    out[valid] = lengths[column.data[valid]]
+    device.launch(KernelClass.STRING, column.traffic_bytes, rows * 8, rows)
+    return GColumn.from_array(device, INT64, out, valid)
+
+
+def concat_strings(operands: Sequence) -> GColumn:
+    """Row-wise string concatenation; NULL if any operand is NULL."""
+    device = _device_of(*[o for o in operands if isinstance(o, GColumn)])
+    rows = _rows_of(*[o for o in operands if isinstance(o, GColumn)])
+    parts = []
+    for op in operands:
+        if isinstance(op, GColumn):
+            if not op.dtype.is_string:
+                raise TypeError("concat requires string operands")
+            parts.append(op.decoded())
+        elif op is None:
+            parts.append(np.full(rows, None, dtype=object))
+        else:
+            parts.append(np.full(rows, str(op), dtype=object))
+    out = np.empty(rows, dtype=object)
+    for i in range(rows):
+        vals = [p[i] for p in parts]
+        out[i] = None if any(v is None for v in vals) else "".join(str(v) for v in vals)
+    device.launch(KernelClass.STRING, _traffic(*operands), rows * 16, rows)
+    return _encode_strings(device, out)
+
+
+def absolute(column: GColumn) -> GColumn:
+    """ABS over a numeric column."""
+    if not column.dtype.is_numeric:
+        raise TypeError("abs requires a numeric column")
+    device = column.device
+    rows = len(column)
+    data = np.abs(column.data)
+    device.launch(KernelClass.STREAM, column.nbytes, data.nbytes, rows)
+    return GColumn.from_array(device, column.dtype, data, column.valid_mask())
+
+
+def round_column(column: GColumn, digits: int = 0) -> GColumn:
+    """ROUND to ``digits`` decimal places -> float64."""
+    if not column.dtype.is_numeric:
+        raise TypeError("round requires a numeric column")
+    device = column.device
+    rows = len(column)
+    data = np.round(column.data.astype(np.float64), digits)
+    device.launch(KernelClass.STREAM, column.nbytes, rows * 8, rows)
+    return GColumn.from_array(device, FLOAT64, data, column.valid_mask())
+
+
 def cast_column(column: GColumn, target: DType) -> GColumn:
     """Cast between logical types (numeric widening/narrowing, date<->int)."""
     device = column.device
@@ -453,8 +569,17 @@ def cast_column(column: GColumn, target: DType) -> GColumn:
 
 
 def fill_constant(device, rows: int, value: Any, dtype: DType | None = None) -> GColumn:
-    """Materialise a broadcast scalar as a device column."""
+    """Materialise a broadcast scalar as a device column (None -> all-NULL)."""
     dtype = dtype if dtype is not None else _dtype_of(value)
+    if value is None:
+        if dtype.is_string:
+            codes = np.full(rows, -1, dtype=np.int32)
+            return GColumn.from_array(
+                device, STRING, codes, np.zeros(rows, dtype=np.bool_), np.array([], object)
+            )
+        data = np.zeros(rows, dtype=dtype.numpy_dtype)
+        device.launch(KernelClass.STREAM, 0, data.nbytes, rows)
+        return GColumn.from_array(device, dtype, data, np.zeros(rows, dtype=np.bool_))
     if dtype.is_string:
         codes = np.zeros(rows, dtype=np.int32)
         return GColumn.from_array(device, STRING, codes, None, np.array([str(value)], object))

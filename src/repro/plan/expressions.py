@@ -37,6 +37,8 @@ SCALAR_FUNCTIONS = frozenset(
         "and", "or", "not",
         "is_null", "is_not_null",
         "like", "not_like", "contains", "starts_with", "substring",
+        "upper", "lower", "length", "concat",
+        "abs", "round",
         "in", "not_in", "between",
         "case", "coalesce", "cast",
         "extract_year", "extract_month", "extract_day",
@@ -200,6 +202,8 @@ def aggregate_result_type(agg: AggregateCall, schema: Schema) -> DType:
     if agg.op in ("count", "count_star", "count_distinct"):
         return INT64
     arg_type = infer_type(agg.arg, schema)
+    if agg.op in ("sum", "avg") and not arg_type.is_numeric:
+        raise TypeError(f"{agg.op} requires a numeric argument, got {arg_type.name}")
     if agg.op == "avg":
         return FLOAT64
     if agg.op == "sum":
@@ -227,18 +231,46 @@ def _call_type(call: ScalarCall, schema: Schema) -> DType:
         return dtype_from_name(call.options["to"])
     if f == "substring":
         return STRING
+    if f in ("upper", "lower", "concat"):
+        for arg in call.args:
+            t = infer_type(arg, schema)
+            if not t.is_string and not _is_null_literal(arg):
+                raise TypeError(f"{f} requires string arguments, got {t.name}")
+        return STRING
+    if f == "length":
+        t = infer_type(call.args[0], schema)
+        if not t.is_string and not _is_null_literal(call.args[0]):
+            raise TypeError(f"length requires a string argument, got {t.name}")
+        return INT64
+    if f == "abs":
+        t = infer_type(call.args[0], schema)
+        if not t.is_numeric:
+            raise TypeError(f"abs requires a numeric argument, got {t.name}")
+        return t
+    if f == "round":
+        t = infer_type(call.args[0], schema)
+        if not t.is_numeric:
+            raise TypeError(f"round requires a numeric argument, got {t.name}")
+        return FLOAT64
     if f in ("extract_year", "extract_month", "extract_day"):
         return INT64
     if f == "case":
-        # args = [cond1, res1, cond2, res2, ..., default]
-        for i in range(1, len(call.args), 2):
-            t = infer_type(call.args[i], schema)
-            if t is not None:
-                return t
+        # args = [cond1, res1, cond2, res2, ..., default].  NULL-literal
+        # branches defer typing to the first typed branch.
+        for i in list(range(1, len(call.args), 2)) + [len(call.args) - 1]:
+            if not _is_null_literal(call.args[i]):
+                return infer_type(call.args[i], schema)
         return infer_type(call.args[-1], schema)
     if f == "coalesce":
+        for arg in call.args:
+            if not _is_null_literal(arg):
+                return infer_type(arg, schema)
         return infer_type(call.args[0], schema)
     raise TypeError(f"cannot type scalar call {f!r}")
+
+
+def _is_null_literal(expr: Expression) -> bool:
+    return isinstance(expr, Literal) and expr.value is None
 
 
 def expr_from_dict(data: dict) -> Expression:

@@ -185,6 +185,7 @@ def validate_relation(rel: Relation) -> None:
                 raise PlanValidationError(f"measure {name} is not an aggregate call")
             if agg.arg is not None:
                 _check_expr(agg.arg, schema, f"aggregate measure {name}")
+            _check_expr(agg, schema, f"aggregate measure {name}")
         out_names = rel.output_schema().names()
         if len(set(out_names)) != len(out_names):
             raise PlanValidationError(f"aggregate emits duplicate names: {out_names}")

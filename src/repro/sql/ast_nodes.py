@@ -156,6 +156,7 @@ class LikeExpr(SqlExpr):
     operand: SqlExpr
     pattern: str
     negated: bool = False
+    escape: Optional[str] = None  # single-char ESCAPE clause
 
 
 @dataclass
@@ -177,7 +178,9 @@ class ScalarSubquery(SqlExpr):
 
 @dataclass
 class Star(SqlExpr):
-    """``*`` — only legal in count(*) and EXISTS select lists."""
+    """``*`` or ``alias.*`` in a select list (also count(*) / EXISTS)."""
+
+    qualifier: Optional[str] = None
 
 
 @dataclass
@@ -230,4 +233,5 @@ class SelectStmt:
     having: Optional[SqlExpr] = None
     order_by: list[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
+    offset: int = 0
     ctes: dict[str, "SelectStmt"] = field(default_factory=dict)

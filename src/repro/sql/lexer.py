@@ -20,7 +20,7 @@ class SqlSyntaxError(ValueError):
 KEYWORDS = frozenset(
     """
     select from where group by having order asc desc limit offset distinct
-    as and or not in exists between like is null case when then else end
+    as and or not in exists between like escape is null case when then else end
     join inner left right outer on cross
     date interval year month day for
     sum min max avg count substring extract cast coalesce

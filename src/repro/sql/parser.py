@@ -152,6 +152,11 @@ class _Parser:
             if tok.kind != "number":
                 raise SqlSyntaxError(f"LIMIT expects a number at {tok.pos}")
             stmt.limit = int(tok.value)
+        if self.accept_kw("offset"):
+            tok = self.next()
+            if tok.kind != "number":
+                raise SqlSyntaxError(f"OFFSET expects a number at {tok.pos}")
+            stmt.offset = int(tok.value)
         return stmt
 
     def _select_items(self) -> list[SelectItem]:
@@ -164,6 +169,17 @@ class _Parser:
         if self.peek().kind == "op" and self.peek().value == "*":
             self.next()
             return SelectItem(Star())
+        if (
+            self.peek().kind == "ident"
+            and self.peek(1).kind == "op"
+            and self.peek(1).value == "."
+            and self.peek(2).kind == "op"
+            and self.peek(2).value == "*"
+        ):
+            qualifier = self.expect_ident()
+            self.expect_op(".")
+            self.expect_op("*")
+            return SelectItem(Star(qualifier))
         expr = self.parse_expr()
         alias = None
         if self.accept_kw("as"):
@@ -278,7 +294,15 @@ class _Parser:
             pat = self.next()
             if pat.kind != "string":
                 raise SqlSyntaxError(f"LIKE expects a string pattern at {pat.pos}")
-            return LikeExpr(left, pat.value, negated)
+            escape = None
+            if self.accept_kw("escape"):
+                esc = self.next()
+                if esc.kind != "string" or len(esc.value) != 1:
+                    raise SqlSyntaxError(
+                        f"ESCAPE expects a single-character string at {esc.pos}"
+                    )
+                escape = esc.value
+            return LikeExpr(left, pat.value, negated, escape)
 
         if tok.is_kw("in"):
             self.next()
@@ -451,6 +475,16 @@ class _Parser:
 
         if tok.kind == "ident":
             name = self.expect_ident()
+            if self.peek().kind == "op" and self.peek().value == "(":
+                # Generic scalar function call; the planner validates names.
+                self.next()
+                args: list = []
+                if not (self.peek().kind == "op" and self.peek().value == ")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return FuncCall(name, args)
             if self.accept_op("."):
                 column = self.expect_ident()
                 return ColumnRef(column, qualifier=name)

@@ -38,6 +38,7 @@ from ..plan import (
     JoinRel,
     Literal,
     Plan,
+    PlanValidationError,
     ProjectRel,
     ReadRel,
     Relation,
@@ -157,7 +158,12 @@ class SqlPlanner:
         ctes = {name: sub for name, sub in stmt.ctes.items()}
         rel, _ = self._plan_select(stmt, outer_scope=None, ctes=ctes)
         plan = Plan(rel)
-        plan.validate()
+        try:
+            plan.validate()
+        except PlanValidationError as exc:
+            # Semantic defects (e.g. type mismatches the binder missed)
+            # surface as planning errors, never structural ones.
+            raise SqlPlanningError(str(exc)) from exc
         return plan
 
     # -- SELECT planning -----------------------------------------------------
@@ -425,6 +431,7 @@ class SqlPlanner:
         combined = Scope(combined_cols, parent=outer_scope)
         left_keys, right_keys = [], []
         post = None
+        right_rel = node.relation
         if clause.condition is not None:
             for conj in _split_conjuncts(clause.condition):
                 lref = rref = None
@@ -438,11 +445,24 @@ class SqlPlanner:
                 if lref is not None:
                     left_keys.append(scope.resolve(lref))
                     right_keys.append(right_scope.resolve(rref))
+                elif clause.kind == "left":
+                    # A residual ON conjunct of a LEFT join restricts which
+                    # right rows *match*; unmatched left rows must still
+                    # null-extend.  A post-join filter would wrongly drop
+                    # them, so push right-only conjuncts below the join and
+                    # reject anything referencing the left side.
+                    refs = _collect_column_refs(conj)
+                    if any(right_scope.try_resolve(r) is None for r in refs):
+                        raise SqlPlanningError(
+                            "LEFT JOIN ON conditions beyond equi-keys may only "
+                            f"reference the right side: {conj!r}"
+                        )
+                    right_rel = FilterRel(right_rel, self._plan_expr(conj, right_scope))
                 else:
                     planned = self._plan_expr(conj, combined)
                     post = planned if post is None else ScalarCall("and", [post, planned])
         join_type = "inner" if clause.kind == "cross" else clause.kind
-        rel = JoinRel(rel, node.relation, join_type, left_keys, right_keys, post)
+        rel = JoinRel(rel, right_rel, join_type, left_keys, right_keys, post)
         return rel, combined
 
     # -- subquery predicates ------------------------------------------------------
@@ -694,8 +714,9 @@ class SqlPlanner:
     # -- aggregation ------------------------------------------------------------
 
     def _plan_aggregate_select(self, stmt, rel, scope, ctes):
-        group_exprs = [self._plan_expr(g, scope) for g in stmt.group_by]
-        group_keys = [_expr_key(g) for g in stmt.group_by]
+        group_items = [self._resolve_group_item(g, stmt, scope) for g in stmt.group_by]
+        group_exprs = [self._plan_expr(g, scope) for g in group_items]
+        group_keys = [_expr_key(g) for g in group_items]
 
         aggs: list[A.AggCall] = []
         for item in stmt.items:
@@ -766,6 +787,31 @@ class SqlPlanner:
         out_scope = Scope([(None, n) for n in names], parent=scope.parent)
         return out_rel, out_scope
 
+    def _resolve_group_item(self, g, stmt, scope) -> A.SqlExpr:
+        """Resolve GROUP BY ordinals (``GROUP BY 1``) and select-list
+        aliases (``GROUP BY sz``) to the underlying select expression."""
+        if isinstance(g, A.NumberLit):
+            pos = int(g.value) - 1
+            if not 0 <= pos < len(stmt.items):
+                raise SqlPlanningError(f"GROUP BY position {g.value} out of range")
+            item = stmt.items[pos]
+            if isinstance(item.expr, A.Star):
+                raise SqlPlanningError("GROUP BY ordinal cannot reference *")
+            if _collect_agg_calls(item.expr):
+                raise SqlPlanningError("GROUP BY ordinal references an aggregate")
+            return item.expr
+        if (
+            isinstance(g, A.ColumnRef)
+            and g.qualifier is None
+            and scope.try_resolve(g) is None
+        ):
+            for item in stmt.items:
+                if item.alias == g.name and not isinstance(item.expr, A.Star):
+                    if _collect_agg_calls(item.expr):
+                        raise SqlPlanningError(f"GROUP BY alias {g.name!r} is an aggregate")
+                    return item.expr
+        return g
+
     def _plan_having_with_subquery(
         self, having, rel, agg_scope, group_pos, measure_pos, aggs, ctes, base_scope
     ):
@@ -834,6 +880,16 @@ class SqlPlanner:
             )
         if isinstance(expr, (A.NumberLit, A.StringLit, A.DateLit, A.BoolLit)):
             return self._plan_expr(expr, agg_scope)
+        plan = lambda e: self._plan_agg_expr(e, agg_scope, measure_pos, group_pos, aggs)  # noqa: E731
+        if isinstance(expr, A.FuncCall):
+            return self._plan_func(expr, agg_scope, plan=plan)
+        if isinstance(expr, A.CaseExpr):
+            args = []
+            for cond, result in expr.whens:
+                args.append(plan(cond))
+                args.append(plan(result))
+            args.append(Literal(None) if expr.default is None else plan(expr.default))
+            return ScalarCall("case", args)
         if isinstance(expr, A.ColumnRef):
             # A bare column in an aggregate query must be a group expression.
             raise SqlPlanningError(
@@ -890,17 +946,24 @@ class SqlPlanner:
         elif keys:
             out_rel = SortRel(out_rel, keys)
 
-        if stmt.limit is not None:
-            out_rel = FetchRel(out_rel, 0, stmt.limit)
+        if stmt.limit is not None or stmt.offset:
+            out_rel = FetchRel(out_rel, stmt.offset, stmt.limit)
         return out_rel, out_scope
 
     def _plan_plain_select(self, stmt, rel, scope):
         exprs, names = [], []
         for i, item in enumerate(stmt.items):
             if isinstance(item.expr, A.Star):
-                for j, (_, name) in enumerate(scope.columns):
+                qualifier = item.expr.qualifier
+                matched = False
+                for j, (qual, name) in enumerate(scope.columns):
+                    if qualifier is not None and qual != qualifier:
+                        continue
+                    matched = True
                     exprs.append(FieldRef(j))
                     names.append(name)
+                if qualifier is not None and not matched:
+                    raise SqlPlanningError(f"unknown table alias {qualifier!r} in {qualifier}.*")
                 continue
             exprs.append(self._plan_expr(item.expr, scope))
             names.append(_item_name(item, i))
@@ -917,8 +980,8 @@ class SqlPlanner:
                 idx = self._order_index(order.expr, stmt, out_names, scope)
                 keys.append((idx, order.ascending))
             rel = SortRel(rel, keys)
-        if stmt.limit is not None:
-            rel = FetchRel(rel, 0, stmt.limit)
+        if stmt.limit is not None or stmt.offset:
+            rel = FetchRel(rel, stmt.offset, stmt.limit)
         return rel
 
     def _order_index(self, expr, stmt, out_names, scope) -> int:
@@ -974,7 +1037,10 @@ class SqlPlanner:
             return ScalarCall("not", [inner]) if expr.negated else inner
         if isinstance(expr, A.LikeExpr):
             func = "not_like" if expr.negated else "like"
-            return ScalarCall(func, [self._plan_expr(expr.operand, scope), Literal(expr.pattern)])
+            options = {"escape": expr.escape} if expr.escape is not None else None
+            return ScalarCall(
+                func, [self._plan_expr(expr.operand, scope), Literal(expr.pattern)], options
+            )
         if isinstance(expr, A.InExpr):
             if expr.subquery is not None:
                 raise SqlPlanningError("IN subquery outside a top-level conjunct")
@@ -988,13 +1054,15 @@ class SqlPlanner:
             func = "is_not_null" if expr.negated else "is_null"
             return ScalarCall(func, [self._plan_expr(expr.operand, scope)])
         if isinstance(expr, A.CaseExpr):
-            if expr.default is None:
-                raise SqlPlanningError("CASE without ELSE is not supported")
             args = []
             for cond, result in expr.whens:
                 args.append(self._plan_expr(cond, scope))
                 args.append(self._plan_expr(result, scope))
-            args.append(self._plan_expr(expr.default, scope))
+            # Standard SQL: a missing ELSE branch yields NULL.
+            if expr.default is None:
+                args.append(Literal(None))
+            else:
+                args.append(self._plan_expr(expr.default, scope))
             return ScalarCall("case", args)
         if isinstance(expr, A.CastExpr):
             return ScalarCall(
@@ -1039,21 +1107,43 @@ class SqlPlanner:
         folded = _fold_constants(func, left, right)
         return folded if folded is not None else ScalarCall(func, [left, right])
 
-    def _plan_func(self, expr: A.FuncCall, scope: Scope) -> Expression:
+    def _plan_func(self, expr: A.FuncCall, scope: Scope, plan=None) -> Expression:
+        # ``plan`` lets post-aggregate contexts reuse the same function
+        # validation with their own sub-expression planner.
+        if plan is None:
+            plan = lambda e: self._plan_expr(e, scope)  # noqa: E731
         if expr.name == "extract":
             part = expr.extra["part"]
             if part not in ("year", "month", "day"):
                 raise SqlPlanningError(f"EXTRACT({part}) is not supported")
-            return ScalarCall(f"extract_{part}", [self._plan_expr(expr.args[0], scope)])
+            return ScalarCall(f"extract_{part}", [plan(expr.args[0])])
         if expr.name == "substring":
-            arg = self._plan_expr(expr.args[0], scope)
-            start = self._plan_expr(expr.args[1], scope)
-            length = self._plan_expr(expr.args[2], scope)
+            arg = plan(expr.args[0])
+            start = plan(expr.args[1])
+            length = plan(expr.args[2])
             if not isinstance(start, Literal) or not isinstance(length, Literal):
                 raise SqlPlanningError("substring bounds must be literals")
             return ScalarCall("substring", [arg, start, length])
         if expr.name == "coalesce":
-            return ScalarCall("coalesce", [self._plan_expr(a, scope) for a in expr.args])
+            return ScalarCall("coalesce", [plan(a) for a in expr.args])
+        if expr.name in ("upper", "lower", "length", "abs"):
+            if len(expr.args) != 1:
+                raise SqlPlanningError(f"{expr.name}() takes exactly one argument")
+            return ScalarCall(expr.name, [plan(expr.args[0])])
+        if expr.name == "round":
+            if len(expr.args) not in (1, 2):
+                raise SqlPlanningError("round() takes one or two arguments")
+            args = [plan(expr.args[0])]
+            if len(expr.args) == 2:
+                digits = plan(expr.args[1])
+                if not isinstance(digits, Literal) or not isinstance(digits.value, int):
+                    raise SqlPlanningError("round() digits must be an integer literal")
+                args.append(digits)
+            return ScalarCall("round", args)
+        if expr.name == "concat":
+            if len(expr.args) < 2:
+                raise SqlPlanningError("concat() takes at least two arguments")
+            return ScalarCall("concat", [plan(a) for a in expr.args])
         raise SqlPlanningError(f"unsupported function {expr.name!r}")
 
 
@@ -1258,7 +1348,7 @@ def _expr_key(expr) -> str:
     if isinstance(expr, A.BetweenExpr):
         return f"between({_expr_key(expr.operand)},{_expr_key(expr.low)},{_expr_key(expr.high)},{expr.negated})"
     if isinstance(expr, A.LikeExpr):
-        return f"like({_expr_key(expr.operand)},{expr.pattern},{expr.negated})"
+        return f"like({_expr_key(expr.operand)},{expr.pattern},{expr.negated},{expr.escape})"
     if isinstance(expr, A.InExpr):
         vals = ",".join(_expr_key(v) for v in expr.values or [])
         return f"in({_expr_key(expr.operand)},[{vals}],{expr.negated})"

@@ -1,0 +1,155 @@
+"""The differential baseline harness: canonicalization, resource
+monitoring, dialect translation, and the end-to-end artifact — with the
+optional-dependency skip paths exercised explicitly."""
+
+import datetime
+import json
+from decimal import Decimal
+
+import numpy as np
+import pytest
+
+from repro.bench.baselines import (
+    available_baselines,
+    baseline_engines,
+    battery_cases,
+    canonical_rows,
+    rows_equal,
+    run_battery_baselines,
+)
+from repro.bench.baselines.canonical import normalize_value, values_match
+from repro.bench.baselines.engines import DuckDbBaseline, SqliteBaseline
+from repro.bench.baselines.harness import ARTIFACT_SCHEMA_VERSION
+from repro.bench.baselines.monitor import ResourceMonitor
+from repro.tpch import generate_tpch
+
+HAVE_DUCKDB = DuckDbBaseline.is_available()
+
+
+class TestCanonicalization:
+    def test_normalize_maps_representation_variants(self):
+        assert normalize_value(Decimal("2.50")) == 2.5
+        assert normalize_value(datetime.date(1995, 3, 15)) == "1995-03-15"
+        assert normalize_value(datetime.datetime(1995, 3, 15, 12)) == "1995-03-15"
+        assert normalize_value(True) == 1
+        assert normalize_value(b"ASIA") == "ASIA"
+        assert normalize_value(np.int64(7)) == 7
+        assert normalize_value(None) is None
+
+    def test_canonical_order_is_total_with_nulls_first(self):
+        rows = [(1.5, "b"), (None, "a"), (0, "c")]
+        assert canonical_rows(rows)[0] == (None, "a")
+
+    def test_rows_equal_ignores_row_order(self):
+        assert rows_equal([(1, "a"), (2, "b")], [(2, "b"), (1, "a")])
+
+    def test_rows_equal_float_tolerance(self):
+        assert rows_equal([(1.0000001,)], [(1.0,)])
+        assert not rows_equal([(1.01,)], [(1.0,)])
+
+    def test_rows_equal_null_vs_zero(self):
+        assert not rows_equal([(None,)], [(0,)])
+        assert values_match(None, None)
+        assert not values_match(None, 0)
+
+    def test_rows_equal_cardinality(self):
+        assert not rows_equal([(1,)], [(1,), (1,)])
+
+
+class TestResourceMonitor:
+    def test_stats_schema(self):
+        with ResourceMonitor() as mon:
+            sum(range(10000))
+        assert set(mon.stats) == {"wall_s", "user_cpu_s", "sys_cpu_s", "max_rss_kib", "rss_kib"}
+        assert mon.stats["wall_s"] >= 0.0
+        assert mon.stats["max_rss_kib"] > 0
+        # rss_kib is nullable: None without psutil, an int with it.
+        assert mon.stats["rss_kib"] is None or mon.stats["rss_kib"] > 0
+
+
+class TestSqliteTranslation:
+    def test_date_literal(self):
+        out = SqliteBaseline().translate("select * from orders where o_orderdate < date '1995-01-01'")
+        assert "date '" not in out and "'1995-01-01'" in out
+
+    def test_extract_becomes_strftime(self):
+        out = SqliteBaseline().translate("select extract(year from o_orderdate) from orders")
+        assert "strftime('%Y', o_orderdate)" in out
+
+    def test_substring_from_for(self):
+        out = SqliteBaseline().translate("select substring(r_name from 1 for 2) from region")
+        assert "substr(r_name, 1, 2)" in out
+
+    def test_offset_without_limit_gets_limit(self):
+        out = SqliteBaseline().translate("select r_name from region order by r_name offset 2")
+        assert "limit -1 offset 2" in out
+
+    def test_concat_becomes_pipes(self):
+        out = SqliteBaseline().translate("select concat(r_name, '!') from region")
+        assert "||" in out and "concat" not in out
+
+    def test_negative_round_digits_unsupported(self):
+        assert SqliteBaseline().unsupported_reason("select round(s_acctbal, -2) from supplier")
+        assert SqliteBaseline().unsupported_reason("select round(s_acctbal, 2) from supplier") is None
+
+
+class TestOptionalDependencyGates:
+    def test_sqlite_always_available(self):
+        assert "sqlite" in available_baselines()
+
+    @pytest.mark.skipif(HAVE_DUCKDB, reason="duckdb installed; skip path untestable")
+    def test_missing_duckdb_skips_cleanly(self):
+        assert "duckdb" not in available_baselines()
+        tables = generate_tpch(0.001)
+        assert baseline_engines(tables, ["duckdb"]) == {}
+
+    def test_unknown_engine_name_is_an_error(self):
+        with pytest.raises(ValueError):
+            baseline_engines({}, ["postgres"])
+
+
+class TestHarnessArtifact:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("battery") / "battery_baselines.json"
+        artifact = run_battery_baselines(engines=["sqlite"], out_path=out, limit=40)
+        return artifact, out
+
+    def test_schema_and_counts(self, artifact):
+        data, _ = artifact
+        assert data["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert data["statement_count"] == 40
+        assert data["scale_factor"] == 0.01
+        summary = data["engines"]["sqlite"]
+        assert summary["cases"] == 40
+        assert summary["mismatch"] == 0
+        assert summary["error"] == 0
+        assert summary["match"] + summary["unsupported"] == 40
+
+    def test_resources_recorded(self, artifact):
+        data, _ = artifact
+        assert data["reference"]["resources"]["wall_s"] > 0
+        assert data["engines"]["sqlite"]["resources"]["wall_s"] > 0
+
+    def test_results_rows(self, artifact):
+        data, _ = artifact
+        ids = {c.case_id for c in battery_cases()}
+        for r in data["results"]:
+            assert r["engine"] == "sqlite"
+            assert r["case_id"] in ids
+            assert r["status"] in ("match", "mismatch", "error", "unsupported")
+            if r["status"] == "match":
+                assert r["elapsed_s"] >= 0
+
+    def test_artifact_round_trips_through_json(self, artifact):
+        data, out = artifact
+        assert json.loads(out.read_text()) == data
+
+
+@pytest.mark.skipif(not HAVE_DUCKDB, reason="duckdb not installed")
+class TestDuckDbLive:
+    def test_duckdb_matches_reference(self):
+        artifact = run_battery_baselines(engines=["duckdb"], limit=40)
+        summary = artifact["engines"]["duckdb"]
+        assert summary["mismatch"] == 0
+        assert summary["error"] == 0

@@ -1,0 +1,73 @@
+"""Battery statements through the serving scheduler.
+
+A sample of the SQL shape battery runs through :class:`ServingScheduler`
+at concurrency 4; every job must complete with rows identical to the
+same plan executed solo.  This ties the battery's correctness contract
+to the serving path — interleaving streams must not perturb results.
+"""
+
+import pytest
+
+from repro.bench.baselines import battery_cases, canonical_rows
+from repro.core import SiriusEngine
+from repro.gpu.specs import GH200
+from repro.hosts import MiniDuck
+from repro.sched import AdmissionController, JobState, ServingScheduler
+from repro.sql import SqlPlanningError
+from repro.tpch import generate_tpch
+
+SF = 0.01
+STREAMS = 4
+STRIDE = 10  # every 10th battery case keeps the run fast but broad
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(SF)
+
+
+@pytest.fixture(scope="module")
+def served_cases(data):
+    """(case, plan, solo_rows) for each sampled battery statement the
+    GPU engine executes end to end on its own."""
+    host = MiniDuck()
+    host.load_tables(data)
+    engine = SiriusEngine.for_spec(GH200, memory_limit_gb=4.0)
+    engine.warm_cache(data)
+
+    out = []
+    for case in battery_cases()[::STRIDE]:
+        try:
+            plan = host.plan(case.sql)
+            table = engine.execute(plan, data)
+        except (SqlPlanningError, NotImplementedError, ValueError):
+            continue  # host-only shape; solo GPU coverage lives in the battery test
+        out.append((case, plan, canonical_rows(table.to_rows())))
+    return out
+
+
+def test_sample_is_broad(served_cases):
+    assert len(served_cases) >= 20
+    assert len({case.category for case, _, _ in served_cases}) >= 6
+
+
+def test_battery_under_serving_matches_solo(data, served_cases):
+    engine = SiriusEngine.for_spec(GH200, memory_limit_gb=4.0)
+    engine.warm_cache(data)
+    # All jobs arrive at t=0; widen the admission queue past the sample size
+    # so load-shedding doesn't kick in (that behaviour has its own tests).
+    admission = AdmissionController(
+        engine.device.processing_pool,
+        out_of_core=engine.out_of_core,
+        max_queue_depth=2 * len(served_cases) + 8,
+    )
+    sched = ServingScheduler(engine, policy="fair", streams=STREAMS, admission=admission)
+    jobs = [
+        (sched.submit(plan, data, label=case.case_id, arrival_s=0.0), case, solo)
+        for case, plan, solo in served_cases
+    ]
+    report = sched.run()
+    assert report.counters["completed"] == len(jobs)
+    for job, case, solo in jobs:
+        assert job.state == JobState.COMPLETED, case.case_id
+        assert canonical_rows(job.table.to_rows()) == solo, case.case_id

@@ -1,0 +1,50 @@
+"""The SQL shape battery: 340+ one-line statements over TPC-H, each
+validated against its committed (rows, cols) shape on BOTH engines, with
+CPU and GPU values cross-checked.  One parametrized test; zero tolerated
+mismatches."""
+
+import pytest
+
+from repro.bench.baselines import battery_cases, expected_shapes, rows_equal
+from repro.bench.baselines.battery import SCALE_FACTOR
+from repro.core import SiriusEngine
+from repro.gpu.specs import GH200
+from repro.hosts import CpuEngine, MiniDuck, SiriusExtension
+from repro.tpch import generate_tpch
+
+CASES = battery_cases()
+SHAPES = expected_shapes()
+
+
+@pytest.fixture(scope="module")
+def engines():
+    tables = generate_tpch(SCALE_FACTOR)
+    cpu_db = MiniDuck()
+    cpu_db.load_tables(tables)
+    gpu_db = MiniDuck()
+    gpu_db.load_tables(tables)
+    gpu_db.install_extension(
+        SiriusExtension(SiriusEngine.for_spec(GH200, memory_limit_gb=4.0), CpuEngine())
+    )
+    return cpu_db, gpu_db
+
+
+def test_every_case_has_a_committed_shape():
+    assert len(CASES) >= 300
+    assert {c.case_id for c in CASES} == set(SHAPES)
+
+
+class TestBatteryShapes:
+    @pytest.mark.parametrize("case", CASES, ids=[c.case_id for c in CASES])
+    def test_shape_and_engine_agreement(self, engines, case):
+        cpu_db, gpu_db = engines
+        expected = SHAPES[case.case_id]
+
+        cpu = cpu_db.execute(case.sql).table
+        assert (cpu.num_rows, len(cpu.schema.fields)) == expected, case.sql
+
+        gpu = gpu_db.execute(case.sql).table
+        assert (gpu.num_rows, len(gpu.schema.fields)) == expected, case.sql
+
+        assert cpu.schema.names() == gpu.schema.names(), case.sql
+        assert rows_equal(cpu.to_rows(), gpu.to_rows()), case.sql
