@@ -8,6 +8,8 @@ Usage::
     python -m repro figure5 [--sf 0.1]
     python -m repro table2  [--sf 0.1] [--nodes 4]
     python -m repro serve   [--sf 0.1] [--policy sjf] [--streams 4] [--requests 32]
+    python -m repro fleet   [--sf 0.1] [--replicas 4] [--routing placement]
+                            [--workload bursty] [--result-cache-mb 16] [--autoscale]
     python -m repro analyze [--sf 0.1] [--queries 1,3,6]
     python -m repro battery [--engines sqlite,duckdb] [--out battery.json] [--limit 50]
     python -m repro all     [--sf 0.05]
@@ -36,10 +38,11 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "figure1", "figure4", "figure5", "table2", "serve",
-            "analyze", "battery", "all",
+            "fleet", "analyze", "battery", "all",
         ],
         help="which experiment to regenerate ('serve' runs the multi-query "
-        "serving demo; 'analyze' statically analyzes the TPC-H plans; "
+        "serving demo; 'fleet' runs the replicated fleet-serving demo; "
+        "'analyze' statically analyzes the TPC-H plans; "
         "'battery' runs the SQL shape battery against embedded baselines)",
     )
     parser.add_argument("--sf", type=float, default=0.1, help="TPC-H scale factor")
@@ -62,6 +65,34 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=19920101, help="workload seed (serve target)"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=4, help="fleet size (fleet target)"
+    )
+    parser.add_argument(
+        "--routing",
+        choices=["round-robin", "least-outstanding", "placement"],
+        default="least-outstanding",
+        help="fleet routing policy (fleet target)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["open", "diurnal", "bursty"],
+        default="bursty",
+        help="fleet arrival shape (fleet target)",
+    )
+    parser.add_argument(
+        "--result-cache-mb", type=float, default=16.0,
+        help="fleet result-cache budget in MB; 0 disables (fleet target)",
+    )
+    parser.add_argument(
+        "--plan-cache", type=int, default=256,
+        help="fleet plan-cache entries; 0 disables (fleet target)",
+    )
+    parser.add_argument(
+        "--autoscale", action="store_true",
+        help="start the fleet at one replica and let the reactive "
+        "autoscaler grow it to --replicas (fleet target)",
     )
     parser.add_argument(
         "--queries", type=str, default=None, help="comma-separated TPC-H query numbers"
@@ -169,6 +200,67 @@ def main(argv=None) -> int:
                 streams=args.streams,
             )
         print(report.summary())
+        print()
+    if args.target == "fleet":
+        from .fleet import (
+            Autoscaler,
+            FleetScheduler,
+            FleetWorkloadDriver,
+            engine_factory,
+        )
+        from .gpu.specs import GH200
+        from .hosts import MiniDuck
+        from .sched import WorkloadQuery
+        from .tpch import generate_tpch, tpch_query
+
+        sf = min(args.sf, 0.05)
+        mix = [q for q in queries if q in (1, 3, 6)] if args.queries else [1, 3, 6]
+        print(
+            f"== Fleet serving (SF {sf}, mix {mix}, routing {args.routing}, "
+            f"{args.replicas} replicas, workload {args.workload}) =="
+        )
+        data = generate_tpch(sf=sf, seed=args.seed)
+        host = MiniDuck()
+        host.load_tables(data)
+        autoscaler = (
+            Autoscaler(min_replicas=1, max_replicas=args.replicas)
+            if args.autoscale
+            else None
+        )
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=1 if args.autoscale else args.replicas,
+            routing=args.routing,
+            policy=args.policy,
+            streams=args.streams,
+            seed=args.seed,
+            result_cache_bytes=int(args.result_cache_mb * 1e6),
+            plan_cache_entries=args.plan_cache,
+            autoscaler=autoscaler,
+        )
+        driver = FleetWorkloadDriver(
+            data,
+            [WorkloadQuery(f"q{n}", host.plan(tpch_query(n))) for n in mix],
+            seed=args.seed,
+        )
+        n = args.requests
+        if args.workload == "bursty":
+            report = driver.bursty_open_loop(
+                fleet, n, base_qps=500.0, burst_qps=20000.0,
+                burst_every_s=0.01, burst_len_s=0.002,
+            )
+        elif args.workload == "diurnal":
+            report = driver.diurnal_open_loop(
+                fleet, n, base_qps=500.0, peak_qps=10000.0, period_s=0.02
+            )
+        else:
+            report = driver.open_loop(fleet, n, rate_qps=5000.0)
+        print(report.summary())
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+            print(f"wrote fleet report to {args.out}")
         print()
     analysis_reports: list = []
     if args.target == "analyze":

@@ -1,0 +1,105 @@
+"""Reactive autoscaling: queue pressure up, idleness down.
+
+The autoscaler samples the fleet at a fixed virtual-time interval and
+reads two gauges the fleet publishes through :mod:`repro.obs`:
+
+* ``fleet.queue_wait`` — the age of the oldest unfinished query, queued
+  or running (the head-of-line pain a new replica would relieve; under
+  serving, pressure shows up as in-flight work aging on oversubscribed
+  streams more often than as admission-queue depth);
+* ``fleet.utilization`` — the fraction of routable replicas with any
+  work in flight.
+
+Policy: queue wait above ``up_queue_wait_s`` scales **up** one replica;
+utilization below ``down_utilization`` (with zero queued work) scales
+**down** one — always marking, never killing: the drained replica stops
+receiving new work and retires only once its in-flight queries finish,
+so scaling down strands nothing.  Each action arms a cooldown so one
+burst doesn't thrash the fleet size between samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Autoscaler", "ScaleEvent"]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling decision, for the report's audit trail."""
+
+    at: float
+    action: str  # "up" | "down"
+    replicas: int  # routable count *after* the action
+    queue_wait_s: float
+    utilization: float
+
+    def to_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "action": self.action,
+            "replicas": self.replicas,
+            "queue_wait_s": self.queue_wait_s,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass
+class Autoscaler:
+    """Threshold/cooldown reactive scaler over the fleet's gauges."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    up_queue_wait_s: float = 0.001
+    down_utilization: float = 0.25
+    cooldown_s: float = 0.01
+    interval_s: float = 0.001
+    events: list[ScaleEvent] = field(default_factory=list)
+    _cooldown_until: float = field(default=0.0, repr=False)
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+    def decide(
+        self,
+        vt: float,
+        routable: int,
+        queue_wait_s: float,
+        backlog: int,
+        utilization: float,
+    ) -> str | None:
+        """``"up"``, ``"down"``, or ``None`` for this sample."""
+        if vt < self._cooldown_until:
+            return None
+        if queue_wait_s > self.up_queue_wait_s and routable < self.max_replicas:
+            return "up"
+        if (
+            backlog == 0
+            and utilization < self.down_utilization
+            and routable > self.min_replicas
+        ):
+            return "down"
+        return None
+
+    def record(
+        self, vt: float, action: str, replicas: int, queue_wait_s: float, utilization: float
+    ) -> None:
+        """Log an applied action and arm the cooldown."""
+        self._cooldown_until = vt + self.cooldown_s
+        self.events.append(
+            ScaleEvent(vt, action, replicas, queue_wait_s, utilization)
+        )
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.action == "up")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.action == "down")

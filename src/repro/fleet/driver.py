@@ -1,0 +1,140 @@
+"""Fleet workload driver: seeded open-loop load with tenants.
+
+Mirrors :class:`~repro.sched.WorkloadDriver` one level up: arrival
+instants come from the same non-homogeneous Poisson generators
+(:func:`~repro.sched.diurnal_rate`, :func:`~repro.sched.bursty_rate`
+via Lewis–Shedler thinning), each arrival draws a query template by
+weight and a tenant by weight, and everything derives from one seeded
+``random.Random`` — a (seed, workload, routing) tuple fully determines
+the fleet schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping, Sequence
+
+from ..columnar import Table
+from ..sched import (
+    WorkloadQuery,
+    bursty_rate,
+    diurnal_rate,
+    modulated_arrival_times,
+)
+from .report import FleetReport
+from .scheduler import FleetScheduler
+from .tenants import DEFAULT_TENANT
+
+__all__ = ["FleetWorkloadDriver"]
+
+
+class FleetWorkloadDriver:
+    """Generates seeded multi-tenant workloads against a fleet."""
+
+    def __init__(
+        self,
+        catalog: Mapping[str, Table],
+        queries: Sequence[WorkloadQuery],
+        seed: int = 0,
+        tenants: Mapping[str, float] | None = None,
+    ):
+        """
+        Args:
+            catalog: Submission catalog shared by every query.
+            queries: The weighted query mix.
+            seed: Drives arrivals, query picks, and tenant picks.
+            tenants: ``tenant -> weight`` mix; ``None`` sends everything
+                as the default tenant.
+        """
+        if not queries:
+            raise ValueError("workload needs at least one query template")
+        self.catalog = catalog
+        self.queries = list(queries)
+        self.seed = seed
+        self.tenants = dict(tenants) if tenants else {DEFAULT_TENANT: 1.0}
+        self._tenant_names = sorted(self.tenants)
+        self._tenant_weights = [self.tenants[n] for n in self._tenant_names]
+
+    def _pick_query(self, rng: random.Random) -> WorkloadQuery:
+        return rng.choices(self.queries, weights=[q.weight for q in self.queries])[0]
+
+    def _pick_tenant(self, rng: random.Random) -> str:
+        return rng.choices(self._tenant_names, weights=self._tenant_weights)[0]
+
+    def _modulated(
+        self,
+        fleet: FleetScheduler,
+        kind: str,
+        num_queries: int,
+        rate_fn: Callable[[float], float],
+        rate_max: float,
+        deadline_s: float | None,
+    ) -> FleetReport:
+        rng = random.Random(f"fleet-{kind}:{self.seed}")
+        times = modulated_arrival_times(rng, num_queries, rate_fn, rate_max)
+        for t in times:
+            q = self._pick_query(rng)
+            fleet.submit(
+                q.plan,
+                self.catalog,
+                label=q.label,
+                arrival_s=t,
+                deadline_s=deadline_s,
+                tenant=self._pick_tenant(rng),
+            )
+        return fleet.run()
+
+    def open_loop(
+        self,
+        fleet: FleetScheduler,
+        num_queries: int,
+        rate_qps: float,
+        deadline_s: float | None = None,
+    ) -> FleetReport:
+        """Plain Poisson arrivals at ``rate_qps``."""
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        return self._modulated(
+            fleet, "open", num_queries, lambda t: rate_qps, rate_qps, deadline_s
+        )
+
+    def diurnal_open_loop(
+        self,
+        fleet: FleetScheduler,
+        num_queries: int,
+        base_qps: float,
+        peak_qps: float,
+        period_s: float,
+        deadline_s: float | None = None,
+    ) -> FleetReport:
+        """Sinusoidal day/night arrivals (see :func:`~repro.sched
+        .diurnal_rate`)."""
+        return self._modulated(
+            fleet,
+            "diurnal",
+            num_queries,
+            diurnal_rate(base_qps, peak_qps, period_s),
+            peak_qps,
+            deadline_s,
+        )
+
+    def bursty_open_loop(
+        self,
+        fleet: FleetScheduler,
+        num_queries: int,
+        base_qps: float,
+        burst_qps: float,
+        burst_every_s: float,
+        burst_len_s: float,
+        deadline_s: float | None = None,
+    ) -> FleetReport:
+        """Square-wave flash crowds (see :func:`~repro.sched
+        .bursty_rate`)."""
+        return self._modulated(
+            fleet,
+            "bursty",
+            num_queries,
+            bursty_rate(base_qps, burst_qps, burst_every_s, burst_len_s),
+            burst_qps,
+            deadline_s,
+        )

@@ -1,0 +1,118 @@
+"""Pluggable fleet routing policies.
+
+A routing policy picks which replica an arriving query lands on.  All
+three built-ins are pure functions of replica state plus (for round-
+robin) an internal cursor, so a (seed, workload, policy) tuple fully
+determines the fleet schedule:
+
+* ``round-robin`` — cycle over routable replicas in id order.
+* ``least-outstanding`` — the replica with the least outstanding
+  estimated service seconds (ties to the lowest id).
+* ``placement`` — data-placement-aware: score each replica by how many
+  bytes of the query's base tables its caching region holds hot, take
+  the best score, break ties by least outstanding cost then lowest id.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..columnar import Table
+from .replica import EngineReplica
+
+__all__ = [
+    "LeastOutstandingRouting",
+    "PlacementAwareRouting",
+    "ROUTINGS",
+    "RoundRobinRouting",
+    "RoutingPolicy",
+    "make_routing",
+]
+
+
+class RoutingPolicy:
+    """Base class: pick a replica for a query."""
+
+    name = "base"
+
+    def select(
+        self,
+        replicas: Sequence[EngineReplica],
+        tables: Sequence[str],
+        catalog: Mapping[str, Table],
+    ) -> EngineReplica:
+        """Choose among ``replicas`` (routable, non-empty, id-ordered).
+
+        Args:
+            replicas: Candidate replicas, ordered by id.
+            tables: Base tables the query scans (placement signal).
+            catalog: The submission catalog (for table sizes).
+        """
+        raise NotImplementedError
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle over routable replicas in id order."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def select(self, replicas, tables, catalog):
+        choice = replicas[self._cursor % len(replicas)]
+        self._cursor += 1
+        return choice
+
+
+class LeastOutstandingRouting(RoutingPolicy):
+    """Least outstanding estimated service seconds; ties to lowest id."""
+
+    name = "least-outstanding"
+
+    def select(self, replicas, tables, catalog):
+        return min(replicas, key=lambda r: (r.outstanding_cost, r.id))
+
+
+class PlacementAwareRouting(RoutingPolicy):
+    """Send queries where their base tables are already hot.
+
+    The score is the byte count of the query's base tables resident in
+    the replica's caching region — the copy traffic a placement miss
+    would cost.  Among equally-hot replicas the load signal (least
+    outstanding cost, then id) decides, so placement awareness degrades
+    to least-outstanding when every replica is equally warm.
+    """
+
+    name = "placement"
+
+    def select(self, replicas, tables, catalog):
+        def score(replica: EngineReplica) -> float:
+            hot = replica.hot_tables()
+            total = 0
+            for name in tables:
+                table = catalog.get(name)
+                if table is not None and name in hot:
+                    total += int(table.nbytes)
+            return float(total)
+
+        return min(replicas, key=lambda r: (-score(r), r.outstanding_cost, r.id))
+
+
+ROUTINGS = {
+    RoundRobinRouting.name: RoundRobinRouting,
+    LeastOutstandingRouting.name: LeastOutstandingRouting,
+    PlacementAwareRouting.name: PlacementAwareRouting,
+}
+
+
+def make_routing(policy: "str | RoutingPolicy") -> RoutingPolicy:
+    """Resolve a routing policy by name or pass an instance through."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return ROUTINGS[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; choose from {sorted(ROUTINGS)}"
+        ) from None

@@ -10,9 +10,15 @@ open-/closed-loop :class:`WorkloadDriver` load generators producing
 throughput and latency-percentile :class:`ServingReport`\\ s.
 """
 
-from .admission import AdmissionController
-from .driver import WorkloadDriver, WorkloadQuery
-from .estimator import PlanEstimate, estimate_plan
+from .admission import AdmissionController, TokenBucket
+from .driver import (
+    WorkloadDriver,
+    WorkloadQuery,
+    bursty_rate,
+    diurnal_rate,
+    modulated_arrival_times,
+)
+from .estimator import PlanEstimate, base_tables, estimate_plan
 from .job import JobState, QueryJob
 from .policies import (
     FifoPolicy,
@@ -38,9 +44,14 @@ __all__ = [
     "ServingReport",
     "ServingScheduler",
     "ShortestCostFirstPolicy",
+    "TokenBucket",
     "WorkloadDriver",
     "WorkloadQuery",
+    "base_tables",
+    "bursty_rate",
+    "diurnal_rate",
     "estimate_plan",
     "make_policy",
+    "modulated_arrival_times",
     "percentile",
 ]

@@ -18,7 +18,67 @@ from __future__ import annotations
 from ..gpu.rmm import PoolAllocator
 from .job import QueryJob
 
-__all__ = ["AdmissionController"]
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """A deterministic token bucket on the virtual serving timeline.
+
+    Tokens refill continuously at ``rate_per_s`` up to ``burst``; a
+    request consumes whole tokens at its arrival instant.  Refill depends
+    only on the elapsed virtual time, so the same arrival sequence always
+    produces the same admit/throttle decisions.  This is the per-tenant
+    quota primitive the fleet layer layers over the pool-headroom
+    admission controller above.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)  # start full: a quiet tenant can burst
+        self._last_refill = 0.0
+        self.granted = 0
+        self.throttled = 0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last_refill) * self.rate_per_s
+            )
+            self._last_refill = now
+
+    def available(self, now: float) -> float:
+        """Tokens available at virtual time ``now`` (refills first)."""
+        self._refill(now)
+        return self.tokens
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens at ``now`` if available."""
+        self._refill(now)
+        if self.tokens + 1e-12 >= amount:
+            self.tokens -= amount
+            self.granted += 1
+            return True
+        self.throttled += 1
+        return False
+
+    def stats(self) -> dict:
+        return {
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "granted": self.granted,
+            "throttled": self.throttled,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate_per_s}/s, burst={self.burst}, "
+            f"tokens={self.tokens:.2f})"
+        )
 
 
 class AdmissionController:

@@ -14,16 +14,79 @@ determines the schedule.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..columnar import Table
 from ..core.sirius import SiriusEngine
 from .report import ServingReport
 from .scheduler import ServingScheduler
 
-__all__ = ["WorkloadQuery", "WorkloadDriver"]
+__all__ = [
+    "WorkloadQuery",
+    "WorkloadDriver",
+    "bursty_rate",
+    "diurnal_rate",
+    "modulated_arrival_times",
+]
+
+
+def diurnal_rate(base_qps: float, peak_qps: float, period_s: float) -> Callable[[float], float]:
+    """A sinusoidal day/night arrival-rate curve.
+
+    Rate starts at ``base_qps`` (midnight), peaks at ``peak_qps`` half a
+    period in, and returns — the classic diurnal traffic shape scaled to
+    simulated seconds.  Returns ``rate(t)``.
+    """
+    if base_qps <= 0 or peak_qps < base_qps:
+        raise ValueError("need 0 < base_qps <= peak_qps")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    swing = peak_qps - base_qps
+
+    def rate(t: float) -> float:
+        return base_qps + swing * 0.5 * (1.0 - math.cos(2.0 * math.pi * t / period_s))
+
+    return rate
+
+
+def bursty_rate(
+    base_qps: float, burst_qps: float, burst_every_s: float, burst_len_s: float
+) -> Callable[[float], float]:
+    """A square-wave burst curve: ``burst_qps`` for the first
+    ``burst_len_s`` of every ``burst_every_s`` window, ``base_qps``
+    otherwise (flash-crowd load against which tail latency is measured).
+    """
+    if base_qps <= 0 or burst_qps < base_qps:
+        raise ValueError("need 0 < base_qps <= burst_qps")
+    if not 0 < burst_len_s < burst_every_s:
+        raise ValueError("need 0 < burst_len_s < burst_every_s")
+
+    def rate(t: float) -> float:
+        return burst_qps if (t % burst_every_s) < burst_len_s else base_qps
+
+    return rate
+
+
+def modulated_arrival_times(
+    rng: random.Random, n: int, rate_fn: Callable[[float], float], rate_max: float
+) -> list[float]:
+    """``n`` arrival instants of a non-homogeneous Poisson process with
+    intensity ``rate_fn`` via Lewis–Shedler thinning: candidate arrivals
+    are drawn at the envelope rate ``rate_max`` and accepted with
+    probability ``rate(t) / rate_max``.  Deterministic in ``rng``.
+    """
+    if rate_max <= 0:
+        raise ValueError("rate_max must be positive")
+    times: list[float] = []
+    t = 0.0
+    while len(times) < n:
+        t += rng.expovariate(rate_max)
+        if rng.random() * rate_max <= rate_fn(t):
+            times.append(t)
+    return times
 
 
 @dataclass(frozen=True)
@@ -82,6 +145,76 @@ class WorkloadDriver:
                 q.plan, self.catalog, label=q.label, arrival_s=t, deadline_s=deadline_s
             )
         return sched.run()
+
+    def _modulated_open_loop(
+        self,
+        kind: str,
+        num_queries: int,
+        rate_fn: Callable[[float], float],
+        rate_max: float,
+        policy,
+        streams: int,
+        deadline_s: float | None,
+        **scheduler_kwargs,
+    ) -> ServingReport:
+        sched = self._scheduler(policy, streams, **scheduler_kwargs)
+        rng = random.Random(f"{kind}:{self.seed}")
+        times = modulated_arrival_times(rng, num_queries, rate_fn, rate_max)
+        for t in times:
+            q = self._pick(rng)
+            sched.submit(
+                q.plan, self.catalog, label=q.label, arrival_s=t, deadline_s=deadline_s
+            )
+        return sched.run()
+
+    def diurnal_open_loop(
+        self,
+        num_queries: int,
+        base_qps: float,
+        peak_qps: float,
+        period_s: float,
+        policy="fifo",
+        streams: int = 4,
+        deadline_s: float | None = None,
+        **scheduler_kwargs,
+    ) -> ServingReport:
+        """Open loop with a sinusoidal day/night rate (see
+        :func:`diurnal_rate`); arrivals seeded from the driver's seed."""
+        return self._modulated_open_loop(
+            "diurnal",
+            num_queries,
+            diurnal_rate(base_qps, peak_qps, period_s),
+            peak_qps,
+            policy,
+            streams,
+            deadline_s,
+            **scheduler_kwargs,
+        )
+
+    def bursty_open_loop(
+        self,
+        num_queries: int,
+        base_qps: float,
+        burst_qps: float,
+        burst_every_s: float,
+        burst_len_s: float,
+        policy="fifo",
+        streams: int = 4,
+        deadline_s: float | None = None,
+        **scheduler_kwargs,
+    ) -> ServingReport:
+        """Open loop with square-wave flash crowds (see
+        :func:`bursty_rate`); arrivals seeded from the driver's seed."""
+        return self._modulated_open_loop(
+            "bursty",
+            num_queries,
+            bursty_rate(base_qps, burst_qps, burst_every_s, burst_len_s),
+            burst_qps,
+            policy,
+            streams,
+            deadline_s,
+            **scheduler_kwargs,
+        )
 
     def closed_loop(
         self,

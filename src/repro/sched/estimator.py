@@ -36,7 +36,28 @@ from ..plan.relations import (
     SortRel,
 )
 
-__all__ = ["PlanEstimate", "estimate_plan"]
+__all__ = ["PlanEstimate", "base_tables", "estimate_plan"]
+
+
+def base_tables(plan: Plan) -> list[str]:
+    """Names of the base tables a plan scans, in plan order without
+    duplicates.  Shared by placement-aware fleet routing (score replicas
+    by which of these are hot), cache dependency tracking (a result is
+    stale when any of these tables' versions move), and the estimator's
+    cold-table pricing.
+    """
+    names: list[str] = []
+    seen: set[str] = set()
+
+    def visit(rel: Relation) -> None:
+        if isinstance(rel, ReadRel) and rel.table_name not in seen:
+            seen.add(rel.table_name)
+            names.append(rel.table_name)
+        for child in rel.inputs:
+            visit(child)
+
+    visit(plan.root)
+    return names
 
 # Classic System-R style default selectivities.
 FILTER_SELECTIVITY = 0.3

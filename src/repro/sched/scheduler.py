@@ -135,6 +135,14 @@ class ServingScheduler:
         self.degraded = 0
         self.pre_degraded = 0
         self._ran = False
+        # Incremental-run state (see begin_run/step_event/end_run): the
+        # loop's virtual clock and worker-stream frontiers live on the
+        # instance so an outer loop (the fleet scheduler) can interleave
+        # several ServingSchedulers event by event.
+        self._vt = 0.0
+        self._stream_free: list[float] = []
+        self._saved_spill = False
+        self._began = False
 
     # -- submission ----------------------------------------------------------
 
@@ -146,10 +154,17 @@ class ServingScheduler:
         arrival_s: float = 0.0,
         deadline_s: float | None = None,
         meta: dict | None = None,
+        estimate=None,
     ) -> QueryJob:
         """Register a query arriving at ``arrival_s`` on the serving
         timeline.  Legal before :meth:`run` and from ``on_complete``
-        callbacks during it (closed-loop workloads)."""
+        callbacks during it (closed-loop workloads).
+
+        ``estimate`` lets a front-end that already priced the plan (the
+        fleet router consults its plan cache) pass the
+        :class:`~repro.sched.estimator.PlanEstimate` through instead of
+        re-deriving it; ``None`` computes it here, as before.
+        """
         plan.validate()
         job = QueryJob(
             seq=self._seq,
@@ -158,7 +173,9 @@ class ServingScheduler:
             catalog=catalog,
             arrival_s=float(arrival_s),
             deadline_s=deadline_s,
-            estimate=estimate_plan(
+            estimate=estimate
+            if estimate is not None
+            else estimate_plan(
                 plan, catalog, self.engine.device, out_of_core=self.engine.out_of_core
             ),
             meta=meta if meta is not None else {},
@@ -179,58 +196,133 @@ class ServingScheduler:
     def run(self) -> ServingReport:
         """Serve every submitted job to a terminal state; returns the
         :class:`~repro.sched.report.ServingReport`."""
+        self.begin_run()
+        try:
+            while self.pending:
+                self.step_event()
+        finally:
+            self.end_run()
+        return self.build_report()
+
+    # The loop above is also exposed piecewise so an outer discrete-event
+    # loop — the fleet scheduler — can interleave several replicas'
+    # schedulers on one merged timeline.  ``run()`` is exactly
+    # begin_run + step_event-until-drained + end_run, so the piecewise
+    # form is byte-identical to the monolithic one.
+
+    def begin_run(self) -> None:
+        """Enter serving mode (pool reset, contention-aware eviction on)."""
         if self._ran:
             raise RuntimeError("a ServingScheduler instance serves exactly one run")
         self._ran = True
-        device = self.engine.device
-        bm = self.engine.buffer_manager
-        device.reset_processing_pool()
-        saved_spill = bm.enable_spill
-        bm.active_queries = self.active
-        stream_free = [0.0] * self.streams
-        vt = 0.0
-        try:
-            while self._arrivals or self.queue or self.running or self._completions:
-                if not self.running and not self._completions and self.queue:
-                    # Device idle with queued work and no release in
-                    # flight: admit (forcing the head through if its
-                    # estimate exceeds headroom — nothing running means no
-                    # reservation will ever be released).
-                    self._try_admission(vt, force=True)
-                    continue
-                t_arr = self._arrivals[0][0] if self._arrivals else _INF
-                t_done = self._completions[0][0] if self._completions else _INF
-                if self.running:
-                    ready_t = min(j.ready_at for j in self.running)
-                    t_exec = max(min(stream_free), ready_t)
-                else:
-                    t_exec = _INF
-                if t_done <= t_arr and t_done <= t_exec:
-                    vt = max(vt, t_done)
-                    _, _, job = heapq.heappop(self._completions)
-                    self._finish(job, vt, error=job.error)
-                    self._expire_queue(vt)
-                    self._try_admission(vt)
-                    continue
-                if t_arr <= t_exec:
-                    vt = max(vt, t_arr)
-                    self._drain_arrivals(vt)
-                    self._expire_queue(vt)
-                    self._try_admission(vt)
-                    continue
-                # Execute one task: earliest-free stream, policy's job.
-                vt = max(vt, t_exec)
-                self._expire_queue(vt)
-                self._try_admission(vt)
-                w = min(range(self.streams), key=stream_free.__getitem__)
-                candidates = [j for j in self.running if j.ready_at <= vt]
-                job = self.policy.select(candidates, vt)
-                self._run_step(job, w, vt, stream_free)
-        finally:
-            bm.active_queries = None
-            bm.enable_spill = saved_spill
-            device.query_owner = None
-        return self._build_report()
+        self.engine.device.reset_processing_pool()
+        self._saved_spill = self.engine.buffer_manager.enable_spill
+        self.engine.buffer_manager.active_queries = self.active
+        self._stream_free = [0.0] * self.streams
+        self._vt = 0.0
+        self._began = True
+
+    @property
+    def pending(self) -> bool:
+        """Whether any submitted job is not yet terminal."""
+        return bool(self._arrivals or self.queue or self.running or self._completions)
+
+    @property
+    def virtual_now(self) -> float:
+        """The serving-timeline instant the event loop has reached."""
+        return self._vt
+
+    def next_event_time(self) -> float:
+        """Virtual time of the next event :meth:`step_event` would
+        process (``inf`` when nothing is pending).
+
+        An idle scheduler with queued work reports "now": its next event
+        is the forced admission that un-wedges the queue.
+        """
+        if not self.pending:
+            return _INF
+        if not self.running and not self._completions and self.queue:
+            return self._vt
+        t_arr = self._arrivals[0][0] if self._arrivals else _INF
+        t_done = self._completions[0][0] if self._completions else _INF
+        if self.running:
+            ready_t = min(j.ready_at for j in self.running)
+            t_exec = max(min(self._stream_free), ready_t)
+        else:
+            t_exec = _INF
+        return max(self._vt, min(t_arr, t_done, t_exec))
+
+    def step_event(self) -> None:
+        """Process exactly one serving-timeline event (one iteration of
+        the event loop): a completion, an arrival batch, a task
+        execution, or a forced admission on an idle device."""
+        vt = self._vt
+        stream_free = self._stream_free
+        if not self.running and not self._completions and self.queue:
+            # Device idle with queued work and no release in
+            # flight: admit (forcing the head through if its
+            # estimate exceeds headroom — nothing running means no
+            # reservation will ever be released).
+            self._try_admission(vt, force=True)
+            return
+        t_arr = self._arrivals[0][0] if self._arrivals else _INF
+        t_done = self._completions[0][0] if self._completions else _INF
+        if self.running:
+            ready_t = min(j.ready_at for j in self.running)
+            t_exec = max(min(stream_free), ready_t)
+        else:
+            t_exec = _INF
+        if t_done <= t_arr and t_done <= t_exec:
+            self._vt = vt = max(vt, t_done)
+            _, _, job = heapq.heappop(self._completions)
+            self._finish(job, vt, error=job.error)
+            self._expire_queue(vt)
+            self._try_admission(vt)
+            return
+        if t_arr <= t_exec:
+            self._vt = vt = max(vt, t_arr)
+            self._drain_arrivals(vt)
+            self._expire_queue(vt)
+            self._try_admission(vt)
+            return
+        # Execute one task: earliest-free stream, policy's job.
+        self._vt = vt = max(vt, t_exec)
+        self._expire_queue(vt)
+        self._try_admission(vt)
+        w = min(range(self.streams), key=stream_free.__getitem__)
+        candidates = [j for j in self.running if j.ready_at <= vt]
+        job = self.policy.select(candidates, vt)
+        self._run_step(job, w, vt, stream_free)
+
+    def end_run(self) -> None:
+        """Leave serving mode, restoring the engine's buffer-manager and
+        device state.  Idempotent."""
+        if not self._began:
+            return
+        self._began = False
+        self.engine.buffer_manager.active_queries = None
+        self.engine.buffer_manager.enable_spill = self._saved_spill
+        self.engine.device.query_owner = None
+
+    def abort_pending(self, vt: float, error: BaseException) -> list[QueryJob]:
+        """Fail every non-terminal job at ``vt`` with ``error`` (replica
+        crash: the fleet retries the victims on a survivor).  Returns the
+        aborted jobs in submission order."""
+        victims: list[QueryJob] = []
+        while self._completions:
+            _, _, job = heapq.heappop(self._completions)
+            victims.append(job)
+        victims.extend(self.running)
+        self.running = []
+        victims.extend(self.queue)
+        self.queue.clear()
+        while self._arrivals:
+            _, _, job = heapq.heappop(self._arrivals)
+            victims.append(job)
+        victims.sort(key=lambda j: j.seq)
+        for job in victims:
+            self._finish(job, max(vt, job.arrival_s), error=error)
+        return victims
 
     # -- arrival / admission -------------------------------------------------
 
@@ -497,7 +589,7 @@ class ServingScheduler:
 
     # -- reporting -----------------------------------------------------------
 
-    def _build_report(self) -> ServingReport:
+    def build_report(self) -> ServingReport:
         digest = hashlib.sha256(repr(self.step_log).encode()).hexdigest()[:16]
         counters = {
             "submitted": len(self.jobs),

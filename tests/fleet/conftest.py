@@ -1,0 +1,32 @@
+"""Shared fleet-test fixtures: a small TPC-H world and planned queries."""
+
+import pytest
+
+from repro.hosts import MiniDuck
+from repro.sched import WorkloadQuery
+from repro.tpch import generate_tpch, tpch_query
+
+SF = 0.01
+SEED = 19920101
+
+
+@pytest.fixture(scope="package")
+def data():
+    return generate_tpch(sf=SF, seed=SEED)
+
+
+@pytest.fixture(scope="package")
+def host(data):
+    h = MiniDuck()
+    h.load_tables(data)
+    return h
+
+
+@pytest.fixture(scope="package")
+def plans(host):
+    return {n: host.plan(tpch_query(n)) for n in (1, 3, 6)}
+
+
+@pytest.fixture(scope="package")
+def mix(plans):
+    return [WorkloadQuery(f"q{n}", p) for n, p in sorted(plans.items())]

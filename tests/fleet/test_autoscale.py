@@ -1,0 +1,139 @@
+"""The reactive autoscaler: burst-driven scale-up, idle scale-down with
+graceful drain (no query stranded), cooldowns, and cost accounting."""
+
+import pytest
+
+from repro.fleet import (
+    Autoscaler,
+    FleetScheduler,
+    FleetWorkloadDriver,
+    engine_factory,
+)
+from repro.gpu.specs import GH200
+from repro.sched import JobState
+
+
+class TestDecide:
+    def test_scales_up_on_queue_pressure(self):
+        a = Autoscaler(min_replicas=1, max_replicas=4, up_queue_wait_s=0.001)
+        assert a.decide(0.0, 1, 0.01, 5, 1.0) == "up"
+
+    def test_respects_max(self):
+        a = Autoscaler(min_replicas=1, max_replicas=2, up_queue_wait_s=0.001)
+        assert a.decide(0.0, 2, 0.01, 5, 1.0) is None
+
+    def test_scales_down_when_idle(self):
+        a = Autoscaler(min_replicas=1, max_replicas=4, down_utilization=0.5)
+        assert a.decide(0.0, 3, 0.0, 0, 0.0) == "down"
+
+    def test_respects_min(self):
+        a = Autoscaler(min_replicas=2, max_replicas=4, down_utilization=0.5)
+        assert a.decide(0.0, 2, 0.0, 0, 0.0) is None
+
+    def test_cooldown_suppresses_actions(self):
+        a = Autoscaler(min_replicas=1, max_replicas=4, cooldown_s=1.0)
+        a.record(0.0, "up", 2, 0.01, 1.0)
+        assert a.decide(0.5, 2, 0.01, 5, 1.0) is None
+        assert a.decide(1.5, 2, 0.01, 5, 1.0) == "up"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoscaler(min_replicas=0)
+        with pytest.raises(ValueError):
+            Autoscaler(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            Autoscaler(interval_s=0.0)
+
+
+class TestReactiveScaling:
+    def test_burst_scales_up_and_quiet_tail_scales_down(self, data, mix):
+        auto = Autoscaler(
+            min_replicas=1,
+            max_replicas=4,
+            up_queue_wait_s=0.0003,
+            down_utilization=0.5,
+            cooldown_s=0.0005,
+            interval_s=0.0002,
+        )
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, autoscaler=auto
+        )
+        driver = FleetWorkloadDriver(data, mix, seed=19920101)
+        report = driver.bursty_open_loop(
+            fleet,
+            num_queries=80,
+            base_qps=200.0,
+            burst_qps=50000.0,
+            burst_every_s=0.05,
+            burst_len_s=0.001,
+        )
+        assert report.counters["scale_ups"] >= 1
+        assert report.counters["scale_downs"] >= 1
+        assert report.counters["completed"] == 80
+        # The scale decisions show up in the bill: more than one replica's
+        # worth of lifetime, less than always-on max.
+        makespan = report.makespan_s
+        assert report.replica_seconds > makespan
+        assert report.replica_seconds < 4 * makespan
+        # Gauges flowed through obs.
+        assert fleet.metrics.high_water("fleet.queue_wait") > 0.0
+        assert fleet.metrics.high_water("fleet.utilization") > 0.0
+
+    def test_drain_strands_no_query(self, data, plans):
+        """A replica marked for scale-down finishes its in-flight work."""
+        auto = Autoscaler(
+            min_replicas=1,
+            max_replicas=3,
+            up_queue_wait_s=0.0001,
+            down_utilization=0.9,  # aggressive: drain at the first lull
+            cooldown_s=0.0002,
+            interval_s=0.0001,
+        )
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=3, autoscaler=auto
+        )
+        # A burst, a gap long enough to trigger drains, another burst.
+        for i in range(8):
+            fleet.submit(plans[(1, 3, 6)[i % 3]], data, label=f"a{i}", arrival_s=0.0)
+        for i in range(8):
+            fleet.submit(
+                plans[(1, 3, 6)[i % 3]], data, label=f"b{i}", arrival_s=0.05 + 1e-6 * i
+            )
+        report = fleet.run()
+        assert report.counters["scale_downs"] >= 1
+        for job in report.jobs:
+            assert job.state == JobState.COMPLETED, (job.label, job.error_name)
+        # Retired replicas really stopped billing at retirement.
+        retired = [r for r in report.replicas if r["retired_at"] is not None]
+        assert retired, "expected at least one drained replica"
+
+    def test_draining_replica_takes_no_new_work(self, data, plans):
+        auto = Autoscaler(
+            min_replicas=1,
+            max_replicas=2,
+            up_queue_wait_s=1e9,  # never scale up
+            down_utilization=0.9,
+            cooldown_s=1e-7,
+            interval_s=0.0001,
+        )
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=2,
+            routing="round-robin",
+            autoscaler=auto,
+        )
+        fleet.submit(plans[6], data, label="early", arrival_s=0.0)
+        late = [
+            fleet.submit(plans[6], data, label=f"late{i}", arrival_s=0.01 + 1e-5 * i)
+            for i in range(4)
+        ]
+        report = fleet.run()
+        assert report.counters["scale_downs"] >= 1
+        drained = {
+            r["id"] for r in report.replicas if r["retired_at"] is not None
+        }
+        survivors = {j.replica_id for j in late if not j.cache_hit}
+        # Every post-drain query ran on a replica that was still routable.
+        for job in late:
+            assert job.state == JobState.COMPLETED
+        assert survivors.isdisjoint(drained) or not drained

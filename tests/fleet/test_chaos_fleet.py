@@ -1,0 +1,103 @@
+"""Satellite: chaos — a node failure into one replica mid-query.
+
+The router retries the victims on a survivor, the autoscaler backfills
+the lost capacity, and every query's result matches the no-fault run.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.fleet import (
+    Autoscaler,
+    FleetScheduler,
+    ReplicaCrashError,
+    engine_factory,
+)
+from repro.gpu.specs import GH200
+from repro.sched import JobState
+
+pytestmark = pytest.mark.chaos
+
+CRASH_AT = 0.0003
+
+
+def normalise(table):
+    return sorted(
+        tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in row)
+        for row in table.to_rows()
+    )
+
+
+def run_fleet(data, plans, fault_plan=None, autoscaler=None, replicas=2):
+    fleet = FleetScheduler(
+        engine_factory(GH200, warm=data),
+        replicas=replicas,
+        routing="round-robin",
+        fault_plan=fault_plan,
+        autoscaler=autoscaler,
+    )
+    # A simultaneous batch guarantees in-flight work on every replica at
+    # the crash instant.
+    for i in range(12):
+        fleet.submit(plans[(1, 3, 6)[i % 3]], data, label=f"q{i}", arrival_s=0.0)
+    return fleet.run()
+
+
+class TestCrashRetry:
+    def test_victims_retry_on_survivor_and_results_match(self, data, plans):
+        clean = run_fleet(data, plans)
+        crashed = run_fleet(data, plans, FaultPlan().crash_node(0, at=CRASH_AT))
+
+        assert crashed.counters["crashes"] == 1
+        assert crashed.counters["retries"] >= 1
+        # Every query still completes — on the survivor.
+        expected = {j.seq: normalise(j.table) for j in clean.jobs}
+        for job in crashed.jobs:
+            assert job.state == JobState.COMPLETED, (job.label, job.error_name)
+            assert normalise(job.table) == expected[job.seq]
+            if job.retries:
+                assert job.replica_id == 1  # rerouted off the crashed replica
+                # The pre-crash wait is charged to the retried query.
+                assert job.queue_wait_s >= CRASH_AT
+
+    def test_crash_is_visible_in_the_replica_report(self, data, plans):
+        report = run_fleet(data, plans, FaultPlan().crash_node(0, at=CRASH_AT))
+        dead = report.replicas[0]
+        assert dead["crashed"] and dead["retired_at"] == pytest.approx(CRASH_AT)
+        # The crashed replica stops billing at the crash.
+        assert report.replica_seconds < 2 * report.makespan_s
+
+    def test_autoscaler_backfills_a_crashed_replica(self, data, plans):
+        auto = Autoscaler(min_replicas=2, max_replicas=3, interval_s=0.001)
+        report = run_fleet(
+            data,
+            plans,
+            FaultPlan().crash_node(0, at=CRASH_AT),
+            autoscaler=auto,
+        )
+        # A replacement spawned at the crash instant keeps the fleet at
+        # its configured floor.
+        assert report.counters["replicas_spawned"] == 3
+        backfill = report.replicas[2]
+        assert backfill["spawned_at"] == pytest.approx(CRASH_AT)
+        assert all(j.state == JobState.COMPLETED for j in report.jobs)
+
+    def test_all_replicas_crashed_fails_outstanding_work(self, data, plans):
+        fault = FaultPlan().crash_node(0, at=CRASH_AT).crash_node(1, at=CRASH_AT)
+        report = run_fleet(data, plans, fault)
+        assert report.counters["crashes"] == 2
+        failed = [j for j in report.jobs if j.state == JobState.FAILED]
+        assert failed
+        assert all(j.error_name == ReplicaCrashError.__name__ for j in failed)
+
+    def test_crash_of_unknown_replica_is_a_noop(self, data, plans):
+        report = run_fleet(data, plans, FaultPlan().crash_node(7, at=CRASH_AT))
+        assert report.counters["crashes"] == 0
+        assert all(j.state == JobState.COMPLETED for j in report.jobs)
+
+    def test_crashed_run_is_deterministic(self, data, plans):
+        fault = lambda: FaultPlan().crash_node(0, at=CRASH_AT)  # noqa: E731
+        first = run_fleet(data, plans, fault())
+        second = run_fleet(data, plans, fault())
+        assert first.schedule_digest == second.schedule_digest
+        assert first.to_dict() == second.to_dict()

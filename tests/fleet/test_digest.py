@@ -1,0 +1,71 @@
+"""Satellite: plan-digest normalization regression tests.
+
+Alias spelling, whitespace, and measure naming must not change either
+key; literal values must change the result key but not the plan key.
+"""
+
+from repro.fleet import plan_digest
+from repro.tpch import tpch_query
+
+
+class TestAliasNormalization:
+    def test_output_aliases_do_not_change_either_key(self, host):
+        a = plan_digest(host.plan("SELECT l_orderkey AS k, l_quantity AS q FROM lineitem"))
+        b = plan_digest(host.plan("SELECT l_orderkey AS key2, l_quantity AS qty FROM lineitem"))
+        assert a.plan_key == b.plan_key
+        assert a.result_key == b.result_key
+
+    def test_aggregate_measure_aliases_do_not_change_either_key(self, host):
+        a = plan_digest(
+            host.plan("SELECT sum(l_quantity) AS total FROM lineitem")
+        )
+        b = plan_digest(
+            host.plan("SELECT sum(l_quantity) AS grand_total FROM lineitem")
+        )
+        assert a.plan_key == b.plan_key
+        assert a.result_key == b.result_key
+
+    def test_whitespace_and_case_do_not_change_either_key(self, host):
+        a = plan_digest(host.plan("SELECT l_orderkey FROM lineitem WHERE l_quantity > 10"))
+        b = plan_digest(
+            host.plan(
+                "select   l_orderkey\n  from lineitem\n  where l_quantity > 10"
+            )
+        )
+        assert a.plan_key == b.plan_key
+        assert a.result_key == b.result_key
+
+
+class TestLiteralParameterization:
+    def test_differing_literals_share_plan_key_but_not_result_key(self, host):
+        a = plan_digest(host.plan("SELECT l_orderkey FROM lineitem WHERE l_quantity > 10"))
+        b = plan_digest(host.plan("SELECT l_orderkey FROM lineitem WHERE l_quantity > 20"))
+        assert a.plan_key == b.plan_key  # one shape, two parameterizations
+        assert a.result_key != b.result_key  # different answers
+
+    def test_literal_dtype_still_distinguishes_plan_keys(self, host):
+        a = plan_digest(host.plan("SELECT l_orderkey FROM lineitem WHERE l_quantity > 10"))
+        b = plan_digest(host.plan("SELECT l_orderkey FROM lineitem WHERE l_quantity > 10.5"))
+        # int64 vs float64 comparison lowers to different literal dtypes:
+        # not the same parameterized shape.
+        assert a.plan_key != b.plan_key
+
+
+class TestStructureAndDependencies:
+    def test_different_shapes_differ_in_both_keys(self, host):
+        a = plan_digest(host.plan("SELECT l_orderkey FROM lineitem WHERE l_quantity > 10"))
+        b = plan_digest(host.plan("SELECT l_orderkey FROM lineitem"))
+        assert a.plan_key != b.plan_key
+        assert a.result_key != b.result_key
+
+    def test_base_tables_are_recorded_for_invalidation(self, host):
+        d = plan_digest(host.plan(tpch_query(3)))
+        assert set(d.tables) == {"customer", "orders", "lineitem"}
+
+    def test_same_plan_object_is_stable(self, host):
+        p = host.plan(tpch_query(6))
+        assert plan_digest(p) == plan_digest(p)
+
+    def test_tpch_queries_have_distinct_digests(self, plans):
+        keys = {plan_digest(p).result_key for p in plans.values()}
+        assert len(keys) == len(plans)

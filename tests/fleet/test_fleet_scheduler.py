@@ -1,0 +1,234 @@
+"""The fleet scheduler: fleet-of-1 byte identity, the two-tier cache in
+anger (alias relabeling, invalidation, parameterized plan reuse), and
+same-seed determinism for every routing policy."""
+
+import random
+
+import pytest
+
+from repro.core import SiriusEngine
+from repro.fleet import (
+    FleetScheduler,
+    FleetWorkloadDriver,
+    engine_factory,
+)
+from repro.gpu.specs import GH200
+from repro.sched import JobState, ServingScheduler
+from repro.tpch import tpch_query
+
+SEED = 19920101
+
+
+def normalise(table):
+    return sorted(
+        tuple(f"{v:.6g}" if isinstance(v, float) else repr(v) for v in row)
+        for row in table.to_rows()
+    )
+
+
+def arrival_schedule(plans, n=12, rate=3000.0):
+    rng = random.Random("fleet-identity")
+    t = 0.0
+    out = []
+    numbers = sorted(plans)
+    for _ in range(n):
+        t += rng.expovariate(rate)
+        out.append((rng.choice(numbers), t))
+    return out
+
+
+class TestFleetOfOneIdentity:
+    """A fleet of one replica with every feature off IS a solo scheduler."""
+
+    @pytest.mark.parametrize("policy", ["fifo", "fair", "sjf"])
+    def test_serving_report_is_byte_identical(self, data, plans, policy):
+        schedule = arrival_schedule(plans)
+
+        solo_engine = SiriusEngine.for_spec(GH200)
+        solo_engine.warm_cache(data)
+        solo = ServingScheduler(solo_engine, policy=policy, streams=4, seed=SEED)
+        for i, (n, t) in enumerate(schedule):
+            solo.submit(plans[n], data, label=f"q{i}", arrival_s=t)
+        solo_report = solo.run()
+
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=1,
+            policy=policy,
+            streams=4,
+            seed=SEED,
+        )
+        for i, (n, t) in enumerate(schedule):
+            fleet.submit(plans[n], data, label=f"q{i}", arrival_s=t)
+        report = fleet.run()
+
+        assert report.replicas[0]["report"] == solo_report.to_dict()
+        assert report.counters["completed"] == solo_report.counters["completed"]
+
+    def test_results_match_solo_execution(self, data, plans):
+        fleet = FleetScheduler(engine_factory(GH200, warm=data), replicas=1)
+        job = fleet.submit(plans[6], data)
+        fleet.run()
+        solo = SiriusEngine.for_spec(GH200)
+        solo.warm_cache(data)
+        assert normalise(job.table) == normalise(solo.execute(plans[6], data))
+
+
+class TestResultCache:
+    def test_repeat_query_hits_and_matches(self, data, plans):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, result_cache_bytes=1 << 24
+        )
+        first = fleet.submit(plans[6], data, arrival_s=0.0)
+        second = fleet.submit(plans[6], data, arrival_s=1.0)
+        report = fleet.run()
+        assert not first.cache_hit and second.cache_hit
+        assert normalise(first.table) == normalise(second.table)
+        assert report.counters["cache_hits"] == 1
+        assert report.result_cache["hits"] == 1
+        # The hit completes at its arrival instant: zero added latency.
+        assert second.latency_s == 0.0 and second.service_s == 0.0
+
+    def test_alias_differing_query_hits_and_is_relabeled(self, data, host):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, result_cache_bytes=1 << 24
+        )
+        a = host.plan("SELECT sum(l_quantity) AS total FROM lineitem")
+        b = host.plan("SELECT sum(l_quantity) AS grand_total FROM lineitem")
+        first = fleet.submit(a, data, arrival_s=0.0)
+        second = fleet.submit(b, data, arrival_s=1.0)
+        fleet.run()
+        assert second.cache_hit
+        assert [f.name for f in first.table.schema] == ["total"]
+        assert [f.name for f in second.table.schema] == ["grand_total"]
+        assert normalise(first.table) == normalise(second.table)
+
+    def test_differing_literals_do_not_hit(self, data, host):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, result_cache_bytes=1 << 24
+        )
+        a = host.plan("SELECT count(*) FROM lineitem WHERE l_quantity > 10")
+        b = host.plan("SELECT count(*) FROM lineitem WHERE l_quantity > 40")
+        fleet.submit(a, data, arrival_s=0.0)
+        second = fleet.submit(b, data, arrival_s=1.0)
+        report = fleet.run()
+        assert not second.cache_hit
+        assert report.result_cache["hits"] == 0
+
+    def test_invalidation_before_the_run_is_harmless(self, data, plans):
+        # A version bump before any routing just becomes the baseline the
+        # first result is cached against: the repeat is a legitimate hit.
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, result_cache_bytes=1 << 24
+        )
+        fleet.invalidate_table("lineitem")
+        fleet.submit(plans[6], data, arrival_s=0.0)
+        second = fleet.submit(plans[6], data, arrival_s=1.0)
+        fleet.run()
+        assert second.cache_hit
+
+    def test_version_bump_between_runs_invalidates(self, data, plans):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, result_cache_bytes=1 << 24
+        )
+        fleet.submit(plans[6], data, arrival_s=0.0)
+
+        bumped = {"done": False}
+        original = fleet._route
+
+        def route_and_bump(record, vt):
+            original(record, vt)
+            if not bumped["done"]:
+                bumped["done"] = True
+                fleet.invalidate_table("lineitem")
+
+        fleet._route = route_and_bump
+        second = fleet.submit(plans[6], data, arrival_s=1.0)
+        report = fleet.run()
+        # The first result completed against the pre-bump version and is
+        # never inserted (or is dropped): the repeat must recompute.
+        assert not second.cache_hit
+        assert second.state == JobState.COMPLETED
+
+
+class TestPlanCache:
+    def test_parameterized_shapes_share_an_estimate(self, data, host):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=1, plan_cache_entries=16
+        )
+        a = host.plan("SELECT count(*) FROM lineitem WHERE l_quantity > 10")
+        b = host.plan("SELECT count(*) FROM lineitem WHERE l_quantity > 40")
+        ja = fleet.submit(a, data, arrival_s=0.0)
+        jb = fleet.submit(b, data, arrival_s=1.0)
+        report = fleet.run()
+        assert report.plan_cache["misses"] == 1
+        assert report.plan_cache["hits"] == 1
+        # Both jobs ran with the same cached estimate object.
+        assert ja.job.estimate is jb.job.estimate
+
+    def test_plan_overhead_is_charged_on_miss_only(self, data, plans):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=1,
+            plan_cache_entries=16,
+            plan_overhead_s=0.5,
+        )
+        first = fleet.submit(plans[6], data, arrival_s=0.0)
+        second = fleet.submit(plans[6], data, arrival_s=10.0)
+        fleet.run()
+        # Miss: the routed arrival is delayed by the planning overhead.
+        assert first.job.arrival_s == pytest.approx(0.5)
+        assert second.job.arrival_s == pytest.approx(10.0)
+
+
+class TestDeterminism:
+    """Satellite: same seed -> byte-identical fleet schedule and reports,
+    for every routing policy."""
+
+    def _run(self, data, mix, routing):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=3,
+            routing=routing,
+            seed=SEED,
+            result_cache_bytes=1 << 22,
+            plan_cache_entries=32,
+        )
+        driver = FleetWorkloadDriver(data, mix, seed=SEED)
+        return driver.diurnal_open_loop(
+            fleet, num_queries=20, base_qps=1000.0, peak_qps=20000.0, period_s=0.01
+        )
+
+    @pytest.mark.parametrize(
+        "routing", ["round-robin", "least-outstanding", "placement"]
+    )
+    def test_same_seed_same_everything(self, data, mix, routing):
+        first = self._run(data, mix, routing)
+        second = self._run(data, mix, routing)
+        assert first.schedule_digest == second.schedule_digest
+        assert first.to_dict() == second.to_dict()
+        for ra, rb in zip(first.replicas, second.replicas):
+            assert ra["report"] == rb["report"]
+
+    def test_different_seeds_differ(self, data, mix):
+        first = self._run(data, mix, "round-robin")
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=3, seed=SEED + 1
+        )
+        other = FleetWorkloadDriver(data, mix, seed=SEED + 1).diurnal_open_loop(
+            fleet, num_queries=20, base_qps=1000.0, peak_qps=20000.0, period_s=0.01
+        )
+        assert other.schedule_digest != first.schedule_digest
+
+
+class TestLifecycleGuards:
+    def test_fleet_runs_exactly_once(self, data, plans):
+        fleet = FleetScheduler(engine_factory(GH200, warm=data), replicas=1)
+        fleet.submit(plans[6], data)
+        fleet.run()
+        with pytest.raises(RuntimeError, match="exactly one run"):
+            fleet.run()
+
+    def test_needs_at_least_one_replica(self, data):
+        with pytest.raises(ValueError, match="at least one replica"):
+            FleetScheduler(engine_factory(GH200, warm=data), replicas=0)

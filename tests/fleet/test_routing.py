@@ -1,0 +1,106 @@
+"""Routing policies: cycling, load balancing, and placement awareness."""
+
+import pytest
+
+from repro.fleet import (
+    FleetScheduler,
+    LeastOutstandingRouting,
+    PlacementAwareRouting,
+    RoundRobinRouting,
+    engine_factory,
+    make_routing,
+)
+from repro.gpu.specs import GH200
+
+
+class _StubReplica:
+    def __init__(self, rid, outstanding=0.0, hot=()):
+        self.id = rid
+        self.outstanding_cost = outstanding
+        self._hot = set(hot)
+
+    def hot_tables(self):
+        return self._hot
+
+
+class _StubTable:
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        routing = RoundRobinRouting()
+        replicas = [_StubReplica(i) for i in range(3)]
+        picks = [routing.select(replicas, (), {}).id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+
+class TestLeastOutstanding:
+    def test_picks_least_loaded_ties_to_lowest_id(self):
+        routing = LeastOutstandingRouting()
+        replicas = [
+            _StubReplica(0, outstanding=5.0),
+            _StubReplica(1, outstanding=1.0),
+            _StubReplica(2, outstanding=1.0),
+        ]
+        assert routing.select(replicas, (), {}).id == 1
+
+
+class TestPlacement:
+    def test_prefers_replica_with_hot_base_tables(self):
+        routing = PlacementAwareRouting()
+        catalog = {"lineitem": _StubTable(1000), "orders": _StubTable(100)}
+        replicas = [
+            _StubReplica(0, hot=("orders",)),
+            _StubReplica(1, hot=("lineitem",)),
+            _StubReplica(2, hot=()),
+        ]
+        assert routing.select(replicas, ("lineitem",), catalog).id == 1
+        assert routing.select(replicas, ("orders",), catalog).id == 0
+
+    def test_falls_back_to_load_when_equally_warm(self):
+        routing = PlacementAwareRouting()
+        catalog = {"lineitem": _StubTable(1000)}
+        replicas = [
+            _StubReplica(0, outstanding=9.0, hot=("lineitem",)),
+            _StubReplica(1, outstanding=2.0, hot=("lineitem",)),
+        ]
+        assert routing.select(replicas, ("lineitem",), catalog).id == 1
+
+
+class TestMakeRouting:
+    def test_by_name_and_passthrough(self):
+        assert make_routing("round-robin").name == "round-robin"
+        assert make_routing("least-outstanding").name == "least-outstanding"
+        assert make_routing("placement").name == "placement"
+        inst = RoundRobinRouting()
+        assert make_routing(inst) is inst
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_routing("nope")
+
+
+class TestRoutingIntegration:
+    def test_round_robin_spreads_a_simultaneous_batch(self, data, plans):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data), replicas=3, routing="round-robin"
+        )
+        for i in range(6):
+            fleet.submit(plans[6], data, label=f"q{i}", arrival_s=0.0)
+        report = fleet.run()
+        by_replica = sorted(j.replica_id for j in report.jobs)
+        assert by_replica == [0, 0, 1, 1, 2, 2]
+
+    def test_placement_routes_to_the_warm_replica(self, data, plans):
+        # Replica 0 is warm for everything; replicas 1 and 2 start cold.
+        def factory(replica_id):
+            warm = data if replica_id == 0 else None
+            return engine_factory(GH200, warm=warm)(replica_id)
+
+        fleet = FleetScheduler(factory, replicas=3, routing="placement")
+        for i in range(4):
+            fleet.submit(plans[6], data, label=f"q{i}", arrival_s=float(i))
+        report = fleet.run()
+        assert all(j.replica_id == 0 for j in report.jobs)

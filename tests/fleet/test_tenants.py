@@ -1,0 +1,105 @@
+"""Per-tenant token-bucket quotas: throttling, refill, and isolation —
+one tenant's burst cannot starve another's steady trickle."""
+
+import pytest
+
+from repro.fleet import (
+    FleetScheduler,
+    TenantQuota,
+    TenantTable,
+    engine_factory,
+)
+from repro.gpu.specs import GH200
+from repro.sched import JobState, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle_then_refill(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst exhausted
+        assert bucket.try_take(0.1)  # 1 token refilled
+        assert bucket.granted == 3 and bucket.throttled == 1
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=3)
+        assert bucket.available(1000.0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.5)
+
+
+class TestTenantTable:
+    def test_unconfigured_tenants_are_unlimited(self):
+        table = TenantTable({"paid": TenantQuota(rate_per_s=1.0, burst=1)})
+        for _ in range(50):
+            assert table.admit("free", 0.0)
+        assert table.throttled.get("free", 0) == 0
+
+    def test_quota_throttles_and_counts(self):
+        table = TenantTable({"t": TenantQuota(rate_per_s=1.0, burst=2)})
+        assert table.admit("t", 0.0)
+        assert table.admit("t", 0.0)
+        assert not table.admit("t", 0.0)
+        stats = table.stats()
+        assert stats["t"]["submitted"] == 3
+        assert stats["t"]["throttled"] == 1
+
+
+class TestFleetQuotas:
+    def test_defaults_off_nothing_throttled(self, data, plans):
+        fleet = FleetScheduler(engine_factory(GH200, warm=data), replicas=1)
+        for i in range(5):
+            fleet.submit(plans[6], data, arrival_s=0.0, tenant=f"t{i % 2}")
+        report = fleet.run()
+        assert report.counters["throttled"] == 0
+
+    def test_noisy_tenant_is_throttled_quiet_tenant_is_not(self, data, plans):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=1,
+            quotas={"noisy": TenantQuota(rate_per_s=100.0, burst=2)},
+        )
+        noisy = [
+            fleet.submit(
+                plans[6], data, label=f"n{i}", arrival_s=1e-6 * i, tenant="noisy"
+            )
+            for i in range(8)
+        ]
+        quiet = [
+            fleet.submit(
+                plans[6], data, label=f"q{i}", arrival_s=1e-6 * i, tenant="quiet"
+            )
+            for i in range(8)
+        ]
+        report = fleet.run()
+        throttled = [j for j in noisy if j.throttled]
+        assert len(throttled) == 6  # burst of 2, negligible refill
+        for job in throttled:
+            assert job.state == JobState.REJECTED
+            assert job.completion_s is not None
+        for job in quiet:
+            assert not job.throttled
+            assert job.state == JobState.COMPLETED
+        assert report.tenants["noisy"]["throttled"] == 6
+        assert report.tenants["quiet"]["throttled"] == 0
+        assert report.counters["rejected"] == 6
+
+    def test_tokens_refill_on_the_virtual_timeline(self, data, plans):
+        fleet = FleetScheduler(
+            engine_factory(GH200, warm=data),
+            replicas=1,
+            quotas={"t": TenantQuota(rate_per_s=10.0, burst=1)},
+        )
+        jobs = [
+            fleet.submit(plans[6], data, arrival_s=t, tenant="t")
+            for t in (0.0, 0.01, 0.2)  # 2nd inside refill window, 3rd after
+        ]
+        fleet.run()
+        assert not jobs[0].throttled
+        assert jobs[1].throttled
+        assert not jobs[2].throttled
