@@ -38,12 +38,14 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "figure1", "figure4", "figure5", "table2", "serve",
-            "fleet", "analyze", "battery", "all",
+            "fleet", "analyze", "battery", "sanitize", "all",
         ],
         help="which experiment to regenerate ('serve' runs the multi-query "
         "serving demo; 'fleet' runs the replicated fleet-serving demo; "
         "'analyze' statically analyzes the TPC-H plans; "
-        "'battery' runs the SQL shape battery against embedded baselines)",
+        "'battery' runs the SQL shape battery against embedded baselines; "
+        "'sanitize' runs the runtime sanitizer suites and fails on any "
+        "finding)",
     )
     parser.add_argument("--sf", type=float, default=0.1, help="TPC-H scale factor")
     parser.add_argument("--nodes", type=int, default=4, help="cluster size for table2")
@@ -93,6 +95,12 @@ def main(argv=None) -> int:
         "--autoscale", action="store_true",
         help="start the fleet at one replica and let the reactive "
         "autoscaler grow it to --replicas (fleet target)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=["tpch", "battery", "fleet", "all"],
+        default="all",
+        help="which sanitizer suite to run (sanitize target)",
     )
     parser.add_argument(
         "--queries", type=str, default=None, help="comma-separated TPC-H query numbers"
@@ -262,6 +270,20 @@ def main(argv=None) -> int:
                 fh.write("\n")
             print(f"wrote fleet report to {args.out}")
         print()
+    if args.target == "sanitize":
+        from .analysis.sanitizers.cli import run_suite
+
+        print(f"== Runtime sanitizer (suite {args.suite}) ==")
+        report = run_suite(args.suite)
+        print(report.summary())
+        for finding in report.findings:
+            print(f"  {finding}")
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+            print(f"wrote sanitizer report to {args.out}")
+        return 0 if report.ok else 1
     analysis_reports: list = []
     if args.target == "analyze":
         from .analysis import analyze_plan

@@ -8,6 +8,10 @@ Two fronts, one vocabulary (:class:`Finding` / :class:`AnalysisReport`):
   memory is committed.  Admission control consumes the report.
 * :mod:`repro.analysis.lints` — AST lints enforcing the repo's
   determinism and ownership invariants (``python -m repro.analysis lint``).
+* :mod:`repro.analysis.sanitizers` — runtime sanitizers proving the
+  *dynamic* invariants (happens-before on stream clocks, allocation
+  pairing, schedule-digest purity) over sanitized runs
+  (``python -m repro sanitize``).
 """
 
 from .plan_analyzer import PLAN_RULES, analyze_plan
@@ -22,8 +26,20 @@ from .report import (
     AnalysisReport,
     Finding,
 )
+from .sanitizers import (
+    SA_RULES,
+    DeterminismChecker,
+    Sanitizer,
+    SanitizerReport,
+    sanitized,
+)
 
 __all__ = [
+    "SA_RULES",
+    "Sanitizer",
+    "sanitized",
+    "SanitizerReport",
+    "DeterminismChecker",
     "analyze_plan",
     "PLAN_RULES",
     "AnalysisReport",

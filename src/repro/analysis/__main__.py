@@ -76,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
     print("invariant lints (RR):")
     for rule_id, cls in sorted(LINT_RULES.items()):
         print(f"  {rule_id}  {cls.description}")
+    from .sanitizers import SA_RULES
+
+    print("runtime sanitizers (SA):")
+    for rule_id, desc in sorted(SA_RULES.items()):
+        print(f"  {rule_id}  {desc}")
     return 0
 
 

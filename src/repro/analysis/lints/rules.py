@@ -32,6 +32,11 @@ RR07    device allocations go through the RMM owner API: outside
         ``processing_pool.allocate`` / ``caching_region.allocate`` —
         allocations must use ``Device.new_buffer`` so owner tagging,
         fault injection, and memory-pressure callbacks all apply
+RR08    published tables are frozen: once a ``Table``/``GTable`` is handed
+        to the buffer manager or fragment store (``get_table`` /
+        ``prefetch`` / ``put_fragment``), the publishing scope must not
+        mutate it — cached entries and spill fragments alias the object,
+        so later in-place writes corrupt what other queries read back
 ======  ======================================================================
 
 Suppress a deliberate exception with ``# lint: allow=<rule-id>`` on the
@@ -54,6 +59,7 @@ __all__ = [
     "TracerGuardRule",
     "TransferStreamRule",
     "PoolOwnerApiRule",
+    "PublishedTableMutationRule",
     "LINT_RULES",
     "default_rules",
 ]
@@ -346,6 +352,158 @@ class PoolOwnerApiRule(LintRule):
                 )
 
 
+# Buffer-manager calls that *publish* a table: (method name -> positional
+# index of the table argument, plus the keyword it may arrive under).
+_PUBLISHERS = {
+    "get_table": (1, "host_table"),
+    "prefetch": (1, "host_table"),
+    "put_fragment": (1, "gtable"),
+}
+# In-place methods whose call on a published object (or anything reached
+# through it) rewrites state that cache entries / fragments alias.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "add",
+        "sort",
+        "reverse",
+        "update",
+        "setdefault",
+        "fill",
+        "resize",
+        "put",
+    }
+)
+# The store implementation itself owns its entries and may mutate them.
+_PUBLISH_MODULES = ("core/buffer_manager.py",)
+
+
+class PublishedTableMutationRule(LintRule):
+    rule_id = "RR08"
+    description = "no mutation of a Table/GTable after publication to the store"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        rel = module.relpath.replace("\\", "/")
+        if rel.endswith(_PUBLISH_MODULES):
+            return
+        for fn in ast.walk(module.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, fn)
+
+    def _check_function(
+        self, module: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # Lexical pass in source order: track objects from the statement
+        # that publishes them; rebinding the name releases the tracking.
+        events = sorted(
+            (
+                node
+                for node in ast.walk(fn)
+                if isinstance(node, (ast.Call, ast.Assign, ast.AugAssign, ast.AnnAssign))
+            ),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        published: dict[str, ast.Call] = {}
+        for node in events:
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, published)
+                continue
+            for target in _assign_targets(node):
+                if isinstance(target, ast.Name):
+                    # Rebinding the root name: a fresh object, stop tracking.
+                    for path in [p for p in published if _rooted_at(p, target.id)]:
+                        del published[path]
+                    continue
+                path = _access_path(target)
+                if path is None:
+                    continue
+                hit = _published_prefix(path, published)
+                if hit is None:
+                    continue
+                if isinstance(target, ast.Attribute) and path == hit:
+                    # `obj.attr = ...` where obj.attr itself was published:
+                    # rebinds the slot, does not touch the published object.
+                    del published[hit]
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"write to {path} after it was published to the buffer "
+                    "manager / fragment store — cached entries alias the "
+                    "object; build a new Table instead of mutating in place",
+                )
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.Call, published: dict[str, ast.Call]
+    ) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr in _PUBLISHERS:
+            pos, kw_name = _PUBLISHERS[attr]
+            arg: ast.AST | None = None
+            if len(node.args) > pos:
+                arg = node.args[pos]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == kw_name:
+                        arg = kw.value
+            path = _access_path(arg) if arg is not None else None
+            if path is not None:
+                published[path] = node
+            return
+        if attr in _MUTATOR_METHODS:
+            path = _access_path(node.func.value)
+            if path is None:
+                return
+            hit = _published_prefix(path, published)
+            if hit is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{path}.{attr}() mutates {hit} after it was published "
+                    "to the buffer manager / fragment store — cached entries "
+                    "alias the object; build a new Table instead",
+                )
+
+
+def _access_path(node: ast.AST) -> str | None:
+    """Dotted root path of an attribute/subscript chain (``t.columns[0]``
+    -> ``t.columns``), or ``None`` when not rooted at a plain name."""
+    parts: list[str] = []
+    cur = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        else:
+            break
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _rooted_at(path: str, root: str) -> bool:
+    return path == root or path.startswith(root + ".")
+
+
+def _published_prefix(path: str, published: dict[str, ast.Call]) -> str | None:
+    for tracked in published:
+        if _rooted_at(path, tracked):
+            return tracked
+    return None
+
+
 def _has_enabled_guard(node: ast.AST) -> bool:
     for anc in ancestors(node):
         if isinstance(anc, ast.If) and any(
@@ -404,6 +562,7 @@ LINT_RULES = {
     "RR05": TracerGuardRule,
     "RR06": TransferStreamRule,
     "RR07": PoolOwnerApiRule,
+    "RR08": PublishedTableMutationRule,
 }
 
 

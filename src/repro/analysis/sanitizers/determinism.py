@@ -1,0 +1,225 @@
+"""The determinism checker: schedules must be pure functions of seed.
+
+The static lints RR01/RR02 prove the *source* never mentions wall clocks
+or unseeded RNGs; this module is their dynamic complement.  It re-runs a
+schedule under semantics-free perturbations and demands byte-identical
+reports:
+
+* **repeat run** — same inputs, fresh scheduler: any divergence means
+  hidden mutable state leaks between runs;
+* **permuted tie-breaks** — a :class:`PermutedPolicy` shuffles the
+  candidate list before delegating to the real policy.  Every shipped
+  policy picks by ``min(key=(..., seq))``, so candidate *order* is
+  semantics-free; a policy whose choice depends on list position is
+  tie-break-sensitive and its schedule is not a function of seed (SA10);
+* **runtime traps** — a :class:`NondeterminismTrap` patches the
+  module-level wall-clock and global-RNG entry points for the duration
+  of a run and records any touch (SA09).
+
+The hash-seed perturbation lives in CI (the ``sanitize`` job runs the
+suite twice under different ``PYTHONHASHSEED`` values and diffs the
+artifacts) because a process cannot change its own hash seed after
+startup.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...sched.policies import SchedulingPolicy
+from ..report import Finding
+from .rules import SA_SEVERITY
+
+__all__ = ["PermutedPolicy", "NondeterminismTrap", "DeterminismChecker"]
+
+# Module-level entry points whose *call* during a sanitized run means the
+# schedule consulted ambient state.  Seeded instances (random.Random,
+# numpy.random.default_rng) are untouched — those are the sanctioned idiom.
+_TRAPPED = {
+    "time": (
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+    ),
+    "random": (
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "shuffle",
+        "choice",
+        "choices",
+        "sample",
+        "gauss",
+        "getrandbits",
+        "seed",
+    ),
+    "numpy.random": (
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "uniform",
+        "shuffle",
+        "permutation",
+        "choice",
+        "seed",
+    ),
+}
+
+
+class PermutedPolicy(SchedulingPolicy):
+    """Semantics-free wrapper: shuffle the candidate list, then delegate.
+
+    Sound policies select by job *state* (``min`` with a total-order key
+    ending in ``seq``), so the shuffle cannot change their choice.  A
+    policy that keys on list position gives a different schedule, which
+    is exactly what SA10 exists to catch.  ``name`` passes through so
+    reports stay byte-identical when the wrapped policy is sound.
+    """
+
+    def __init__(self, inner, seed: int = 1):
+        self.inner = inner
+        self._rng = random.Random(seed)
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def select(self, candidates, vt):
+        shuffled = list(candidates)
+        self._rng.shuffle(shuffled)
+        return self.inner.select(shuffled, vt)
+
+
+class NondeterminismTrap:
+    """Context manager recording every module-level wall-clock / global-
+    RNG call made while active.
+
+    Calls still work (they delegate to the saved real functions through a
+    lookup table), so a trapped run completes normally and every touch is
+    attributed instead of just the first.
+    """
+
+    def __init__(self) -> None:
+        self.touched: list[str] = []
+        self._real: dict[str, object] = {}
+        self._patched: list[tuple[object, str, str]] = []
+
+    def _modules(self) -> dict[str, object]:
+        import importlib
+
+        mods: dict[str, object] = {}
+        for mod_name in _TRAPPED:
+            try:
+                mods[mod_name] = importlib.import_module(mod_name)
+            except ImportError:  # numpy gated elsewhere; trap what exists
+                continue
+        return mods
+
+    def _delegate(self, key: str):
+        def call(*args, **kwargs):
+            self.touched.append(key)
+            return self._real[key](*args, **kwargs)
+
+        return call
+
+    def __enter__(self) -> "NondeterminismTrap":
+        for mod_name, mod in self._modules().items():
+            for fn_name in _TRAPPED[mod_name]:
+                real = getattr(mod, fn_name, None)
+                if real is None:
+                    continue
+                key = f"{mod_name}.{fn_name}"
+                self._real[key] = real
+                setattr(mod, fn_name, self._delegate(key))
+                self._patched.append((mod, fn_name, key))
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for mod, fn_name, key in reversed(self._patched):
+            setattr(mod, fn_name, self._real[key])
+        self._patched.clear()
+        return None
+
+
+class DeterminismChecker:
+    """Re-run a schedule under perturbations and compare digests.
+
+    ``run`` is a zero-state factory: called with ``None`` it must build a
+    **fresh** scheduler and return its report (anything exposing
+    ``schedule_digest`` and ``to_json()``); called with a policy
+    transform it must wrap the scheduler-level policy through it.  Each
+    divergent perturbation yields exactly one SA10 finding; each trapped
+    runtime touch yields one SA09 finding per distinct entry point.
+    """
+
+    def __init__(self, permutations: int = 3, trap: bool = True):
+        if permutations < 1:
+            raise ValueError("need at least one permutation seed")
+        self.permutations = permutations
+        self.trap = trap
+        self.findings: list[Finding] = []
+        self.runs = 0
+
+    def _finding(self, rule: str, message: str, site: str) -> None:
+        self.findings.append(Finding(rule, SA_SEVERITY[rule], message, site))
+
+    def check(self, run, site: str = "determinism") -> list[Finding]:
+        """Run baseline + repeat + permuted variants; returns the new
+        findings (also accumulated on ``self.findings``)."""
+        before = len(self.findings)
+        if self.trap:
+            with NondeterminismTrap() as trap:
+                baseline = run(None)
+            for key in sorted(set(trap.touched)):
+                count = trap.touched.count(key)
+                self._finding(
+                    "SA09",
+                    f"{key} called {count}x during a sanitized run — the "
+                    "schedule consulted ambient state (use the device clock "
+                    "/ a seeded generator instead)",
+                    site,
+                )
+        else:
+            baseline = run(None)
+        self.runs += 1
+        digest = baseline.schedule_digest
+        artifact = baseline.to_json()
+
+        repeat = run(None)
+        self.runs += 1
+        if repeat.schedule_digest != digest or repeat.to_json() != artifact:
+            self._finding(
+                "SA10",
+                f"repeat run diverged: digest {digest} -> "
+                f"{repeat.schedule_digest} — hidden mutable state survives "
+                "across runs",
+                site,
+            )
+
+        divergent: list[tuple[int, str]] = []
+        for k in range(1, self.permutations + 1):
+            permuted = run(lambda policy, k=k: PermutedPolicy(policy, seed=k))
+            self.runs += 1
+            if permuted.schedule_digest != digest:
+                divergent.append((k, permuted.schedule_digest))
+        if divergent:
+            detail = ", ".join(f"seed {k}: {d}" for k, d in divergent)
+            self._finding(
+                "SA10",
+                f"schedule digest {digest} changed under permuted candidate "
+                f"tie-breaks ({detail}) — the policy depends on list "
+                "position, not job state",
+                site,
+            )
+        return self.findings[before:]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings

@@ -177,6 +177,9 @@ class BufferManager:
         # namespace — slot names repeat across concurrent queries.
         self._fragment_ns_seq = 0
         self.disk_fragment_bytes = 0
+        # Runtime-invariant observer (attached by the sanitizer layer;
+        # None = unsanitized run, zero overhead on the hot path).
+        self.sanitizer = None
 
     # -- caching region -------------------------------------------------------
 
@@ -195,6 +198,8 @@ class BufferManager:
                 self.device.wait_copies(entry.ready_at)
                 self._must_sync[name] = event
                 self.prefetch_hits += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_entry_read(entry, event)
                 return entry.gtable
             self._cache.move_to_end(name)
             entry.last_user = self.device.query_owner
@@ -209,6 +214,8 @@ class BufferManager:
                     entry.gtable.num_rows,
                 )
             self.hot_hits += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_entry_read(entry, None)
             return entry.gtable
         gtable, event = self._load(name, host_table)
         entry = CacheEntry(name, gtable, host_table, compressed=self.compress_cache)
@@ -217,6 +224,8 @@ class BufferManager:
         if event is not None:
             self._must_sync[name] = event
         self.cold_loads += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_entry_read(entry, event)
         return gtable
 
     def prefetch(self, name: str, host_table: Table) -> bool:
@@ -264,6 +273,8 @@ class BufferManager:
         self._in_flight[name] = event
         self.cold_loads += 1
         self.prefetches += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_prefetch(entry, event)
         return True
 
     def complete_loads(self) -> float:
@@ -411,6 +422,8 @@ class BufferManager:
         §3.4 spills into *pinned* host buffers, so the copy streams at the
         pinned interconnect rate."""
         self._sync_in_flight(entry.name)
+        if self.sanitizer is not None:
+            self.sanitizer.on_entry_release(entry, "spill")
         self.device.dtoh(entry.nbytes, pinned=True)
         entry.gtable.free()
         entry.gtable = None
@@ -510,6 +523,8 @@ class BufferManager:
         if entry is None:
             return
         self._sync_in_flight(name)
+        if self.sanitizer is not None:
+            self.sanitizer.on_entry_release(entry, "drop")
         if entry.location == "device" and entry.gtable is not None:
             entry.gtable.free()
         elif entry.location == "pinned":
@@ -551,6 +566,8 @@ class BufferManager:
         frag = self._fragments[name]
         self._fragments.move_to_end(name)
         if frag.location == "device":
+            if self.sanitizer is not None:
+                self.sanitizer.on_fragment_read(frag)
             return frag.gtable
         if frag.location == "disk":
             self.device.disk_read(frag.nbytes)
@@ -568,6 +585,8 @@ class BufferManager:
         self.fragment_unspills += 1
         self.unspilled_fragment_bytes += frag.nbytes
         self.device.tracer.count("spill.fragment_unspilled_bytes", frag.nbytes)
+        if self.sanitizer is not None:
+            self.sanitizer.on_fragment_read(frag)
         return frag.gtable
 
     def spill_fragment(self, name: str) -> int:
@@ -585,6 +604,8 @@ class BufferManager:
             frag.host_table = frag.gtable.to_host(charge_transfer=False)
         device = self.device
         frag.event = device.dtoh_async(frag.nbytes, pinned=True)
+        if self.sanitizer is not None:
+            self.sanitizer.on_fragment_spill(name, frag.event)
         frag.gtable.free()
         frag.gtable = None
         frag.location = "pinned"
@@ -600,6 +621,11 @@ class BufferManager:
         frag = self._fragments.pop(name, None)
         if frag is None:
             return
+        if self.sanitizer is not None:
+            # A pinned fragment dropped with an outstanding spill write is
+            # a stream-ordered release (the staging buffer retires behind
+            # the write and is never reused before it) — not a race.
+            self.sanitizer.on_fragment_drop(name)
         if frag.location == "device" and frag.gtable is not None:
             frag.gtable.free()
         elif frag.location == "pinned":
@@ -618,6 +644,8 @@ class BufferManager:
         for name in list(self._fragments):
             if name.startswith(prefix):
                 self.drop_fragment(name)
+        if self.sanitizer is not None:
+            self.sanitizer.check_namespace_dropped(self, ns)
 
     def handle_pressure(self, needed: int) -> bool:
         """Processing-pool pressure callback (see :attr:`~repro.gpu.rmm

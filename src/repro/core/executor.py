@@ -273,6 +273,10 @@ class QueryRun:
                 # pipeline consumed must land before its sink finalises;
                 # only the un-overlapped remainder is exposed here.
                 self.ctx.buffer_manager.complete_loads()
+            if self.ctx.buffer_manager.sanitizer is not None:
+                self.ctx.buffer_manager.sanitizer.on_pipeline_end(
+                    f"pipeline-{pipeline.pid}"
+                )
             mark = clock.now
             if acct["sink_first"] is None:
                 acct["sink_first"] = mark

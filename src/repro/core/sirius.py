@@ -80,6 +80,7 @@ class SiriusEngine:
         load_chunk_bytes: int | None = None,
         out_of_core: bool = False,
         pinned_spill_budget_bytes: int | None = None,
+        sanitize: bool = False,
     ):
         """
         Args:
@@ -116,6 +117,13 @@ class SiriusEngine:
                 spilled partitions before they demote to the simulated
                 disk tier (defaults to the processing pool's capacity
                 when out-of-core execution is active).
+            sanitize: Attach a :class:`~repro.analysis.sanitizers
+                .Sanitizer` to the device, pool, and buffer manager:
+                happens-before, shadow-ledger, and drift checks run
+                against every query (SA01–SA08) and the accumulated
+                findings are read from ``engine.sanitizer``.  Purely
+                observational — a sanitized run is byte-identical to an
+                unsanitized one.
         """
         self.device = device
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -139,6 +147,12 @@ class SiriusEngine:
         self.queries_executed = 0
         self.out_of_core = out_of_core
         self._pinned_spill_budget_bytes = pinned_spill_budget_bytes
+        self.sanitizer = None
+        if sanitize:
+            from ..analysis.sanitizers import Sanitizer
+
+            self.sanitizer = Sanitizer()
+            self.sanitizer.attach(device, self.buffer_manager)
         if out_of_core:
             self._install_pressure_hooks()
             if self.batch_rows is None:
@@ -318,6 +332,12 @@ class SiriusEngine:
             gpu_run, plan, tiers=tuple(tiers), clock=self.device.clock
         )
         self.queries_executed += 1
+        if self.sanitizer is not None and (tier is None or tier.gpu_result):
+            # CPU-tier results are excluded: a failed GPU attempt's
+            # fragments are cleared by the *next* gpu_run by design.
+            self.sanitizer.check_query_end(
+                self, f"engine.execute:q{self.queries_executed}"
+            )
         if tier is not None and not tier.gpu_result:
             self.last_profile = None  # GPU profile would be misleading
         if self.last_profile is not None:

@@ -68,6 +68,7 @@ class FleetScheduler:
         fault_plan: FaultPlan | None = None,
         metrics: MetricSet | None = None,
         scheduler_kwargs: dict | None = None,
+        sanitize: bool = False,
     ):
         """
         Args:
@@ -98,6 +99,9 @@ class FleetScheduler:
                 fleet gauges (one is created if omitted).
             scheduler_kwargs: Extra keyword arguments for every
                 replica's ``ServingScheduler``.
+            sanitize: Run every replica's scheduler with the sanitizer
+                layer attached (leak/drift/race checks per replica);
+                read the merged findings via :meth:`sanitizer_report`.
         """
         if replicas < 1:
             raise ValueError("the fleet needs at least one replica")
@@ -123,7 +127,10 @@ class FleetScheduler:
         self.versions = TableVersions()
         self.tenants = TenantTable(quotas)
         self.autoscaler = autoscaler
+        self.sanitize = bool(sanitize)
         self.scheduler_kwargs = dict(scheduler_kwargs or {})
+        if self.sanitize:
+            self.scheduler_kwargs.setdefault("sanitize", True)
         self._crashes: list[NodeCrash] = sorted(
             (f for f in (fault_plan.faults if fault_plan else []) if isinstance(f, NodeCrash)),
             key=lambda c: (c.at, c.node_id),
@@ -212,6 +219,19 @@ class FleetScheduler:
 
     def _routable(self) -> list[EngineReplica]:
         return [r for r in self.replicas if r.routable]
+
+    def sanitizer_report(self, suite: str = "fleet"):
+        """Merge every replica's sanitizer findings into one
+        :class:`~repro.analysis.sanitizers.SanitizerReport` (empty when
+        the fleet runs unsanitized)."""
+        from ..analysis.sanitizers import SanitizerReport
+
+        merged = SanitizerReport(suite=suite)
+        for replica in self.replicas:
+            sanitizer = getattr(replica.engine, "sanitizer", None)
+            if sanitizer is not None:
+                merged.merge(sanitizer.report(f"{suite}:replica{replica.id}"))
+        return merged
 
     # -- the merged event loop -----------------------------------------------
 

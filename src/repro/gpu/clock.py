@@ -62,6 +62,9 @@ class StreamClock:
         self.frontier = end
         self.busy_s += seconds
         self.ops += 1
+        sanitizer = self.parent.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_stream_issue(self.name, start, end)
         return start, end
 
     def wait(self, until: float | None = None, category: str | None = None) -> float:
@@ -77,6 +80,9 @@ class StreamClock:
         self.parent.advance_to(target, category)
         exposed = self.parent.now - before
         self.exposed_s += exposed
+        sanitizer = self.parent.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_stream_wait(self.name, target)
         return exposed
 
     @property
@@ -107,6 +113,9 @@ class SimClock:
         self._buckets: dict[str, float] = defaultdict(float)
         self._category_stack: list[str] = []
         self._streams: dict[str, StreamClock] = {}
+        # Happens-before observer (attached by the sanitizer layer; None =
+        # unsanitized run, zero overhead on the hot path).
+        self.sanitizer = None
 
     @property
     def now(self) -> float:

@@ -107,6 +107,9 @@ class PoolAllocator:
         self.pressure_callback = None
         self.pressure_events = 0
         self._in_pressure = False
+        # Shadow-ledger observer (attached by the sanitizer layer; None =
+        # unsanitized run, zero overhead on the hot path).
+        self.sanitizer = None
 
     # -- allocation ---------------------------------------------------------
 
@@ -160,7 +163,10 @@ class PoolAllocator:
                 self._ids[offset] = alloc_id
                 if owner is not None:
                     self._owners[offset] = owner
-                return Allocation(offset, size, self.generation, alloc_id, owner)
+                allocation = Allocation(offset, size, self.generation, alloc_id, owner)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_pool_alloc(allocation)
+                return allocation
         return None
 
     def _relieve_pressure(self, size: int) -> bool:
@@ -198,6 +204,8 @@ class PoolAllocator:
         self._ids.clear()
         self._reaped.clear()
         self.generation += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_pool_reset()
 
     def free(self, alloc: Allocation) -> None:
         """Return an allocation to the pool, coalescing with neighbours.
@@ -207,6 +215,10 @@ class PoolAllocator:
         :meth:`release_owner` (the serving scheduler frees a finished
         query's intermediates before individual handles are dropped).
         """
+        if self.sanitizer is not None:
+            # Judged *before* the stale/reaped short-circuits mutate state,
+            # so the sanitizer sees exactly what the caller attempted.
+            self.sanitizer.on_pool_free(self, alloc)
         if alloc.generation != self.generation:
             return
         if alloc.alloc_id and alloc.alloc_id in self._reaped:
@@ -234,6 +246,8 @@ class PoolAllocator:
         """
         if owner is None:
             raise ValueError("release_owner needs a non-None owner tag")
+        if self.sanitizer is not None:
+            self.sanitizer.on_pool_release_owner(owner)
         offsets = [off for off, tag in self._owners.items() if tag == owner]
         reclaimed = 0
         for offset in offsets:

@@ -69,6 +69,7 @@ class ServingScheduler:
         tracer=None,
         tracer_factory: Callable[[], object] | None = None,
         static_admission: bool = False,
+        sanitize: bool = False,
     ):
         """
         Args:
@@ -96,6 +97,10 @@ class ServingScheduler:
                 (spilling enabled, out-of-core batch size) instead of
                 burning a wasted full-size attempt.  Off by default — the
                 analyzer is advisory at execution time.
+            sanitize: Attach a :class:`~repro.analysis.sanitizers
+                .Sanitizer` to the engine (if it does not already carry
+                one) and run the end-of-run leak/drift checks at
+                :meth:`end_run`.  Purely observational.
         """
         if streams < 1:
             raise ValueError("streams must be at least 1")
@@ -112,6 +117,11 @@ class ServingScheduler:
         )
         self.batch_rows = batch_rows
         self.static_admission = bool(static_admission)
+        if sanitize and getattr(engine, "sanitizer", None) is None:
+            from ..analysis.sanitizers import Sanitizer
+
+            engine.sanitizer = Sanitizer()
+            engine.sanitizer.attach(engine.device, engine.buffer_manager)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer_factory = tracer_factory
         # Called with each job reaching a terminal state; closed-loop
@@ -303,6 +313,11 @@ class ServingScheduler:
         self.engine.buffer_manager.active_queries = None
         self.engine.buffer_manager.enable_spill = self._saved_spill
         self.engine.device.query_owner = None
+        sanitizer = getattr(self.engine, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.check_end_run(
+                self.engine, f"scheduler.end_run:{self.policy.name}"
+            )
 
     def abort_pending(self, vt: float, error: BaseException) -> list[QueryJob]:
         """Fail every non-terminal job at ``vt`` with ``error`` (replica

@@ -119,6 +119,37 @@ CASES = [
         "def f(device, arr):\n"
         "    return device.new_buffer(arr, region='caching')\n",
     ),
+    (
+        "RR08",
+        "core/demo.py",
+        "def f(bm, t):\n"
+        "    g = bm.get_table('t', t)\n"
+        "    t.columns['x'] = 1\n"
+        "    return g\n",
+        "def f(bm, t):\n"
+        "    t2 = t.with_column('x', 1)\n"
+        "    return bm.get_table('t', t2)\n",
+    ),
+    (
+        "RR08",
+        "core/demo.py",
+        "def f(bm, frag):\n"
+        "    bm.put_fragment('ns/p0', frag)\n"
+        "    frag.columns.append(extra)\n",
+        "def f(bm, frag):\n"
+        "    frag = frag.concat(extra)\n"
+        "    bm.put_fragment('ns/p0', frag)\n",
+    ),
+    (
+        "RR08",
+        "sched/demo.py",
+        "def f(bm, t):\n"
+        "    bm.prefetch('t', t)\n"
+        "    t.stats.update(hot=True)\n",
+        "def f(bm, t):\n"
+        "    t = annotate(t, hot=True)\n"
+        "    bm.prefetch('t', t)\n",
+    ),
 ]
 
 
@@ -159,6 +190,35 @@ class TestLintFixtures:
         )
         assert "RR04" in run("RR04", "core/operators/x.py", source)
         assert "RR04" not in run("RR04", "sched/x.py", source)
+
+    def test_published_table_rebind_releases_tracking(self):
+        # Rebinding the published name points it at a fresh object; writes
+        # through the new binding are fine.
+        source = (
+            "def f(bm, t):\n"
+            "    bm.get_table('t', t)\n"
+            "    t = make_table()\n"
+            "    t.columns['x'] = 1\n"
+        )
+        assert "RR08" not in run("RR08", "core/demo.py", source)
+
+    def test_published_table_mutator_method_flagged_once(self):
+        source = (
+            "def f(bm, t):\n"
+            "    bm.prefetch('t', t)\n"
+            "    t.columns.append(c)\n"
+        )
+        findings = lint_tree(source, default_rules(), relpath="core/demo.py")
+        assert [f.rule for f in findings] == ["RR08"]
+
+    def test_published_table_rule_skips_store_implementation(self):
+        # The buffer manager owns its entries — in-place moves are its job.
+        source = (
+            "def f(self, name, t):\n"
+            "    self.prefetch(name, t)\n"
+            "    t.columns['x'] = 1\n"
+        )
+        assert "RR08" not in run("RR08", "core/buffer_manager.py", source)
 
     def test_tracer_dataclass_field_default_none_is_fine(self):
         source = (

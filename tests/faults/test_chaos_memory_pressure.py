@@ -109,6 +109,22 @@ class TestServingUnderMemoryPressure:
         for q, job in jobs.items():
             assert normalise(job.table) == baseline[q]
 
+    def test_pressure_run_is_clean_under_sanitizer(self, data, plans, baseline):
+        """The storm's spill-through path holds every dynamic invariant:
+        the sanitizer sees no races, leaks, or counter drift — and adds
+        zero behavioral perturbation (answers still match)."""
+        engine, report, jobs = run_under_pressure(
+            data, plans, factor=0.3, out_of_core=True, sanitize=True
+        )
+        assert report.counters["completed"] == len(QUERIES)
+        assert engine.buffer_manager.pressure_spills > 0
+        for q, job in jobs.items():
+            assert job.state == JobState.COMPLETED
+            assert normalise(job.table) == baseline[q]
+        san = engine.sanitizer.report("chaos:memory-pressure")
+        assert san.ok, san.to_json()
+        assert san.counters["checks_run"] > 0
+
     def test_pressure_run_is_deterministic(self, data, plans):
         profiles = []
         for _ in range(2):
