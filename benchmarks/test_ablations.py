@@ -158,6 +158,30 @@ def test_oocore_survives_shrinking_pools_without_fallback(results_dir, benchmark
     assert times[-1] < times[0] * 10.0
 
 
+def test_fusion_shrinks_streaming_queries(harness, results_dir, benchmark):
+    """Pipeline fusion + compiled expressions: the streaming-bound Q1 and
+    Q6 must get strictly faster hot with fusion on, with the saved
+    intermediate-materialisation bytes recorded; Q3 (join-bound control)
+    must never get slower."""
+    from repro.bench import fusion_ablation
+
+    result = benchmark.pedantic(
+        fusion_ablation, args=(harness,), rounds=1, iterations=1
+    )
+    (results_dir / "ablation_fusion.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    for q in (1, 6):
+        entry = result["per_query"][f"q{q}"]
+        assert entry["fused_hot_s"] < entry["baseline_hot_s"]
+        assert entry["fused_cold_s"] < entry["baseline_cold_s"]
+        assert entry["fused_kernels"] < entry["baseline_kernels"]
+        assert entry["saved_bytes"] > 0
+        assert entry["fused_regions"] > 0
+    q3 = result["per_query"]["q3"]
+    assert q3["fused_hot_s"] <= q3["baseline_hot_s"]
+
+
 def test_predicate_transfer_shrinks_the_q3_shuffle(results_dir, benchmark):
     """§3.4 predicate transfer: exchange volume and time must both drop
     substantially on the shuffle-bound query, with identical results

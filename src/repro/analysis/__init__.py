@@ -14,6 +14,7 @@ Two fronts, one vocabulary (:class:`Finding` / :class:`AnalysisReport`):
   (``python -m repro sanitize``).
 """
 
+from .fusion_check import FUSION_RULES, verify_fused_plan
 from .plan_analyzer import PLAN_RULES, analyze_plan
 from .report import (
     SEVERITY_ERROR,
@@ -42,6 +43,8 @@ __all__ = [
     "DeterminismChecker",
     "analyze_plan",
     "PLAN_RULES",
+    "verify_fused_plan",
+    "FUSION_RULES",
     "AnalysisReport",
     "Finding",
     "SEVERITY_ERROR",

@@ -352,6 +352,55 @@ class PoolOwnerApiRule(LintRule):
                 )
 
 
+# Modules forming the fused execution path: the compiled-expression layer
+# and the FusedOp driver.  The kernel helpers in ``repro.kernels`` own all
+# device-buffer acquisition (``GColumn.from_array`` -> ``Device.new_buffer``);
+# fused code must consume kernel *results*, never mint device storage of its
+# own, or fused traffic escapes buffer-manager accounting.
+_FUSED_MODULES = ("core/operators/fused.py", "core/expr_compile.py")
+# Attribute calls that acquire raw device storage.
+_FUSED_BANNED_METHODS = frozenset({"allocate", "new_buffer", "from_array"})
+# Bare constructors that wrap freshly minted device storage.
+_FUSED_BANNED_CTORS = frozenset({"GColumn", "Allocation"})
+
+
+class FusedBufferDisciplineRule(LintRule):
+    rule_id = "RR09"
+    description = "fused kernels obtain buffers only through the buffer-manager API"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        rel = module.relpath.replace("\\", "/")
+        if not rel.endswith(_FUSED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FUSED_BANNED_METHODS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct .{node.func.attr}() in the fused execution path "
+                    "— fused stages must obtain device storage from kernel "
+                    "results (repro.kernels routes every allocation through "
+                    "Device.new_buffer) so buffer-manager accounting sees "
+                    "all fused traffic",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _FUSED_BANNED_CTORS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {node.func.id}(...) construction in the fused "
+                    "execution path — build columns via the kernel helpers, "
+                    "which allocate through the buffer-manager API",
+                )
+
+
 # Buffer-manager calls that *publish* a table: (method name -> positional
 # index of the table argument, plus the keyword it may arrive under).
 _PUBLISHERS = {
@@ -563,6 +612,7 @@ LINT_RULES = {
     "RR06": TransferStreamRule,
     "RR07": PoolOwnerApiRule,
     "RR08": PublishedTableMutationRule,
+    "RR09": FusedBufferDisciplineRule,
 }
 
 

@@ -2,6 +2,7 @@
 
 from .ablations import (
     compression_ablation,
+    fusion_ablation,
     impl_swap_string_groupby,
     multi_gpu_ablation,
     oocore_ablation,
@@ -35,6 +36,7 @@ __all__ = [
     "hot_vs_cold",
     "impl_swap",
     "compression_ablation",
+    "fusion_ablation",
     "impl_swap_string_groupby",
     "multi_gpu_ablation",
     "oocore_ablation",

@@ -136,6 +136,8 @@ class QueryRun:
         buckets_before = clock.buckets()
         streams_before = clock.stream_stats()
         kernels_before = ctx.device.kernel_count
+        fused_before = ctx.device.fused_kernel_count
+        saved_before = ctx.device.fusion_saved_bytes
         trace_mark = tracer.mark()
         pool.begin_watermark()
         spill_before = ctx.buffer_manager.spill_stats()
@@ -181,6 +183,8 @@ class QueryRun:
             }
             profile.breakdown = {k: v for k, v in profile.breakdown.items() if v > 0}
             profile.kernel_count = ctx.device.kernel_count - kernels_before
+            profile.fused_kernels = ctx.device.fused_kernel_count - fused_before
+            profile.fusion_saved_bytes = ctx.device.fusion_saved_bytes - saved_before
             profile.output_rows = result.num_rows
             profile.device_mem_peak = pool.watermark
             streams_after = clock.stream_stats()

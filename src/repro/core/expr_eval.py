@@ -57,12 +57,18 @@ def evaluate(expr: Expression, table: GTable) -> "GColumn | Any":
     raise UnsupportedExpressionError(f"cannot evaluate {expr!r} on device")
 
 
-def evaluate_to_column(expr: Expression, table: GTable) -> GColumn:
-    """Like :func:`evaluate` but materialises bare literals as columns."""
+def evaluate_to_column(expr: Expression, table: GTable, dtype=None) -> GColumn:
+    """Like :func:`evaluate` but materialises bare literals as columns.
+
+    ``dtype`` is the planner-typed output type for the expression's slot;
+    without it a bare literal would be materialised with a dtype inferred
+    from its Python value (e.g. ``0`` -> INT64 in a FLOAT64 column
+    position, ``None`` -> INT64 regardless of the typed NULL's dtype).
+    """
     result = evaluate(expr, table)
     if isinstance(result, GColumn):
         return result
-    return fill_constant(table.device, table.num_rows, result)
+    return fill_constant(table.device, table.num_rows, result, dtype=dtype)
 
 
 def evaluate_predicate(expr: Expression, table: GTable) -> np.ndarray:

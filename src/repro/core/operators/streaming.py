@@ -44,7 +44,10 @@ class ProjectOp(StreamingOperator):
         return self._schema
 
     def process(self, ctx: ExecutionContext, chunk: GTable, state: dict) -> GTable:
-        columns = [expr_eval.evaluate_to_column(e, chunk) for e in self.expressions]
+        columns = [
+            expr_eval.evaluate_to_column(e, chunk, dtype=field.dtype)
+            for e, field in zip(self.expressions, self._schema.fields)
+        ]
         return GTable(self._schema, columns, chunk.device)
 
     def describe(self) -> str:

@@ -38,11 +38,13 @@ from .operators.join import (
     PartitionedHashJoinBuildSink,
     PartitionedHashJoinProbe,
 )
+from .expr_eval import UnsupportedExpressionError
+from .operators.fused import FusedOp
 from .operators.scan import IntermediateSource, TableScan
 from .operators.sort import FetchSink, MaterializeSink, SortSink, TopNSink
 from .operators.streaming import FilterOp, ProjectOp
 
-__all__ = ["Pipeline", "PhysicalPlan", "compile_plan"]
+__all__ = ["Pipeline", "PhysicalPlan", "compile_plan", "fuse_operators"]
 
 RESULT_SLOT = "__result__"
 
@@ -86,6 +88,8 @@ class PhysicalPlan:
     # executor to run its chunk-disposal protocol so dead intermediates do
     # not accumulate in the processing pool for the lifetime of the query.
     out_of_core: bool = False
+    # Streaming runs were collapsed into FusedOp regions (fuse_operators).
+    fusion: bool = False
 
     def explain(self) -> str:
         return "\n".join(p.describe() for p in self.pipelines)
@@ -231,12 +235,73 @@ class _Compiler:
         return IntermediateSource(slot, sink.output_schema()), [], {pid}
 
 
+def fuse_operators(operators: "list[StreamingOperator]") -> "list[StreamingOperator]":
+    """Collapse maximal runs of adjacent Filter/Project operators into
+    :class:`FusedOp` regions, hoisting eligible join residual filters.
+
+    Legality rules:
+
+    * only ``FilterOp``/``ProjectOp`` fuse — anything stateful or
+      one-to-many (probes) is a fusion barrier;
+    * a :class:`HashJoinProbe` residual ``post_filter`` hoists into the
+      following fused run only for ``inner``/``left`` joins, where the
+      unfused path applies it as a plain mask over the join output.
+      Semi/anti residuals are *not* hoistable — there the predicate is
+      entangled with the join semantics (filter the matched pairs, then
+      reduce to distinct probe rows) — and neither are partitioned
+      (out-of-core) probes, whose residual runs per leaf before the
+      emitted chunks are re-coalesced under the partition budget;
+    * an expression the compiler cannot lower leaves its run unfused
+      (the interpreter path would reject it identically at run time, so
+      this preserves the engine's fallback behaviour).
+    """
+    fused: list[StreamingOperator] = []
+    run: list[StreamingOperator] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        try:
+            fused.append(FusedOp(run[:]))
+        except UnsupportedExpressionError:
+            fused.extend(run)
+        run.clear()
+
+    for op in operators:
+        if type(op) in (FilterOp, ProjectOp):
+            run.append(op)
+            continue
+        flush()
+        if (
+            type(op) is HashJoinProbe
+            and op.post_filter is not None
+            and op.join_type in ("inner", "left")
+        ):
+            fused.append(
+                HashJoinProbe(
+                    op.build_slot,
+                    op.join_type,
+                    op.probe_key_indices,
+                    op.build_key_indices,
+                    op.probe_schema,
+                    op.build_schema,
+                    post_filter=None,
+                )
+            )
+            run.append(FilterOp(op.post_filter, op.output_schema()))
+            continue
+        fused.append(op)
+    flush()
+    return fused
+
+
 def compile_plan(
     plan: Plan,
     out_of_core: bool = False,
     partition_budget_bytes: int | None = None,
     ooc_fanout: int = 8,
     ooc_max_depth: int = 3,
+    fusion: bool = False,
 ) -> PhysicalPlan:
     """Compile a validated plan into pipelines ending in a result slot.
 
@@ -245,6 +310,10 @@ def compile_plan(
     buffer-manager fragments (device -> pinned host -> disk) instead of
     resident tables; the default compiles the seed operator tree
     unchanged.
+
+    With ``fusion=True``, each pipeline's streaming run is post-processed
+    by :func:`fuse_operators`; the default leaves the operator lists
+    byte-identical to the seed planner.
     """
     compiler = _Compiler(
         out_of_core=out_of_core,
@@ -256,4 +325,9 @@ def compile_plan(
     compiler.add_pipeline(
         source, ops, MaterializeSink(plan.root.output_schema()), RESULT_SLOT, deps
     )
-    return PhysicalPlan(compiler.pipelines, RESULT_SLOT, out_of_core=out_of_core)
+    if fusion:
+        for pipeline in compiler.pipelines:
+            pipeline.operators = fuse_operators(pipeline.operators)
+    return PhysicalPlan(
+        compiler.pipelines, RESULT_SLOT, out_of_core=out_of_core, fusion=fusion
+    )

@@ -81,6 +81,7 @@ class SiriusEngine:
         out_of_core: bool = False,
         pinned_spill_budget_bytes: int | None = None,
         sanitize: bool = False,
+        fusion: bool = False,
     ):
         """
         Args:
@@ -124,6 +125,13 @@ class SiriusEngine:
                 findings are read from ``engine.sanitizer``.  Purely
                 observational — a sanitized run is byte-identical to an
                 unsanitized one.
+            fusion: Collapse each pipeline's runs of adjacent filters and
+                projections (plus eligible join residual filters) into
+                single :class:`~.operators.fused.FusedOp` regions with
+                compiled expressions — one read and one write per chunk,
+                interior materialisations priced at zero.  Off by
+                default; the default path compiles the seed operator
+                tree unchanged and results are byte-identical either way.
         """
         self.device = device
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -146,6 +154,7 @@ class SiriusEngine:
         self.last_profile: QueryProfile | None = None
         self.queries_executed = 0
         self.out_of_core = out_of_core
+        self.fusion = fusion
         self._pinned_spill_budget_bytes = pinned_spill_budget_bytes
         self.sanitizer = None
         if sanitize:
@@ -263,7 +272,9 @@ class SiriusEngine:
                 batch_rows=self.batch_rows,
                 tracer=self.tracer,
             )
-            physical = compile_plan(plan, out_of_core=self.out_of_core)
+            physical = compile_plan(
+                plan, out_of_core=self.out_of_core, fusion=self.fusion
+            )
             executor = PipelineExecutor(ctx)
             gtable, profile = executor.run(physical, deadline=deadline)
             self.last_profile = profile
@@ -395,12 +406,12 @@ class SiriusEngine:
             batch_rows=resolved_batch,
             tracer=tracer if tracer is not None else self.tracer,
         )
-        physical = compile_plan(plan, out_of_core=ooc)
+        physical = compile_plan(plan, out_of_core=ooc, fusion=self.fusion)
         return PipelineExecutor(ctx).start(physical, deadline=deadline)
 
     def explain_physical(self, plan: Plan) -> str:
         """Render the pipeline decomposition of a plan."""
-        return compile_plan(plan).explain()
+        return compile_plan(plan, fusion=self.fusion).explain()
 
     def explain_analyze(self, plan: Plan, catalog: Mapping[str, Table]) -> str:
         """Execute the plan and render per-operator simulated timings

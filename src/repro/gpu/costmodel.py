@@ -169,6 +169,41 @@ class KernelCostModel:
 
         return CostBreakdown(self._launch, streamed, random, compute, penalty)
 
+    def fused_cost(
+        self,
+        parts: "list[tuple[str, int, int, int, int | None]]",
+        bytes_in: int,
+        bytes_out: int,
+    ) -> CostBreakdown:
+        """Cost a fused run of kernels charged as a single launch.
+
+        ``parts`` lists the constituent kernels as
+        ``(kclass, bytes_in, bytes_out, rows, num_groups)`` tuples;
+        ``bytes_in``/``bytes_out`` is the *external* traffic — the chunk
+        read once at the head of the fused region and the result written
+        once at its tail.  Interior materialisations stay in registers /
+        shared memory, so their streaming traffic is priced at zero; the
+        per-part compute, random-access, and contention terms are
+        preserved (fusion removes memory round-trips, not ALU work), and
+        only one launch overhead is paid.  The streaming term is capped
+        at the parts' combined interior traffic: a fused region whose
+        constituent kernels touch *fewer* bytes than the external chunk
+        (pass-through columns are never copied) keeps the cheaper charge,
+        so by construction the fused cost is never more than the sum of
+        the parts' standalone costs.
+        """
+        interior = sum(p[1] + p[2] for p in parts)
+        streamed = min(bytes_in + bytes_out, interior) / self._bw
+        random = 0.0
+        compute = 0.0
+        penalty = 0.0
+        for kclass, p_in, p_out, rows, num_groups in parts:
+            part = self.kernel_cost(kclass, p_in, p_out, rows, num_groups)
+            random += part.random
+            compute += part.compute
+            penalty += part.penalty
+        return CostBreakdown(self._launch, streamed, random, compute, penalty)
+
     def transfer_cost(self, nbytes: int, pinned: bool = False) -> float:
         """Seconds to move ``nbytes`` over the device's host interconnect.
 

@@ -20,6 +20,8 @@ each GPU memory for data caching, and the other half for data processing."*
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from ..obs import NULL_TRACER
@@ -30,7 +32,7 @@ from .memory import DeviceMemory, OutOfDeviceMemory
 from .rmm import Allocation, PoolAllocator
 from .specs import GB, DeviceSpec
 
-__all__ = ["Device", "OutOfDeviceMemory", "TransientKernelError"]
+__all__ = ["Device", "FusedKernelScope", "OutOfDeviceMemory", "TransientKernelError"]
 
 # A transient kernel fault is relaunched this many times before it is
 # treated as permanent and surfaced to the fallback machinery.
@@ -43,6 +45,48 @@ class TransientKernelError(RuntimeError):
     Individual transient faults (the ECC-hiccup / driver-retry class) are
     absorbed by relaunching — each wasted attempt still charges the
     simulated clock — so only a *persistently* failing kernel raises."""
+
+
+class FusedKernelScope:
+    """Open recording scope for one fused-kernel region.
+
+    While active, :meth:`Device.launch` records each constituent kernel
+    here instead of charging the clock; the scope owner declares the
+    region's external traffic via :meth:`external` and, on clean exit,
+    the device charges one fused launch for the whole run (see
+    :meth:`KernelCostModel.fused_cost`).  Suppressed launches still
+    return their standalone :class:`CostBreakdown` so kernel-internal
+    callers observe the usual interface.
+    """
+
+    __slots__ = ("cost_model", "parts", "ext_in", "ext_out")
+
+    def __init__(self, cost_model: KernelCostModel):
+        self.cost_model = cost_model
+        self.parts: list[tuple[str, int, int, int, int | None]] = []
+        self.ext_in = 0
+        self.ext_out = 0
+
+    def record(
+        self,
+        kclass: str,
+        bytes_in: int,
+        bytes_out: int,
+        rows: int,
+        num_groups: int | None = None,
+    ) -> CostBreakdown:
+        self.parts.append((kclass, int(bytes_in), int(bytes_out), int(rows), num_groups))
+        return self.cost_model.kernel_cost(kclass, bytes_in, bytes_out, rows, num_groups)
+
+    def external(self, bytes_in: int, bytes_out: int) -> None:
+        """Declare the bytes the fused region reads/writes from HBM."""
+        self.ext_in = int(bytes_in)
+        self.ext_out = int(bytes_out)
+
+    @property
+    def interior_bytes(self) -> int:
+        """Total traffic the constituent kernels would have materialised."""
+        return sum(p[1] + p[2] for p in self.parts)
 
 
 class Device:
@@ -87,6 +131,11 @@ class Device:
         self.fault_injector = None
         self.fault_rank = device_id
         self.kernel_relaunches = 0
+        # Pipeline fusion: while a FusedKernelScope is open, launches are
+        # recorded instead of charged (None = normal per-kernel charging).
+        self._fused_scope = None
+        self.fused_kernel_count = 0
+        self.fusion_saved_bytes = 0
         # Multi-query serving: the scheduler tags the query whose task is
         # currently stepping so processing-pool allocations carry an owner
         # (per-query reclamation) and cached tables record their last user
@@ -120,8 +169,18 @@ class Device:
         num_groups: int | None = None,
     ) -> CostBreakdown:
         """Charge one kernel launch to the simulated clock and return its
-        cost breakdown.  The caller performs the actual NumPy work."""
+        cost breakdown.  The caller performs the actual NumPy work.
+
+        Inside an open :meth:`fused_kernel` scope the launch is recorded
+        instead of charged — the whole fused region bills once on exit.
+        """
+        scope = self._fused_scope
+        if scope is not None:
+            return scope.record(kclass, bytes_in, bytes_out, rows, num_groups)
         cost = self.cost_model.kernel_cost(kclass, bytes_in, bytes_out, rows, num_groups)
+        return self._charge_launch(kclass, cost)
+
+    def _charge_launch(self, kclass: str, cost: CostBreakdown) -> CostBreakdown:
         seconds = cost.total
         injector = self.fault_injector
         if injector is not None:
@@ -149,6 +208,36 @@ class Device:
         self.clock.advance(seconds)
         self.kernel_count += 1
         return cost
+
+    @contextmanager
+    def fused_kernel(self):
+        """Fuse every :meth:`launch` inside the ``with`` block into one
+        charged kernel.  The caller must declare the region's external
+        traffic via :meth:`FusedKernelScope.external`; on a clean exit
+        the fused cost is charged (fault injection included) and the
+        saved interior traffic is accumulated in ``fusion_saved_bytes``.
+        On an exception nothing is charged — the degradation machinery
+        re-runs the pipeline from scratch.  Nested scopes collapse into
+        the outermost one.
+        """
+        if self._fused_scope is not None:
+            yield self._fused_scope
+            return
+        scope = FusedKernelScope(self.cost_model)
+        self._fused_scope = scope
+        try:
+            yield scope
+        except BaseException:
+            self._fused_scope = None
+            raise
+        self._fused_scope = None
+        if not scope.parts:
+            return
+        cost = self.cost_model.fused_cost(scope.parts, scope.ext_in, scope.ext_out)
+        self._charge_launch("fused", cost)
+        self.fused_kernel_count += 1
+        saved = scope.interior_bytes - (scope.ext_in + scope.ext_out)
+        self.fusion_saved_bytes += max(saved, 0)
 
     # -- transfers ---------------------------------------------------------------
 

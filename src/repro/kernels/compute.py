@@ -147,7 +147,10 @@ def binary_arith(op: str, left, right) -> GColumn:
             out_dtype = common_numeric_type(ldt, rdt)
         data = _ARITH_OPS[op](lv.astype(np.float64), rv.astype(np.float64))
         valid = lm & rm
-        data = data.astype(out_dtype.numpy_dtype)
+        # Canonicalise NULL slots to zero before the cast: garbage inputs
+        # (NaN under an invalid slot) would otherwise survive as undefined
+        # payload bytes in the output.
+        data = np.where(valid, data, 0.0).astype(out_dtype.numpy_dtype)
 
     device.launch(KernelClass.STREAM, _traffic(left, right), data.nbytes, rows)
     return GColumn.from_array(device, out_dtype, data, valid)
@@ -167,8 +170,11 @@ def compare(op: str, left, right) -> GColumn:
     else:
         lv, lm = _values_and_mask(left, rows)
         rv, rm = _values_and_mask(right, rows)
-        data = _CMP_OPS[op](lv, rv)
         valid = lm & rm
+        # Scrub payloads under NULL slots: comparing garbage (e.g. NaN
+        # left behind by an outer-join gather) can yield True with
+        # valid=False, which astype(bool) consumers would surface.
+        data = _CMP_OPS[op](lv, rv) & valid
         device.launch(KernelClass.STREAM, _traffic(left, right), rows, rows)
     return GColumn.from_array(device, BOOL, data, valid)
 
@@ -292,8 +298,8 @@ def in_list(column: GColumn, values: Sequence[Any]) -> GColumn:
         device.launch(KernelClass.STRING, column.traffic_bytes, rows, rows)
     else:
         raw = np.array([_scalar_to_raw(v) for v in values])
-        data = np.isin(column.data, raw)
         valid = column.valid_mask()
+        data = np.isin(column.data, raw) & valid  # scrub NULL-slot payloads
         device.launch(KernelClass.STREAM, column.traffic_bytes, rows, rows)
     return GColumn.from_array(device, BOOL, data, valid)
 
@@ -324,6 +330,7 @@ def case_when(conditions: Sequence[GColumn], results: Sequence, default) -> GCol
         data[fire] = rv.astype(out_dtype.numpy_dtype)[fire] if hasattr(rv, "__getitem__") else rv
         valid[fire] = rm[fire]
         decided |= fire
+    data = np.where(valid, data, 0).astype(out_dtype.numpy_dtype)  # scrub NULL slots
     device.launch(
         KernelClass.STREAM, _traffic(*conditions) + rows * out_dtype.itemsize, rows, rows
     )
@@ -405,8 +412,10 @@ def extract_date_part(part: str, column: GColumn) -> GColumn:
         out = (days - months.astype("datetime64[D]")).astype(np.int64) + 1
     else:
         raise ValueError(f"unsupported date part {part!r}")
+    valid = column.valid_mask()
+    out = np.where(valid, out, 0)  # scrub NULL-slot payloads
     device.launch(KernelClass.STREAM, column.nbytes, rows * 8, rows)
-    return GColumn.from_array(device, INT64, out, column.valid_mask())
+    return GColumn.from_array(device, INT64, out, valid)
 
 
 def _like_to_regex(pattern: str, escape: str | None = None) -> re.Pattern:
@@ -538,9 +547,10 @@ def absolute(column: GColumn) -> GColumn:
         raise TypeError("abs requires a numeric column")
     device = column.device
     rows = len(column)
-    data = np.abs(column.data)
+    valid = column.valid_mask()
+    data = np.where(valid, np.abs(column.data), 0).astype(column.dtype.numpy_dtype)
     device.launch(KernelClass.STREAM, column.nbytes, data.nbytes, rows)
-    return GColumn.from_array(device, column.dtype, data, column.valid_mask())
+    return GColumn.from_array(device, column.dtype, data, valid)
 
 
 def round_column(column: GColumn, digits: int = 0) -> GColumn:
@@ -549,9 +559,10 @@ def round_column(column: GColumn, digits: int = 0) -> GColumn:
         raise TypeError("round requires a numeric column")
     device = column.device
     rows = len(column)
-    data = np.round(column.data.astype(np.float64), digits)
+    valid = column.valid_mask()
+    data = np.where(valid, np.round(column.data.astype(np.float64), digits), 0.0)
     device.launch(KernelClass.STREAM, column.nbytes, rows * 8, rows)
-    return GColumn.from_array(device, FLOAT64, data, column.valid_mask())
+    return GColumn.from_array(device, FLOAT64, data, valid)
 
 
 def cast_column(column: GColumn, target: DType) -> GColumn:
@@ -563,9 +574,12 @@ def cast_column(column: GColumn, target: DType) -> GColumn:
         host = column.to_host(charge_transfer=False).cast(target)
         device.launch(KernelClass.STRING, column.traffic_bytes, host.nbytes, len(column))
         return GColumn.from_array(device, target, host.data, host.is_valid_mask(), host.dictionary)
-    data = column.data.astype(target.numpy_dtype)
+    valid = column.valid_mask()
+    # Scrub before the cast: casting garbage payloads (NaN -> int) is
+    # undefined and would leave non-canonical bytes under NULL slots.
+    data = np.where(valid, column.data, 0).astype(target.numpy_dtype)
     device.launch(KernelClass.STREAM, column.nbytes, data.nbytes, len(column))
-    return GColumn.from_array(device, target, data, column.valid_mask())
+    return GColumn.from_array(device, target, data, valid)
 
 
 def fill_constant(device, rows: int, value: Any, dtype: DType | None = None) -> GColumn:

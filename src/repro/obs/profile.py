@@ -69,6 +69,11 @@ class QueryProfile:
     # Out-of-core spill activity during this query (deltas of the buffer
     # manager's fragment counters); empty unless partitions actually moved.
     spill: dict = field(default_factory=dict)
+    # Pipeline fusion (``SiriusEngine(fusion=True)``): how many fused
+    # regions launched and how many intermediate-materialisation bytes the
+    # cost model stopped charging for.  Both zero when fusion is off.
+    fused_kernels: int = 0
+    fusion_saved_bytes: int = 0
 
     def breakdown_fractions(self) -> dict:
         total = sum(self.breakdown.values())
@@ -129,6 +134,15 @@ class QueryProfile:
     # -- export --------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        out = self._base_dict()
+        # Fusion counters appear only when fusion actually fired, keeping
+        # fusion-off trace exports byte-identical to the pre-fusion format.
+        if self.fused_kernels or self.fusion_saved_bytes:
+            out["fused_kernels"] = self.fused_kernels
+            out["fusion_saved_bytes"] = self.fusion_saved_bytes
+        return out
+
+    def _base_dict(self) -> dict:
         return {
             "label": self.label,
             "sim_seconds": self.sim_seconds,

@@ -93,6 +93,7 @@ def estimate_plan(
     overlap: bool = False,
     chunk_bytes: int = 1 << 20,
     out_of_core: bool = False,
+    fusion: bool = False,
 ) -> PlanEstimate:
     """Estimate a plan's processing-pool working set and service time.
 
@@ -105,6 +106,12 @@ def estimate_plan(
             cannot hide is exposed (matches the engine's ``overlap=True``
             execution model).
         chunk_bytes: Chunk granularity assumed for overlapped loads.
+        fusion: Price streaming runs the way the fused executor bills
+            them — a maximal chain of adjacent filters/projects becomes a
+            single launch whose streaming term covers only the chain's
+            external input and output; the interior intermediate
+            materialisations are free.  Mirrors
+            :meth:`KernelCostModel.fused_cost`.
         out_of_core: Price spill waves: whatever part of the working set
             exceeds the processing pool must round-trip to pinned host
             memory (spilled once under pressure, unspilled once when its
@@ -112,7 +119,7 @@ def estimate_plan(
             the pinned-copy rate.  This is what makes SJF and admission
             rank an over-pool query as *slower*, not *impossible*.
     """
-    est = _Estimator(catalog, device.cost_model)
+    est = _Estimator(catalog, device.cost_model, fusion=fusion)
     rows, nbytes = est.visit(plan.root)
     # The final result is materialised in the pool, then copied out.
     working_set = est.working_set + int(nbytes)
@@ -144,9 +151,12 @@ def estimate_plan(
 
 
 class _Estimator:
-    def __init__(self, catalog: Mapping[str, Table], model: KernelCostModel):
+    def __init__(
+        self, catalog: Mapping[str, Table], model: KernelCostModel, fusion: bool = False
+    ):
         self.catalog = catalog
         self.model = model
+        self.fusion = fusion
         self.working_set = 0  # peak concurrent pool bytes (hash/sort state)
         self.seconds = 0.0
 
@@ -159,13 +169,13 @@ class _Estimator:
         """Return (estimated rows, estimated bytes) of the relation."""
         if isinstance(rel, ReadRel):
             return self._read(rel)
-        if isinstance(rel, FilterRel):
+        if isinstance(rel, (FilterRel, ProjectRel)):
+            if self.fusion:
+                return self._fused_chain(rel)
             rows, nbytes = self.visit(rel.inputs[0])
             self._charge(KernelClass.STREAM, nbytes, nbytes, rows)
-            return rows * FILTER_SELECTIVITY, nbytes * FILTER_SELECTIVITY
-        if isinstance(rel, ProjectRel):
-            rows, nbytes = self.visit(rel.inputs[0])
-            self._charge(KernelClass.STREAM, nbytes, nbytes, rows)
+            if isinstance(rel, FilterRel):
+                return rows * FILTER_SELECTIVITY, nbytes * FILTER_SELECTIVITY
             return rows, nbytes
         if isinstance(rel, JoinRel):
             return self._join(rel)
@@ -187,6 +197,29 @@ class _Estimator:
         if rel.inputs:  # unknown unary relation: pass through
             return self.visit(rel.inputs[0])
         return 0.0, 0.0
+
+    def _fused_chain(self, rel: Relation) -> tuple[float, float]:
+        """Price a maximal adjacent Filter/Project chain as one fused
+        launch: each hop keeps its non-streaming terms (the work still
+        happens), but the memory-bandwidth term covers only the chain's
+        external input and final output — interior materialisations are
+        priced at zero, matching the fused executor.  The selectivity
+        cascade is preserved hop by hop."""
+        chain: list[Relation] = []
+        node = rel
+        while isinstance(node, (FilterRel, ProjectRel)):
+            chain.append(node)
+            node = node.inputs[0]
+        rows, nbytes = self.visit(node)
+        ext_in = nbytes
+        parts = []
+        for hop in reversed(chain):
+            parts.append((KernelClass.STREAM, int(nbytes), int(nbytes), int(max(rows, 1)), None))
+            if isinstance(hop, FilterRel):
+                rows *= FILTER_SELECTIVITY
+                nbytes *= FILTER_SELECTIVITY
+        self.seconds += self.model.fused_cost(parts, int(ext_in), int(nbytes)).total
+        return rows, nbytes
 
     def _read(self, rel: ReadRel) -> tuple[float, float]:
         table = self.catalog.get(rel.table_name)

@@ -141,6 +141,20 @@ CASES = [
         "    bm.put_fragment('ns/p0', frag)\n",
     ),
     (
+        "RR09",
+        "core/operators/fused.py",
+        "def f(ctx, arr):\n    return ctx.device.new_buffer(arr)\n",
+        "def f(ctx, table, mask):\n    return mask_table(table, mask)\n",
+    ),
+    (
+        "RR09",
+        "core/expr_compile.py",
+        "def f(dev, dtype, data):\n"
+        "    return GColumn.from_array(dev, dtype, data)\n",
+        "def f(dev, n, dtype):\n"
+        "    return fill_constant(dev, n, 1, dtype=dtype)\n",
+    ),
+    (
         "RR08",
         "sched/demo.py",
         "def f(bm, t):\n"
@@ -190,6 +204,13 @@ class TestLintFixtures:
         )
         assert "RR04" in run("RR04", "core/operators/x.py", source)
         assert "RR04" not in run("RR04", "sched/x.py", source)
+
+    def test_fused_buffer_rule_scoped_to_fused_path(self):
+        # Minting buffers is fine elsewhere (RR07 governs the general case);
+        # RR09 only polices the fused execution path.
+        source = "def f(ctx, arr):\n    return ctx.device.new_buffer(arr)\n"
+        assert "RR09" in run("RR09", "core/operators/fused.py", source)
+        assert "RR09" not in run("RR09", "core/operators/streaming.py", source)
 
     def test_published_table_rebind_releases_tracking(self):
         # Rebinding the published name points it at a fresh object; writes

@@ -1,0 +1,232 @@
+"""The fusion equivalence gate: ``fusion=True`` must be invisible.
+
+Pipeline fusion (collapsing streaming runs into compiled :class:`FusedOp`
+regions) is a pure cost-model optimisation — the compiled closures call
+the exact same kernels as the interpreter, so every observable *result*
+must be byte-identical to the unfused engine while the modeled kernel
+count and wall time strictly shrink on streaming-heavy queries.
+
+The gate:
+
+* all 22 TPC-H queries, fused vs unfused, raw column buffers compared
+  byte-for-byte;
+* a 50-case battery sample under the same comparison;
+* the ``busy_s`` partition invariant holds for fused runs (every clock
+  advance still lands in exactly one measured operator region);
+* the fused-plan verifier reports zero findings on every fused plan;
+* the runtime sanitizer is clean executing under fusion;
+* a hypothesis property re-checks fused == unfused over random plans.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_fused_plan
+from repro.core import SiriusEngine
+from repro.core.planner import compile_plan
+from repro.gpu.specs import GH200
+from repro.obs import Tracer
+from repro.sql import SqlPlanner, TableStats
+from repro.tpch import TPCH_SCHEMAS, generate_tpch, tpch_query
+from tests.core.test_random_plans import normalise, plans, tables
+
+SF = 0.01
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(sf=SF)
+
+
+@pytest.fixture(scope="module")
+def planner(data):
+    stats = {}
+    for name, t in data.items():
+        distinct = {
+            f.name: int(len(np.unique(c.data))) for f, c in zip(t.schema, t.columns)
+        }
+        stats[name] = TableStats(TPCH_SCHEMAS[name], t.num_rows, distinct)
+    return SqlPlanner(stats)
+
+
+@pytest.fixture(scope="module")
+def plain(data):
+    engine = SiriusEngine.for_spec(GH200, memory_limit_gb=8.0)
+    engine.warm_cache(data)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def fused(data):
+    engine = SiriusEngine.for_spec(GH200, memory_limit_gb=8.0, fusion=True)
+    engine.warm_cache(data)
+    return engine
+
+
+def raw_bytes(table):
+    """Raw host-column payloads: strictest possible equality."""
+    out = []
+    for c in table.columns:
+        out.append(
+            (
+                np.asarray(c.data).tobytes(),
+                None if c.validity is None else np.asarray(c.validity).tobytes(),
+                None
+                if getattr(c, "dictionary", None) is None
+                else tuple(c.dictionary.tolist()),
+            )
+        )
+    return out
+
+
+class TestTpchByteIdentity:
+    @pytest.mark.parametrize("q", range(1, 23))
+    def test_fused_matches_unfused(self, q, data, planner, plain, fused):
+        plan = planner.plan_sql(tpch_query(q))
+        a = plain.execute(plan, data)
+        b = fused.execute(plan, data)
+        assert a.schema == b.schema
+        assert raw_bytes(a) == raw_bytes(b)
+
+    def test_fusion_reduces_modeled_cost_on_streaming_queries(
+        self, data, planner, plain, fused
+    ):
+        """Q1 and Q6 are the paper's streaming-bound queries: fusion must
+        strictly shrink both the kernel count and the modeled wall time,
+        and record the intermediate bytes it stopped charging for."""
+        for q in (1, 6):
+            plan = planner.plan_sql(tpch_query(q))
+            plain.execute(plan, data)
+            unfused_profile = plain.last_profile
+            fused.execute(plan, data)
+            fused_profile = fused.last_profile
+            assert fused_profile.kernel_count < unfused_profile.kernel_count
+            assert fused_profile.sim_seconds < unfused_profile.sim_seconds
+            assert fused_profile.fused_kernels > 0
+            assert fused_profile.fusion_saved_bytes > 0
+            assert unfused_profile.fused_kernels == 0
+            assert unfused_profile.fusion_saved_bytes == 0
+
+
+class TestFusedPlanVerifier:
+    @pytest.mark.parametrize("q", range(1, 23))
+    def test_zero_findings(self, q, planner):
+        physical = compile_plan(planner.plan_sql(tpch_query(q)), fusion=True)
+        assert physical.fusion
+        findings = verify_fused_plan(physical)
+        assert findings == [], [str(f) for f in findings]
+
+    def test_unfused_plan_operator_lists_are_seed_shaped(self, planner):
+        """fusion=False compiles the exact seed operator classes."""
+        from repro.core.operators.fused import FusedOp
+
+        physical = compile_plan(planner.plan_sql(tpch_query(1)))
+        assert not physical.fusion
+        for pipeline in physical.pipelines:
+            assert not any(isinstance(op, FusedOp) for op in pipeline.operators)
+
+
+class TestBatterySample:
+    def test_fifty_battery_cases_byte_identical(self, plain, fused):
+        from repro.bench.baselines.battery import SCALE_FACTOR, battery_cases
+        from repro.hosts import MiniDuck
+
+        bdata = generate_tpch(sf=SCALE_FACTOR, seed=19920101)
+        host = MiniDuck()
+        host.load_tables(bdata)
+        cases = battery_cases()[:50]
+        assert len(cases) == 50
+        for case in cases:
+            plan = host.plan(case.sql)
+            a = plain.execute(plan, bdata)
+            b = fused.execute(plan, bdata)
+            assert a.schema == b.schema, case.sql
+            assert raw_bytes(a) == raw_bytes(b), case.sql
+
+
+class TestBusyPartitionUnderFusion:
+    @pytest.mark.parametrize("q", [1, 3, 6])
+    def test_operator_busy_time_partitions_query_time(self, q, data, planner):
+        tracer = Tracer()
+        engine = SiriusEngine.for_spec(
+            GH200, memory_limit_gb=8.0, fusion=True, tracer=tracer
+        )
+        engine.execute(planner.plan_sql(tpch_query(q)), data)
+        spans = engine.last_profile.spans
+        (query,) = [s for s in spans if s.kind == "query"]
+        operators = [s for s in spans if s.kind == "operator"]
+        assert operators
+        busy = sum(s.attributes["busy_s"] for s in operators)
+        assert math.isclose(busy, query.duration, rel_tol=1e-9, abs_tol=1e-12)
+        # Fused regions show up as single operator spans.
+        assert any(s.name.startswith("Fused[") for s in operators)
+
+
+class TestSanitizedFusion:
+    @pytest.mark.parametrize("q", [1, 6])
+    def test_sanitizer_clean(self, q, data, planner):
+        from repro.analysis.sanitizers.cli import sanitized_query_check
+
+        engine = SiriusEngine.for_spec(GH200, memory_limit_gb=8.0, fusion=True)
+        report = sanitized_query_check(engine, planner.plan_sql(tpch_query(q)), data)
+        assert report.ok, [str(f) for f in report.findings]
+
+
+class TestRandomPlanFusion:
+    @settings(max_examples=80, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_fused_equals_unfused(self, data, plan):
+        plain = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0)
+        fused = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0, fusion=True)
+        a = plain.execute(plan, data)
+        b = fused.execute(plan, data)
+        assert a.schema == b.schema
+        assert raw_bytes(a) == raw_bytes(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=tables(), plan=plans())
+    def test_fused_plans_verify_clean(self, data, plan):
+        physical = compile_plan(plan, fusion=True)
+        assert verify_fused_plan(physical) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=tables(), plan=plans(), batch=st.integers(1, 17))
+    def test_batched_fusion_equals_whole(self, data, plan, batch):
+        """Fusion composes with chunked execution (zero-row chunks and
+        all): batched+fused == whole+unfused, row for row."""
+        whole = SiriusEngine.for_spec(GH200, memory_limit_gb=1.0)
+        batched = SiriusEngine.for_spec(
+            GH200, memory_limit_gb=1.0, batch_rows=batch, fusion=True
+        )
+        assert sorted(normalise(whole.execute(plan, data))) == sorted(
+            normalise(batched.execute(plan, data))
+        )
+
+
+class TestEstimatorFusionPricing:
+    @pytest.mark.parametrize("q", [1, 3, 6])
+    def test_fused_estimate_never_worse(self, q, data, planner):
+        from repro.gpu.device import Device
+        from repro.sched.estimator import estimate_plan
+
+        device = Device(GH200)
+        plan = planner.plan_sql(tpch_query(q))
+        base = estimate_plan(plan, data, device)
+        opt = estimate_plan(plan, data, device, fusion=True)
+        assert opt.service_s <= base.service_s
+        assert opt.working_set_bytes == base.working_set_bytes
+        assert opt.rows == base.rows
+
+    def test_fused_estimate_strictly_better_on_q6(self, data, planner):
+        from repro.gpu.device import Device
+        from repro.sched.estimator import estimate_plan
+
+        device = Device(GH200)
+        plan = planner.plan_sql(tpch_query(6))
+        base = estimate_plan(plan, data, device)
+        opt = estimate_plan(plan, data, device, fusion=True)
+        assert opt.service_s < base.service_s

@@ -1,0 +1,193 @@
+"""NULL-semantics battery: garbage payloads under invalid rows must never
+leak into results.
+
+A NULL column slot has two parts: the validity bit and the payload.  The
+payload under an invalid bit is *unspecified input* — real device buffers
+carry whatever bytes were there before (the libcudf contract) — so every
+compute kernel must (a) propagate validity correctly and (b) write a
+canonical payload (zero / false / -1 string code) under its own invalid
+outputs, never a function of the garbage.  These tests poison the
+payloads explicitly (NaN, extreme ints) and check both properties per
+operator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar import BOOL, DATE32, FLOAT64, INT64, STRING
+from repro.kernels import GTable
+from repro.kernels.compute import (
+    absolute,
+    binary_arith,
+    case_when,
+    cast_column,
+    coalesce,
+    compare,
+    extract_date_part,
+    fill_constant,
+    in_list,
+    is_null,
+    logical_and,
+    logical_not,
+    logical_or,
+    round_column,
+    string_length,
+    substring,
+)
+from repro.kernels.gtable import GColumn
+
+
+@pytest.fixture
+def poisoned(dev):
+    """Columns whose invalid slots hold worst-case garbage payloads."""
+
+    def make(dtype, data, validity):
+        return GColumn.from_array(
+            dev,
+            dtype,
+            np.asarray(data, dtype=dtype.numpy_dtype),
+            np.asarray(validity, dtype=np.bool_),
+        )
+
+    return make
+
+
+def assert_canonical(col, expected_valid, expected_values):
+    """Validity matches; valid payloads match; invalid payloads canonical."""
+    np.testing.assert_array_equal(col.valid_mask(), np.asarray(expected_valid))
+    valid = col.valid_mask()
+    got = col.data[valid]
+    want = np.asarray(expected_values)[valid]
+    if col.dtype is FLOAT64:
+        np.testing.assert_allclose(got, want)
+    else:
+        np.testing.assert_array_equal(got, want)
+    # Canonical payload under NULL: zero (numeric/bool) or negative code
+    # (string).  Anything else is garbage that survived the kernel.
+    invalid_payload = col.data[~valid]
+    if col.dtype is STRING:
+        assert (invalid_payload < 0).all()
+    else:
+        assert not invalid_payload.astype(np.bool_).any(), (
+            f"garbage payload under NULL: {invalid_payload!r}"
+        )
+
+
+GARBAGE_F = [np.nan, np.inf, -np.inf, 1e308]
+GARBAGE_I = [2**62, -(2**62), 7, -1]
+
+
+class TestComparisonNulls:
+    def test_compare_nan_under_invalid_does_not_match(self, poisoned):
+        left = poisoned(FLOAT64, [1.0, np.nan, 3.0, np.inf], [True, False, True, False])
+        right = poisoned(FLOAT64, [1.0, np.nan, 2.0, np.inf], [True, False, True, True])
+        out = compare("eq", left, right)
+        assert_canonical(out, [True, False, True, False], [True, False, False, False])
+
+    def test_compare_scalar_with_poisoned_ints(self, poisoned):
+        col = poisoned(INT64, GARBAGE_I, [False, False, True, True])
+        out = compare("gt", col, 0)
+        assert_canonical(out, [False, False, True, True], [False, False, True, False])
+
+
+class TestArithmeticNulls:
+    def test_binary_arith_zeroes_invalid_payloads(self, poisoned):
+        left = poisoned(FLOAT64, GARBAGE_F, [False, True, True, False])
+        right = poisoned(FLOAT64, [1.0, 2.0, 3.0, 4.0], [True, True, False, True])
+        out = binary_arith("add", left, right)
+        assert_canonical(
+            out, [False, True, False, False], [0.0, np.inf + 2.0, 0.0, 0.0]
+        )
+
+    def test_divide_by_zero_and_nulls(self, poisoned):
+        left = poisoned(FLOAT64, [8.0, np.nan, 6.0], [True, False, True])
+        out = binary_arith("divide", left, poisoned(FLOAT64, [2.0, 3.0, 0.0], [True] * 3))
+        assert_canonical(out, [True, False, False], [4.0, 0.0, 0.0])
+
+    def test_absolute_and_round_scrub(self, poisoned):
+        col = poisoned(FLOAT64, [-1.5, np.nan, 2.5, -np.inf], [True, False, True, False])
+        assert_canonical(absolute(col), [True, False, True, False], [1.5, 0, 2.5, 0])
+        assert_canonical(round_column(col), [True, False, True, False], [-2.0, 0, 2.0, 0])
+
+    def test_cast_scrubs_payloads(self, poisoned):
+        col = poisoned(FLOAT64, [1.9, np.nan, 3.1], [True, False, True])
+        out = cast_column(col, INT64)
+        assert out.dtype is INT64
+        assert_canonical(out, [True, False, True], [1, 0, 3])
+
+
+class TestLogicalNulls:
+    def test_kleene_and_with_garbage_bool_payloads(self, poisoned):
+        # Payload True under an invalid bit: AND with False must still be
+        # False (known), AND with True must be NULL.
+        left = poisoned(BOOL, [True, True, True], [False, False, True])
+        right = poisoned(BOOL, [False, True, True], [True, True, True])
+        out = logical_and(left, right)
+        assert_canonical(out, [True, False, True], [False, False, True])
+
+    def test_kleene_or_with_garbage_bool_payloads(self, poisoned):
+        left = poisoned(BOOL, [True, False, False], [False, False, True])
+        right = poisoned(BOOL, [True, False, True], [True, True, True])
+        out = logical_or(left, right)
+        assert_canonical(out, [True, False, True], [True, False, True])
+
+    def test_not_propagates_null(self, poisoned):
+        col = poisoned(BOOL, [True, True, False], [True, False, True])
+        assert_canonical(logical_not(col), [True, False, True], [False, False, True])
+
+    def test_is_null_ignores_payload(self, poisoned):
+        col = poisoned(FLOAT64, GARBAGE_F, [False, True, False, True])
+        out = is_null(col)
+        assert_canonical(out, [True] * 4, [True, False, True, False])
+        assert out.valid_mask().all()
+
+
+class TestMembershipAndCase:
+    def test_in_list_null_is_null_even_on_payload_match(self, poisoned):
+        col = poisoned(INT64, [7, 7, 3], [True, False, True])
+        out = in_list(col, [7])
+        assert_canonical(out, [True, False, True], [True, False, False])
+
+    def test_case_when_null_condition_falls_through(self, poisoned):
+        cond = poisoned(BOOL, [True, True, False], [True, False, True])
+        out = case_when(
+            [cond],
+            [poisoned(FLOAT64, [1.0, 2.0, 3.0], [True] * 3)],
+            poisoned(FLOAT64, [9.0, 9.0, 9.0], [True] * 3),
+        )
+        # NULL condition is not-true: row 1 takes the default.
+        assert_canonical(out, [True, True, True], [1.0, 9.0, 9.0])
+
+    def test_coalesce_skips_garbage(self, poisoned):
+        first = poisoned(FLOAT64, GARBAGE_F[:3], [False, False, False])
+        second = poisoned(FLOAT64, [1.0, np.nan, 3.0], [True, False, True])
+        out = coalesce([first, second, 0.5])
+        assert_canonical(out, [True, True, True], [1.0, 0.5, 3.0])
+
+
+class TestDateAndStringNulls:
+    def test_extract_date_part_scrubs(self, poisoned):
+        col = poisoned(DATE32, [8766, 2**30, 9131], [True, False, True])
+        out = extract_date_part("year", col)
+        assert_canonical(out, [True, False, True], [1994, 0, 1995])
+
+    def test_string_kernels_ignore_negative_codes(self, make_gtable):
+        g = make_gtable({"s": ["ab", None, "cdef"]}, [("s", "string")])
+        col = g.columns[0]
+        assert (col.data[~col.valid_mask()] < 0).all()
+        out = string_length(col)
+        assert_canonical(out, [True, False, True], [2, 0, 4])
+        sub = substring(col, 1, 2)
+        np.testing.assert_array_equal(sub.valid_mask(), [True, False, True])
+        assert (sub.data[~sub.valid_mask()] < 0).all()
+
+
+class TestFillConstant:
+    def test_null_literal_dtype_threading(self, dev):
+        """Satellite regression: a typed NULL/bare literal must honour the
+        requested dtype instead of guessing from the python value."""
+        col = fill_constant(dev, 4, 1, dtype=FLOAT64)
+        assert col.dtype is FLOAT64
+        assert col.data.dtype == np.float64
+        untyped = fill_constant(dev, 4, 1)
+        assert untyped.dtype is INT64
